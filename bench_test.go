@@ -1,0 +1,225 @@
+// Benchmark harness reproducing the paper's evaluation artifacts.
+//
+// One benchmark exists per Table 1 cell (code x level) and per figure:
+//
+//   - BenchmarkTable1_* measure the full analysis of each benchmark
+//     kernel at each progressive level. By default each cell runs a
+//     bounded number of engine visits per iteration (benchVisits) so
+//     that `go test -bench=.` terminates in minutes; set
+//     REPRO_FULL_BENCH=1 to run every cell to its true fixed point —
+//     the canonical full-table generator is `go run ./cmd/benchtab`.
+//   - BenchmarkFigure1_* measure the Fig. 1 micro-pipeline (DIVIDE,
+//     PRUNE, materialization) on the doubly-linked-list RSG.
+//   - BenchmarkFigure2Pipeline measures one full symbolic-execution
+//     pipeline step (divide -> prune -> interpret -> compress -> union).
+//   - BenchmarkFigure3BarnesHut measures the Sect. 5.1 progressive
+//     analysis of the Barnes-Hut kernel.
+//   - BenchmarkAblation* quantify the design choices DESIGN.md calls
+//     out: RSG union on/off, cycle-link pruning on/off, per-statement
+//     compression on/off, TOUCH restricted to induction pvars vs all.
+//
+// Measured values for the full runs are recorded in EXPERIMENTS.md.
+package repro_test
+
+import (
+	"errors"
+	"os"
+	"testing"
+
+	"repro"
+	"repro/internal/analysis"
+	"repro/internal/benchprog"
+	"repro/internal/rsg"
+)
+
+// benchVisits bounds the engine work per bench iteration in the default
+// (bounded) mode: enough to push every kernel deep into its loop nest
+// while keeping `go test -bench=.` practical.
+const benchVisits = 1500
+
+func fullBench() bool { return os.Getenv("REPRO_FULL_BENCH") != "" }
+
+// benchKernel runs one Table 1 cell.
+func benchKernel(b *testing.B, name string, lvl rsg.Level, opts analysis.Options) {
+	k := benchprog.ByName(name)
+	if k == nil {
+		b.Fatalf("unknown kernel %s", name)
+	}
+	prog, err := k.Compile()
+	if err != nil {
+		b.Fatal(err)
+	}
+	opts.Level = lvl
+	if !fullBench() && opts.MaxVisits == 0 {
+		opts.MaxVisits = benchVisits
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := analysis.Run(prog, opts)
+		if err != nil && !errors.Is(err, analysis.ErrNoConvergence) &&
+			!errors.Is(err, analysis.ErrBudgetExceeded) {
+			b.Fatal(err)
+		}
+		if res != nil {
+			b.ReportMetric(float64(res.Stats.Visits), "visits")
+			b.ReportMetric(float64(res.Stats.PeakNodes), "peak-nodes")
+			b.ReportMetric(float64(res.Stats.PeakGraphs), "peak-graphs")
+		}
+	}
+}
+
+// ---- Table 1: time and space per code per level -----------------------
+
+func BenchmarkTable1_MatVec_L1(b *testing.B) { benchKernel(b, "matvec", rsg.L1, analysis.Options{}) }
+func BenchmarkTable1_MatVec_L2(b *testing.B) { benchKernel(b, "matvec", rsg.L2, analysis.Options{}) }
+func BenchmarkTable1_MatVec_L3(b *testing.B) { benchKernel(b, "matvec", rsg.L3, analysis.Options{}) }
+
+func BenchmarkTable1_MatMat_L1(b *testing.B) { benchKernel(b, "matmat", rsg.L1, analysis.Options{}) }
+func BenchmarkTable1_MatMat_L2(b *testing.B) { benchKernel(b, "matmat", rsg.L2, analysis.Options{}) }
+func BenchmarkTable1_MatMat_L3(b *testing.B) { benchKernel(b, "matmat", rsg.L3, analysis.Options{}) }
+
+// The LU factorization is the paper's heaviest row: 12'15" at L1 and an
+// out-of-memory abort at L2/L3 on the 128 MB machine. The L2/L3 cells
+// reproduce the abort through the node budget.
+func BenchmarkTable1_LU_L1(b *testing.B) { benchKernel(b, "lu", rsg.L1, analysis.Options{}) }
+func BenchmarkTable1_LU_L2(b *testing.B) {
+	benchKernel(b, "lu", rsg.L2, analysis.Options{NodeBudget: 60000})
+}
+func BenchmarkTable1_LU_L3(b *testing.B) {
+	benchKernel(b, "lu", rsg.L3, analysis.Options{NodeBudget: 60000})
+}
+
+func BenchmarkTable1_BarnesHut_L1(b *testing.B) {
+	benchKernel(b, "barneshut", rsg.L1, analysis.Options{})
+}
+func BenchmarkTable1_BarnesHut_L2(b *testing.B) {
+	benchKernel(b, "barneshut", rsg.L2, analysis.Options{})
+}
+func BenchmarkTable1_BarnesHut_L3(b *testing.B) {
+	benchKernel(b, "barneshut", rsg.L3, analysis.Options{})
+}
+
+// ---- Figure 1: the x->nxt = NULL micro-pipeline ------------------------
+
+// fig1Source builds the Fig. 1(a) doubly-linked list and executes the
+// statement the figure walks through.
+const fig1Source = `
+struct elem { int val; struct elem *nxt; struct elem *prv; };
+void main(void) {
+    struct elem *first;
+    struct elem *last;
+    struct elem *e;
+    struct elem *x;
+    first = malloc(sizeof(struct elem));
+    first->nxt = NULL;
+    first->prv = NULL;
+    last = first;
+    while (more) {
+        e = malloc(sizeof(struct elem));
+        e->nxt = NULL;
+        e->prv = last;
+        last->nxt = e;
+        last = e;
+    }
+    e = NULL;
+    x = first;
+    x->nxt = NULL;
+}
+`
+
+func BenchmarkFigure1Pipeline(b *testing.B) {
+	prog, err := repro.Compile(fig1Source)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := analysis.Run(prog, analysis.Options{Level: rsg.L1}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// ---- Figure 2: one symbolic-execution pipeline step --------------------
+
+func BenchmarkFigure2Pipeline(b *testing.B) {
+	// Fix point of the list builder, then repeatedly push its exit
+	// RSRSG through one destructive statement: the per-sentence
+	// divide/prune/interpret/compress/union pipeline of Fig. 2.
+	prog, err := repro.Compile(fig1Source)
+	if err != nil {
+		b.Fatal(err)
+	}
+	res, err := analysis.Run(prog, analysis.Options{Level: rsg.L1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	in := res.ExitSet()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		out := analysis.PipelineStep(rsg.L1, in, "first", "nxt")
+		if out.Len() == 0 {
+			b.Fatal("pipeline produced no graphs")
+		}
+	}
+}
+
+// ---- Figure 3: the Barnes-Hut progressive case study -------------------
+
+func BenchmarkFigure3BarnesHut(b *testing.B) {
+	prog, k := repro.MustKernel("barneshut")
+	opts := analysis.Options{}
+	if !fullBench() {
+		opts.MaxVisits = benchVisits
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		pres := analysis.Progressive(prog, k.Goals, opts)
+		if pres.Final == nil {
+			b.Fatal("no final level")
+		}
+	}
+}
+
+// ---- Ablations ----------------------------------------------------------
+
+func BenchmarkAblationBaseline(b *testing.B) {
+	benchKernel(b, "slist", rsg.L1, analysis.Options{})
+}
+
+// BenchmarkAblationNoJoin disables the RSG union; the paper credits the
+// union with keeping the RSRSGs small ("greatly reduces the number of
+// RSGs and leads to a practicable analysis").
+func BenchmarkAblationNoJoin(b *testing.B) {
+	benchKernel(b, "slist", rsg.L1, analysis.Options{DisableJoin: true, MaxVisits: benchVisits})
+}
+
+// BenchmarkAblationNoCyclePrune disables the NL_PRUNE cycle-link rule;
+// the paper credits pruning for the Barnes-Hut L2 < L1 cost paradox.
+func BenchmarkAblationNoCyclePrune(b *testing.B) {
+	benchKernel(b, "dlist", rsg.L1, analysis.Options{DisableCyclePrune: true, MaxVisits: benchVisits})
+}
+
+func BenchmarkAblationCyclePruneBaseline(b *testing.B) {
+	benchKernel(b, "dlist", rsg.L1, analysis.Options{MaxVisits: benchVisits})
+}
+
+// BenchmarkAblationNoCompress skips the per-statement COMPRESS phase.
+func BenchmarkAblationNoCompress(b *testing.B) {
+	benchKernel(b, "slist", rsg.L1, analysis.Options{NoCompress: true, MaxVisits: benchVisits})
+}
+
+// BenchmarkAblationTouchAllPvars widens TOUCH to every pvar at L3; the
+// paper restricts TOUCH to induction pvars "to avoid the explosion in
+// the number of nodes".
+func BenchmarkAblationTouchAllPvars(b *testing.B) {
+	benchKernel(b, "slist", rsg.L3, analysis.Options{TouchAllPvars: true, MaxVisits: benchVisits})
+}
+
+func BenchmarkAblationTouchInductionOnly(b *testing.B) {
+	benchKernel(b, "slist", rsg.L3, analysis.Options{MaxVisits: benchVisits})
+}

@@ -1,0 +1,140 @@
+// Command shapec is the shape-analysis compiler CLI: it parses a mini-C
+// source file (or a named built-in kernel), runs the RSRSG analysis at
+// a fixed level or progressively, and reports the resulting
+// data-structure properties.
+//
+// Usage:
+//
+//	shapec [flags] <file.c | kernel-name>
+//
+//	-level N        analysis level 1..3 (default 1); ignored with -progressive
+//	-progressive    escalate L1 -> L2 -> L3 until the kernel's goals hold
+//	-dot            print the exit RSRSG in Graphviz dot syntax
+//	-ir             print the lowered IR and CFG
+//	-stmt N         also dump the RSRSG after statement N
+//	-budget N       abort when the abstraction exceeds N live nodes
+//
+// Built-in kernel names: matvec, matmat, lu, barneshut, slist, dlist,
+// btree.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"repro/internal/analysis"
+	"repro/internal/benchprog"
+	"repro/internal/checker"
+	"repro/internal/cminic"
+	"repro/internal/ir"
+	"repro/internal/rsg"
+)
+
+func main() {
+	level := flag.Int("level", 1, "analysis level 1..3")
+	progressive := flag.Bool("progressive", false, "run the progressive L1->L2->L3 analysis")
+	dot := flag.Bool("dot", false, "print the exit RSRSG as Graphviz dot")
+	loops := flag.Bool("loops", false, "print the per-loop dependence report")
+	dumpIR := flag.Bool("ir", false, "print the lowered IR")
+	stmt := flag.Int("stmt", -1, "dump the RSRSG after this statement id")
+	budget := flag.Int("budget", 0, "node budget (0 = unlimited)")
+	flag.Parse()
+
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: shapec [flags] <file.c | kernel-name>")
+		flag.PrintDefaults()
+		os.Exit(2)
+	}
+	arg := flag.Arg(0)
+
+	var prog *ir.Program
+	var goals []analysis.Goal
+	if k := benchprog.ByName(arg); k != nil {
+		p, err := k.Compile()
+		if err != nil {
+			fatal(err)
+		}
+		prog = p
+		goals = k.Goals
+		fmt.Printf("kernel %s — %s\n", k.Name, k.Title)
+	} else {
+		src, err := os.ReadFile(arg)
+		if err != nil {
+			fatal(err)
+		}
+		file, err := cminic.Parse(string(src))
+		if err != nil {
+			fatal(fmt.Errorf("%s:%v", arg, err))
+		}
+		p, err := ir.LowerMain(file)
+		if err != nil {
+			fatal(fmt.Errorf("%s: %v", arg, err))
+		}
+		prog = p
+		goals = []analysis.Goal{checker.NonEmptyExit{}}
+	}
+
+	if *dumpIR {
+		fmt.Println(prog)
+	}
+
+	opts := analysis.Options{NodeBudget: *budget}
+
+	if *progressive {
+		pres := analysis.Progressive(prog, goals, opts)
+		fmt.Print(pres.Summary())
+		if res := pres.Final.Result; res != nil {
+			printResult(res, *dot, *stmt)
+			if *loops {
+				fmt.Println("\nloop dependence report:")
+				fmt.Print(checker.FormatLoopReports(checker.AnalyzeLoops(res)))
+			}
+		}
+		return
+	}
+
+	opts.Level = rsg.Level(*level)
+	if opts.Level < rsg.L1 || opts.Level > rsg.L3 {
+		fatal(fmt.Errorf("invalid level %d", *level))
+	}
+	start := time.Now()
+	res, err := analysis.Run(prog, opts)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("%s: %v, %d visits, peak %d nodes / %d links / %d graphs\n",
+		opts.Level, time.Since(start).Round(time.Millisecond), res.Stats.Visits,
+		res.Stats.PeakNodes, res.Stats.PeakLinks, res.Stats.PeakGraphs)
+	for _, g := range goals {
+		ok, detail := g.Met(res)
+		fmt.Printf("goal %-35s %-5v %s\n", g.Name(), ok, detail)
+	}
+	printResult(res, *dot, *stmt)
+	if *loops {
+		fmt.Println("\nloop dependence report:")
+		fmt.Print(checker.FormatLoopReports(checker.AnalyzeLoops(res)))
+	}
+}
+
+func printResult(res *analysis.Result, dot bool, stmtID int) {
+	fmt.Println("\nexit-state summary:")
+	fmt.Print(checker.FormatReport(checker.Report(res)))
+	if stmtID >= 0 {
+		if set := res.Out[stmtID]; set != nil {
+			fmt.Printf("\nRSRSG after statement %d (%s): %d RSGs\n%s\n",
+				stmtID, res.Program.Stmt(stmtID), set.Len(), set)
+		}
+	}
+	if dot {
+		for i, g := range res.ExitSet().Graphs() {
+			fmt.Print(rsg.DOT(g, fmt.Sprintf("exit_%d", i)))
+		}
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "shapec:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,21 @@
+package absem
+
+import (
+	"repro/internal/rsg"
+	"repro/internal/rsrsg"
+)
+
+// AssumeNull filters the RSRSG down to the configurations where x is
+// NULL. Within one RSG a pvar either references a node (non-NULL in
+// every covered configuration) or is absent from PL (NULL in every
+// covered configuration), so the filter is exact at graph granularity.
+// It implements the true edge of an `if (x == NULL)` condition.
+func AssumeNull(ctx *Context, in *rsrsg.Set, x string) *rsrsg.Set {
+	return in.Filter(func(g *rsg.Graph) bool { return g.PvarTarget(x) == nil })
+}
+
+// AssumeNonNull filters the RSRSG down to the configurations where x
+// references a node; the true edge of `if (x != NULL)`.
+func AssumeNonNull(ctx *Context, in *rsrsg.Set, x string) *rsrsg.Set {
+	return in.Filter(func(g *rsg.Graph) bool { return g.PvarTarget(x) != nil })
+}

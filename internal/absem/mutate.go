@@ -1,0 +1,134 @@
+package absem
+
+import "repro/internal/rsg"
+
+// unlink performs the strong update "a->sel = NULL" on the graph, where
+// a is a singleton (pvar-referenced) node and b its materialized single
+// sel target. Unlike the speculative removals of DIVIDE, this models a
+// real heap mutation, so the property state of both endpoints is
+// updated to the new truth before any pruning runs.
+func unlink(g *rsg.Graph, a rsg.NodeID, sel string, b rsg.NodeID) {
+	g.RemoveLink(a, sel, b)
+	na, nb := g.Node(a), g.Node(b)
+
+	// Source: the reference definitely no longer exists.
+	na.ClearOut(sel)
+	// Cycle pairs of a that started with sel lost their only witness.
+	for pair := range na.Cycle {
+		if pair.Out == sel {
+			na.Cycle.Remove(pair)
+		}
+	}
+
+	if nb == nil {
+		return
+	}
+	// Destination: update the incoming state for sel.
+	srcs := g.Sources(b, sel)
+	if len(srcs) == 0 {
+		nb.ClearIn(sel)
+		nb.ShSel.Remove(sel)
+	} else {
+		definite := false
+		for _, s := range srcs {
+			if g.DefiniteLink(s, sel, b) {
+				definite = true
+				break
+			}
+		}
+		if !definite {
+			nb.SelIn.Remove(sel)
+			nb.MarkPossibleIn(sel)
+		}
+		if nb.Singleton {
+			// Re-count sharing through sel: only provable when every
+			// remaining source is a singleton.
+			allSingleton := true
+			for _, s := range srcs {
+				if sn := g.Node(s); sn == nil || !sn.Singleton {
+					allSingleton = false
+					break
+				}
+			}
+			if allSingleton && len(srcs) < 2 {
+				nb.ShSel.Remove(sel)
+			}
+		}
+	}
+	// Cycle pairs of b returning through sel whose witness was a.
+	for pair := range nb.Cycle {
+		if pair.In == sel && g.HasLink(b, pair.Out, a) {
+			nb.Cycle.Remove(pair)
+		}
+	}
+	refreshShared(g, nb)
+}
+
+// link performs the strong update "a->sel = b" on the graph. The caller
+// has already ensured a has no sel link (unlink ran first) and both a
+// and b are singleton nodes (a is pvar-referenced; b is a pvar target).
+func link(g *rsg.Graph, a rsg.NodeID, sel string, b rsg.NodeID) {
+	na, nb := g.Node(a), g.Node(b)
+
+	hadSelIn := len(g.Sources(b, sel)) > 0
+	hadHeapIn := g.HeapInDegree(b) > 0
+
+	g.AddLink(a, sel, b)
+	na.MarkDefiniteOut(sel)
+
+	if nb.Singleton {
+		nb.MarkDefiniteIn(sel)
+		if hadSelIn {
+			nb.ShSel.Add(sel)
+			nb.Shared = true
+		}
+		if hadHeapIn {
+			nb.Shared = true
+		}
+	} else {
+		// Conservative path (not reached by the standard semantics,
+		// which always links to pvar targets, i.e. singletons).
+		nb.MarkPossibleIn(sel)
+		if hadSelIn {
+			nb.ShSel.Add(sel)
+			nb.Shared = true
+		}
+	}
+
+	// New definite cycles through the link.
+	for _, selIn := range g.OutSelectors(b) {
+		if g.DefiniteLink(b, selIn, a) {
+			na.Cycle.Add(rsg.CyclePair{Out: sel, In: selIn})
+			nb.Cycle.Add(rsg.CyclePair{Out: selIn, In: sel})
+		}
+	}
+	if a == b {
+		// Self reference: a->sel == a closes <sel, sel'> for every
+		// definite sel' self link, including sel itself.
+		if g.DefiniteLink(a, sel, a) {
+			na.Cycle.Add(rsg.CyclePair{Out: sel, In: sel})
+		}
+	}
+}
+
+// refreshShared lowers SHARED when the graph proves at most one heap
+// reference remains into a singleton node (all sources singleton).
+func refreshShared(g *rsg.Graph, n *rsg.Node) {
+	if !n.Singleton || !n.Shared {
+		return
+	}
+	if len(n.ShSel) > 0 {
+		return
+	}
+	total := 0
+	for _, l := range g.InLinks(n.ID) {
+		sn := g.Node(l.Src)
+		if sn == nil || !sn.Singleton {
+			return // unknown multiplicity: keep the conservative flag
+		}
+		total++
+	}
+	if total < 2 {
+		n.Shared = false
+	}
+}

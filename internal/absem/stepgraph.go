@@ -1,0 +1,170 @@
+package absem
+
+import (
+	"repro/internal/rsg"
+)
+
+// StepNil is the per-graph semantics of "x = NULL". The input graph is
+// never mutated; when the statement is a no-op for this graph, the
+// graph itself is returned (callers treat graphs as immutable).
+func StepNil(ctx *Context, g *rsg.Graph, x string) []*rsg.Graph {
+	if g.PvarTarget(x) == nil {
+		return []*rsg.Graph{g}
+	}
+	g2 := g.Clone()
+	g2.ClearPvar(x)
+	g2.CollectGarbage()
+	ctx.compress(g2)
+	return []*rsg.Graph{g2}
+}
+
+// StepMalloc is the per-graph semantics of "x = malloc(...)".
+func StepMalloc(ctx *Context, g *rsg.Graph, x, typ string) []*rsg.Graph {
+	g2 := g.Clone()
+	g2.ClearPvar(x)
+	g2.CollectGarbage()
+	n := rsg.NewNode(typ)
+	n.Singleton = true
+	g2.AddNode(n)
+	g2.SetPvar(x, n.ID)
+	ctx.compress(g2)
+	return []*rsg.Graph{g2}
+}
+
+// StepCopy is the per-graph semantics of "x = y".
+func StepCopy(ctx *Context, g *rsg.Graph, x, y string) []*rsg.Graph {
+	if x == y {
+		return []*rsg.Graph{g}
+	}
+	if g.PvarTarget(y) == nil && g.PvarTarget(x) == nil {
+		return []*rsg.Graph{g}
+	}
+	g2 := g.Clone()
+	yt := g2.PvarTarget(y)
+	g2.ClearPvar(x)
+	if yt != nil {
+		g2.SetPvar(x, yt.ID)
+		if ctx.touchEligible(x) {
+			yt.Touch.Add(x)
+		}
+	}
+	g2.CollectGarbage()
+	ctx.compress(g2)
+	return []*rsg.Graph{g2}
+}
+
+// StepSelNil is the per-graph semantics of "x->sel = NULL". A nil
+// result list means the graph has no successor configuration (NULL
+// dereference).
+func StepSelNil(ctx *Context, g *rsg.Graph, x, sel string) []*rsg.Graph {
+	if g.PvarTarget(x) == nil {
+		if ctx.Diags != nil {
+			ctx.Diags.NullDerefs++
+		}
+		return nil
+	}
+	var out []*rsg.Graph
+	for _, div := range divide(ctx, g, x, sel) {
+		g2 := div.G
+		if div.Target >= 0 {
+			src := g2.PvarTarget(x)
+			nm := materialize(ctx, g2, src.ID, sel)
+			unlink(g2, src.ID, sel, nm)
+		}
+		if !prune(ctx, g2) {
+			continue
+		}
+		g2.CollectGarbage()
+		ctx.compress(g2)
+		out = append(out, g2)
+	}
+	return out
+}
+
+// StepSelCopy is the per-graph semantics of "x->sel = y".
+func StepSelCopy(ctx *Context, g *rsg.Graph, x, sel, y string) []*rsg.Graph {
+	if g.PvarTarget(x) == nil {
+		if ctx.Diags != nil {
+			ctx.Diags.NullDerefs++
+		}
+		return nil
+	}
+	var out []*rsg.Graph
+	for _, div := range divide(ctx, g, x, sel) {
+		g2 := div.G
+		src := g2.PvarTarget(x)
+		if div.Target >= 0 {
+			nm := materialize(ctx, g2, src.ID, sel)
+			unlink(g2, src.ID, sel, nm)
+		}
+		if yt := g2.PvarTarget(y); yt != nil {
+			link(g2, src.ID, sel, yt.ID)
+		}
+		if !prune(ctx, g2) {
+			continue
+		}
+		g2.CollectGarbage()
+		ctx.compress(g2)
+		out = append(out, g2)
+	}
+	return out
+}
+
+// StepLoad is the per-graph semantics of "x = y->sel".
+func StepLoad(ctx *Context, g *rsg.Graph, x, y, sel string) []*rsg.Graph {
+	if g.PvarTarget(y) == nil {
+		if ctx.Diags != nil {
+			ctx.Diags.NullDerefs++
+		}
+		return nil
+	}
+	var out []*rsg.Graph
+	for _, div := range divide(ctx, g, y, sel) {
+		g2 := div.G
+		if div.Target < 0 {
+			g2.ClearPvar(x)
+		} else {
+			src := g2.PvarTarget(y)
+			nm := materialize(ctx, g2, src.ID, sel)
+			g2.ClearPvar(x)
+			g2.SetPvar(x, nm)
+			if ctx.touchEligible(x) {
+				g2.Node(nm).Touch.Add(x)
+			}
+		}
+		if !prune(ctx, g2) {
+			continue
+		}
+		g2.CollectGarbage()
+		ctx.compress(g2)
+		out = append(out, g2)
+	}
+	return out
+}
+
+// StepEraseTouch removes the given induction pvars from every TOUCH set
+// of one graph.
+func StepEraseTouch(ctx *Context, g *rsg.Graph, ipvars rsg.PvarSet) []*rsg.Graph {
+	if len(ipvars) == 0 {
+		return []*rsg.Graph{g}
+	}
+	touched := false
+	for _, n := range g.Nodes() {
+		for p := range ipvars {
+			if n.Touch.Has(p) {
+				touched = true
+			}
+		}
+	}
+	if !touched {
+		return []*rsg.Graph{g}
+	}
+	g2 := g.Clone()
+	for _, n := range g2.Nodes() {
+		for p := range ipvars {
+			n.Touch.Remove(p)
+		}
+	}
+	ctx.compress(g2)
+	return []*rsg.Graph{g2}
+}

@@ -1,0 +1,64 @@
+package analysis
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/rsg"
+)
+
+const treeBuildSrc = `
+struct tnode { int key; struct tnode *left; struct tnode *right; };
+
+void main(void) {
+    struct tnode *root;
+    struct tnode *cur;
+    struct tnode *kid;
+    root = malloc(sizeof(struct tnode));
+    root->left = NULL;
+    root->right = NULL;
+    while (grow) {
+        cur = root;
+        while (descend) {
+            if (goleft) {
+                if (cur->left == NULL) {
+                    kid = malloc(sizeof(struct tnode));
+                    kid->left = NULL;
+                    kid->right = NULL;
+                    cur->left = kid;
+                }
+                cur = cur->left;
+            } else {
+                if (cur->right == NULL) {
+                    kid = malloc(sizeof(struct tnode));
+                    kid->left = NULL;
+                    kid->right = NULL;
+                    cur->right = kid;
+                }
+                cur = cur->right;
+            }
+        }
+    }
+}
+`
+
+// TestTreeBuildConverges watches the fixed point of the binary-tree
+// construction kernel; it is the stress test for the join machinery.
+func TestTreeBuildConverges(t *testing.T) {
+	if testing.Short() {
+		t.Skip("slow")
+	}
+	prog := compile(t, treeBuildSrc)
+	start := time.Now()
+	res, err := Run(prog, Options{Level: rsg.L1, MaxVisits: 20000})
+	if err != nil {
+		t.Fatalf("after %v (visits=%d peak nodes=%d graphs=%d): %v",
+			time.Since(start), res.Stats.Visits, res.Stats.PeakNodes, res.Stats.PeakGraphs, err)
+	}
+	t.Logf("converged in %v: visits=%d peak(nodes=%d links=%d graphs=%d)",
+		time.Since(start), res.Stats.Visits, res.Stats.PeakNodes,
+		res.Stats.PeakLinks, res.Stats.PeakGraphs)
+	if res.ExitSet().Len() == 0 {
+		t.Fatal("no configuration reaches the exit")
+	}
+}

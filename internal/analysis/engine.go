@@ -1,0 +1,409 @@
+// Package analysis implements the symbolic-execution engine of the
+// paper: an iterative abstract interpretation over the statement-level
+// CFG that computes, for every sentence, the RSRSG approximating all
+// memory configurations after its execution (Sect. 2, Fig. 2), and the
+// progressive driver that escalates through the analysis levels
+// L1 -> L2 -> L3 (Sect. 5).
+package analysis
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"time"
+
+	"repro/internal/absem"
+	"repro/internal/induction"
+	"repro/internal/ir"
+	"repro/internal/rsg"
+	"repro/internal/rsrsg"
+)
+
+// Options configures one analysis run.
+type Options struct {
+	// Level is the progressive analysis level (default L1).
+	Level rsg.Level
+	// MaxGraphsPerStmt bounds the RSGs kept per statement; compatible
+	// graphs are force-joined past the bound. 0 means the default (64).
+	MaxGraphsPerStmt int
+	// MaxVisits bounds the total number of statement transfers before
+	// the engine reports non-convergence. 0 means the default (200000).
+	MaxVisits int
+	// NodeBudget bounds the total number of live RSG nodes across all
+	// per-statement RSRSGs; exceeding it aborts the run with
+	// ErrBudgetExceeded. It models the paper's 128 MB machine on which
+	// the Sparse LU analysis runs out of memory at L2/L3. 0 = unlimited.
+	NodeBudget int
+	// DisableJoin, DisableCyclePrune and NoCompress are ablation knobs
+	// (see DESIGN.md).
+	DisableJoin       bool
+	DisableCyclePrune bool
+	NoCompress        bool
+	// TouchAllPvars widens TOUCH eligibility from induction pvars to
+	// every pvar (ablation of the paper's restriction).
+	TouchAllPvars bool
+	// Timeout aborts the run with ErrTimeout when the fixed point takes
+	// longer than this wall-clock duration. 0 = no limit.
+	Timeout time.Duration
+}
+
+// ErrBudgetExceeded reports that the abstraction outgrew NodeBudget.
+var ErrBudgetExceeded = errors.New("analysis: node budget exceeded (out of memory)")
+
+// ErrNoConvergence reports that the fixed point was not reached within
+// MaxVisits statement transfers.
+var ErrNoConvergence = errors.New("analysis: fixed point not reached within the visit budget")
+
+// ErrTimeout reports that the run exceeded Options.Timeout.
+var ErrTimeout = errors.New("analysis: wall-clock timeout exceeded")
+
+// Stats aggregates engine counters for one run.
+type Stats struct {
+	// Visits is the number of statement transfers executed.
+	Visits int
+	// Duration is the wall-clock time of the run.
+	Duration time.Duration
+	// PeakNodes/PeakLinks/PeakGraphs track the largest total
+	// abstraction size observed across all statements.
+	PeakNodes  int
+	PeakLinks  int
+	PeakGraphs int
+	// FinalNodes/FinalLinks/FinalGraphs describe the fixed point.
+	FinalNodes  int
+	FinalLinks  int
+	FinalGraphs int
+}
+
+// Result is the outcome of one analysis run.
+type Result struct {
+	Program *ir.Program
+	Level   rsg.Level
+	// Out maps every statement ID to the RSRSG after its execution.
+	Out map[int]*rsrsg.Set
+	// Diags aggregates the abstract-semantics diagnostics.
+	Diags absem.Diagnostics
+	Stats Stats
+}
+
+// ExitSet returns the RSRSG at the function exit.
+func (r *Result) ExitSet() *rsrsg.Set { return r.Out[r.Program.Exit] }
+
+// Run executes the symbolic analysis to its fixed point.
+func Run(prog *ir.Program, opts Options) (*Result, error) {
+	if opts.Level == 0 {
+		opts.Level = rsg.L1
+	}
+	if opts.MaxGraphsPerStmt == 0 {
+		opts.MaxGraphsPerStmt = 64
+	}
+	if opts.MaxVisits == 0 {
+		opts.MaxVisits = 200000
+	}
+	induction.Annotate(prog)
+
+	res := &Result{
+		Program: prog,
+		Level:   opts.Level,
+		Out:     make(map[int]*rsrsg.Set, len(prog.Stmts)),
+	}
+	start := time.Now()
+	defer func() { res.Stats.Duration = time.Since(start) }()
+
+	reduceOpts := rsrsg.Options{
+		DisableJoin: opts.DisableJoin,
+		MaxGraphs:   opts.MaxGraphsPerStmt,
+	}
+
+	// Entry state: one empty RSG (all pvars NULL, empty heap).
+	entrySet := rsrsg.New()
+	entrySet.Add(rsg.NewGraph())
+	res.Out[prog.Entry] = entrySet
+
+	// Worklist in reverse-post-order: changes ripple forward through the
+	// CFG before loops re-fire, which keeps the visit count near
+	// (loop-nest depth) x (statement count) instead of thrashing.
+	const widenAfter = 1000
+	memo := make(transferMemo)
+	rpo := reversePostOrder(prog)
+	visits := make(map[int]int, len(prog.Stmts))
+	inState := make(map[int]*rsrsg.Set, len(prog.Stmts))
+	pending := make([]bool, len(prog.Stmts))
+	nPending := 0
+	push := func(id int) {
+		if !pending[id] {
+			pending[id] = true
+			nPending++
+		}
+	}
+	pushSuccs := func(id int) {
+		for _, s := range prog.Stmts[id].Succs {
+			push(s)
+		}
+	}
+	pushSuccs(prog.Entry)
+
+	debug := os.Getenv("REPRO_DEBUG") != ""
+	for nPending > 0 {
+		if res.Stats.Visits >= opts.MaxVisits {
+			return res, ErrNoConvergence
+		}
+		if opts.Timeout > 0 && time.Since(start) > opts.Timeout {
+			return res, fmt.Errorf("%w after %v (%d visits)", ErrTimeout,
+				time.Since(start).Round(time.Millisecond), res.Stats.Visits)
+		}
+		id := -1
+		for _, cand := range rpo {
+			if pending[cand] {
+				id = cand
+				break
+			}
+		}
+		if id < 0 {
+			break
+		}
+		pending[id] = false
+		nPending--
+		res.Stats.Visits++
+		if debug && res.Stats.Visits%50 == 0 {
+			nodes, graphs := 0, 0
+			big, bigID := 0, -1
+			for sid, s := range res.Out {
+				nodes += s.NumNodes()
+				graphs += s.Len()
+				if s.Len() > big {
+					big, bigID = s.Len(), sid
+				}
+			}
+			fmt.Printf("[debug] visit=%d t=%v stmt=%d (%s) total nodes=%d graphs=%d biggest stmt=%d with %d graphs\n",
+				res.Stats.Visits, time.Since(start).Round(time.Millisecond),
+				id, prog.Stmt(id), nodes, graphs, bigID, big)
+		}
+
+		stmt := prog.Stmt(id)
+		ctx := &absem.Context{
+			Level:             opts.Level,
+			Opts:              reduceOpts,
+			InLoop:            prog.InLoop(id),
+			Diags:             &res.Diags,
+			DisableCyclePrune: opts.DisableCyclePrune,
+			NoCompress:        opts.NoCompress,
+		}
+		if opts.Level.UseTouch() {
+			if opts.TouchAllPvars {
+				ctx.Induction = allPvars(prog)
+			} else {
+				ctx.Induction = rsg.PvarSet(prog.InductionFor(id))
+			}
+		} else {
+			ctx.Induction = rsg.NewPvarSet()
+		}
+
+		// in-states accumulate monotonically: each predecessor's current
+		// out-state is folded in incrementally (only genuinely new
+		// graphs are processed), with TOUCH erasure applied on
+		// loop-exit edges. The accumulation makes the dataflow monotone
+		// regardless of transfer non-monotonicities, guaranteeing the
+		// fixed point terminates.
+		in := inState[id]
+		if in == nil {
+			in = rsrsg.New()
+			inState[id] = in
+		}
+		changed := false
+		for _, pred := range stmt.Preds {
+			po := res.Out[pred]
+			if po == nil {
+				continue
+			}
+			contribution := po
+			if opts.Level.UseTouch() {
+				if erase := exitedInduction(prog, pred, id, opts.TouchAllPvars); len(erase) > 0 {
+					contribution = absem.EraseTouch(ctx, po, erase)
+				}
+			}
+			if in.MergeDelta(opts.Level, contribution, reduceOpts) {
+				changed = true
+			}
+		}
+		if !changed && res.Out[id] != nil {
+			continue
+		}
+
+		out := memo.transfer(ctx, opts, stmt, in)
+
+		// Standard dataflow: out = F(in). If a statement is revisited
+		// pathologically often (transfer non-monotonicity making the
+		// out-state oscillate), fall back to accumulating its out-states
+		// — a widening that forces monotone growth and hence
+		// stabilization.
+		visits[id]++
+		if visits[id] > widenAfter {
+			out = rsrsg.Union(opts.Level, res.Out[id], out, reduceOpts)
+		}
+		if old := res.Out[id]; old == nil || !out.Equal(old) {
+			res.Out[id] = out
+			pushSuccs(id)
+		}
+
+		if err := res.observeSize(opts); err != nil {
+			return res, err
+		}
+	}
+
+	res.finalSize()
+	return res, nil
+}
+
+// reversePostOrder computes an RPO over the CFG from the entry.
+func reversePostOrder(prog *ir.Program) []int {
+	seen := make([]bool, len(prog.Stmts))
+	var post []int
+	var dfs func(int)
+	dfs = func(id int) {
+		seen[id] = true
+		for _, s := range prog.Stmts[id].Succs {
+			if !seen[s] {
+				dfs(s)
+			}
+		}
+		post = append(post, id)
+	}
+	dfs(prog.Entry)
+	for id := range prog.Stmts {
+		if !seen[id] {
+			dfs(id)
+		}
+	}
+	out := make([]int, len(post))
+	for i, id := range post {
+		out[len(post)-1-i] = id
+	}
+	return out
+}
+
+func allPvars(prog *ir.Program) rsg.PvarSet {
+	s := rsg.NewPvarSet()
+	for p := range prog.PtrVars {
+		s.Add(p)
+	}
+	return s
+}
+
+// exitedInduction returns the induction pvars of the loops left by the
+// edge pred -> id.
+func exitedInduction(prog *ir.Program, pred, id int, all bool) rsg.PvarSet {
+	loops := prog.LoopsExited(pred, id)
+	out := rsg.NewPvarSet()
+	for _, l := range loops {
+		if all {
+			// Ablation: every pvar was TOUCH-eligible; erase all on exit.
+			return allPvars(prog)
+		}
+		for p := range l.Induction {
+			out.Add(p)
+		}
+	}
+	return out
+}
+
+// transferMemo caches the per-graph transfer results of every
+// statement, keyed by the input graph's canonical signature. During the
+// fixed point the same graphs flow through a statement many times; only
+// the delta of each round is computed afresh. The per-statement context
+// (level, induction sets, ablation flags) is constant within one run,
+// so the signature fully determines the result.
+type transferMemo map[int]map[string]*rsrsg.Set
+
+// memoCap bounds the cached input graphs per statement (a runaway
+// safety net; the benchmark kernels stay far below it).
+const memoCap = 8192
+
+func (m transferMemo) transfer(ctx *absem.Context, opts Options, s *ir.Stmt, in *rsrsg.Set) *rsrsg.Set {
+	switch s.Op {
+	case ir.OpAssumeNull:
+		return absem.AssumeNull(ctx, in, s.X)
+	case ir.OpAssumeNonNull:
+		return absem.AssumeNonNull(ctx, in, s.X)
+	case ir.OpNil, ir.OpMalloc, ir.OpCopy, ir.OpSelNil, ir.OpSelCopy, ir.OpLoad:
+		cache := m[s.ID]
+		if cache == nil {
+			cache = make(map[string]*rsrsg.Set)
+			m[s.ID] = cache
+		}
+		var parts []*rsrsg.Set
+		in.ForEachEntry(func(g *rsg.Graph, sig string) {
+			part, ok := cache[sig]
+			if !ok {
+				part = rsrsg.New()
+				for _, og := range stepGraph(ctx, s, g) {
+					part.Add(og)
+				}
+				if len(cache) < memoCap {
+					cache[sig] = part
+				}
+			}
+			parts = append(parts, part)
+		})
+		out := rsrsg.UnionAll(opts.Level, parts, rsrsg.Options{
+			DisableJoin: opts.DisableJoin,
+			MaxGraphs:   opts.MaxGraphsPerStmt,
+		})
+		return out
+	default: // OpNoop, OpEntry, OpExit
+		return in.Clone()
+	}
+}
+
+// stepGraph dispatches one graph through a statement's per-graph
+// abstract semantics.
+func stepGraph(ctx *absem.Context, s *ir.Stmt, g *rsg.Graph) []*rsg.Graph {
+	switch s.Op {
+	case ir.OpNil:
+		return absem.StepNil(ctx, g, s.X)
+	case ir.OpMalloc:
+		return absem.StepMalloc(ctx, g, s.X, s.Type)
+	case ir.OpCopy:
+		return absem.StepCopy(ctx, g, s.X, s.Y)
+	case ir.OpSelNil:
+		return absem.StepSelNil(ctx, g, s.X, s.Sel)
+	case ir.OpSelCopy:
+		return absem.StepSelCopy(ctx, g, s.X, s.Sel, s.Y)
+	case ir.OpLoad:
+		return absem.StepLoad(ctx, g, s.X, s.Y, s.Sel)
+	}
+	return []*rsg.Graph{g}
+}
+
+func (r *Result) observeSize(opts Options) error {
+	nodes, links, graphs := 0, 0, 0
+	for _, s := range r.Out {
+		nodes += s.NumNodes()
+		links += s.NumLinks()
+		graphs += s.Len()
+	}
+	if nodes > r.Stats.PeakNodes {
+		r.Stats.PeakNodes = nodes
+	}
+	if links > r.Stats.PeakLinks {
+		r.Stats.PeakLinks = links
+	}
+	if graphs > r.Stats.PeakGraphs {
+		r.Stats.PeakGraphs = graphs
+	}
+	if opts.NodeBudget > 0 && nodes > opts.NodeBudget {
+		return fmt.Errorf("%w: %d nodes > budget %d", ErrBudgetExceeded, nodes, opts.NodeBudget)
+	}
+	return nil
+}
+
+func (r *Result) finalSize() {
+	nodes, links, graphs := 0, 0, 0
+	for _, s := range r.Out {
+		nodes += s.NumNodes()
+		links += s.NumLinks()
+		graphs += s.Len()
+	}
+	r.Stats.FinalNodes = nodes
+	r.Stats.FinalLinks = links
+	r.Stats.FinalGraphs = graphs
+}

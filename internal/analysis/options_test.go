@@ -1,0 +1,132 @@
+package analysis
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"repro/internal/rsg"
+)
+
+const optListSrc = `
+struct node { int val; struct node *nxt; };
+void main(void) {
+    struct node *head;
+    struct node *p;
+    head = malloc(sizeof(struct node));
+    head->nxt = NULL;
+    p = head;
+    while (cond) {
+        p->nxt = malloc(sizeof(struct node));
+        p = p->nxt;
+        p->nxt = NULL;
+    }
+}
+`
+
+func TestAblationOptionsStillSoundOnList(t *testing.T) {
+	prog := compile(t, optListSrc)
+	cases := []struct {
+		name string
+		opts Options
+	}{
+		{"disable-join", Options{Level: rsg.L1, DisableJoin: true}},
+		{"no-cycle-prune", Options{Level: rsg.L1, DisableCyclePrune: true}},
+		{"no-compress", Options{Level: rsg.L1, NoCompress: true, MaxVisits: 3000}},
+		{"touch-all", Options{Level: rsg.L3, TouchAllPvars: true}},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			res, err := Run(prog, c.opts)
+			if err != nil {
+				if c.name == "no-compress" && errors.Is(err, ErrNoConvergence) {
+					// Without COMPRESS the abstraction cannot reach a
+					// fixed point on an unbounded builder — exactly why
+					// the paper compresses after every sentence.
+					return
+				}
+				t.Fatalf("%v", err)
+			}
+			exit := res.ExitSet()
+			if exit == nil || exit.Len() == 0 {
+				t.Fatal("no exit configuration")
+			}
+			for _, g := range exit.Graphs() {
+				if g.PvarTarget("head") == nil {
+					t.Errorf("head lost:\n%s", g)
+				}
+				for _, n := range g.Nodes() {
+					if n.SharedBy("nxt") {
+						t.Errorf("list node shared by nxt: %s", n)
+					}
+				}
+			}
+		})
+	}
+}
+
+func TestDisableJoinGrowsSets(t *testing.T) {
+	prog := compile(t, optListSrc)
+	base, err := Run(prog, Options{Level: rsg.L1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	nojoin, err := Run(prog, Options{Level: rsg.L1, DisableJoin: true, MaxVisits: 5000})
+	if err != nil && !errors.Is(err, ErrNoConvergence) {
+		t.Fatal(err)
+	}
+	if nojoin.Stats.PeakGraphs <= base.Stats.PeakGraphs {
+		t.Errorf("disabling the union should retain more RSGs: %d vs %d",
+			nojoin.Stats.PeakGraphs, base.Stats.PeakGraphs)
+	}
+}
+
+func TestTimeoutOption(t *testing.T) {
+	prog := compile(t, optListSrc)
+	_, err := Run(prog, Options{Level: rsg.L1, Timeout: time.Nanosecond})
+	if !errors.Is(err, ErrTimeout) {
+		t.Fatalf("err = %v, want ErrTimeout", err)
+	}
+}
+
+func TestMaxVisitsOption(t *testing.T) {
+	prog := compile(t, optListSrc)
+	_, err := Run(prog, Options{Level: rsg.L1, MaxVisits: 3})
+	if !errors.Is(err, ErrNoConvergence) {
+		t.Fatalf("err = %v, want ErrNoConvergence", err)
+	}
+}
+
+func TestDefaultsApplied(t *testing.T) {
+	prog := compile(t, optListSrc)
+	res, err := Run(prog, Options{}) // zero options: L1, default caps
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Level != rsg.L1 {
+		t.Errorf("default level = %s", res.Level)
+	}
+}
+
+func TestResultDiagnostics(t *testing.T) {
+	prog := compile(t, `
+struct node { int val; struct node *nxt; };
+void main(void) {
+    struct node *p;
+    struct node *q;
+    p = malloc(sizeof(struct node));
+    p->nxt = NULL;
+    q = p->nxt;
+    q->nxt = NULL;   /* q is NULL here: guaranteed null dereference */
+}`)
+	res, err := Run(prog, Options{Level: rsg.L1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Diags.NullDerefs == 0 {
+		t.Error("the guaranteed NULL dereference must be diagnosed")
+	}
+	if res.ExitSet().Len() != 0 {
+		t.Error("no configuration survives the dereference")
+	}
+}

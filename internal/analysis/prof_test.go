@@ -1,0 +1,27 @@
+package analysis_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis"
+	"repro/internal/benchprog"
+	"repro/internal/rsg"
+)
+
+// TestProfileMatVec exists to hang a CPU profile on the heaviest
+// supported kernel; skipped in -short runs.
+func TestProfileMatVec(t *testing.T) {
+	if testing.Short() {
+		t.Skip("profiling helper")
+	}
+	k := benchprog.MatVec()
+	prog, err := k.Compile()
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := analysis.Run(prog, analysis.Options{Level: rsg.L1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("visits=%d", res.Stats.Visits)
+}

@@ -1,0 +1,164 @@
+package benchprog
+
+import (
+	"repro/internal/analysis"
+	"repro/internal/checker"
+)
+
+// BarnesHut is the paper's Barnes-Hut N-body benchmark (Sect. 5.1).
+// The data structure is the paper's Fig. 3(a): the bodies live in a
+// singly-linked list headed by Lbodies; the octree represents the
+// recursive subdivision of space, each octree node holding a linked
+// list of children entries; leaves reference their body in the Lbodies
+// list. The recursive traversals arrive manually inlined and converted
+// to loops over an explicit stack whose frames reference octree nodes —
+// exactly the transformation the paper's authors applied by hand.
+//
+// The three algorithm steps are:
+//
+//	(i)   build the octree, inserting every body;
+//	(ii)  compute centers of mass by a stack-driven tree walk;
+//	(iii) for each body, walk the tree to accumulate forces.
+//
+// The paper reports: L1 leaves SHSEL(body) imprecisely true on the
+// Lbodies middle node; L2 fixes it through C_SPATH1; the stack's node
+// references keep octree nodes shared at L2; L3's TOUCH property
+// resolves step (iii), enabling a parallel force phase.
+func BarnesHut() *Kernel {
+	return &Kernel{
+		Name:       "barneshut",
+		Title:      "Barnes-Hut N-body simulation",
+		PaperLevel: 3,
+		Goals: []analysis.Goal{
+			checker.NonEmptyExit{},
+			// The Sect. 5.1 criterion: no two octree leaves reference
+			// the same body (SHSEL(n6, body) = false in Fig. 3(b)).
+			checker.NoSharedSelector{Struct: "body", Sel: "body"},
+			// The step (iii) criterion: during the force loop, visited
+			// octree nodes are not shared through the stack's node
+			// selector (requires TOUCH, i.e. L3).
+			checker.UnsharedDuringLoop{Struct: "onode", Sel: "node", Line: 94},
+		},
+		Source: barnesHutSource,
+	}
+}
+
+// barnesHutSource is the inlined, stack-driven Barnes-Hut kernel. Line
+// numbers matter: the UnsharedDuringLoop goal names the loop at the
+// line of the step (iii) outer `while`.
+const barnesHutSource = `struct body  { int mass; int pos; struct body *nxt; };
+struct onode { int cmass; struct child *children; struct body *body; };
+struct child { struct child *nxt; struct onode *node; };
+struct stack { struct stack *nxt; struct onode *node; };
+
+void main(void) {
+    struct body *Lbodies;
+    struct body *b;
+    struct onode *root;
+    struct onode *cur;
+    struct onode *kid;
+    struct child *ch;
+    struct child *ce;
+    struct stack *S;
+    struct stack *f;
+    struct onode *n2;
+
+    /* ---- build the Lbodies list ---- */
+    Lbodies = NULL;
+    while (morebodies) {
+        b = malloc(sizeof(struct body));
+        b->nxt = Lbodies;
+        Lbodies = b;
+    }
+    b = NULL;
+
+    /* ---- step (i): build the octree, inserting each body ---- */
+    root = malloc(sizeof(struct onode));
+    root->children = NULL;
+    root->body = NULL;
+
+    b = Lbodies;
+    while (b != NULL) {
+        cur = root;
+        while (descend) {
+            if (cur->children == NULL) {
+                /* subdivide: generate the list of children */
+                while (morechildren) {
+                    ce = malloc(sizeof(struct child));
+                    kid = malloc(sizeof(struct onode));
+                    kid->children = NULL;
+                    kid->body = NULL;
+                    ce->node = kid;
+                    ce->nxt = cur->children;
+                    cur->children = ce;
+                }
+                ce = NULL;
+                kid = NULL;
+            }
+            /* pick the subsquare the body falls into */
+            ch = cur->children;
+            while (pickednext) {
+                if (ch->nxt == NULL) {
+                    break;
+                }
+                ch = ch->nxt;
+            }
+            cur = ch->node;
+            ch = NULL;
+        }
+        /* cur is the leaf subsquare for this body */
+        cur->body = b;
+        b = b->nxt;
+    }
+    cur = NULL;
+
+    /* ---- step (ii): centers of mass, stack-driven walk ---- */
+    S = malloc(sizeof(struct stack));
+    S->nxt = NULL;
+    S->node = root;
+    while (S != NULL) {
+        n2 = S->node;
+        S = S->nxt;
+        ch = n2->children;
+        while (ch != NULL) {
+            f = malloc(sizeof(struct stack));
+            f->nxt = S;
+            f->node = ch->node;
+            S = f;
+            ch = ch->nxt;
+        }
+        total = total + 1; /* accumulate mass of n2 */
+    }
+    n2 = NULL;
+    f = NULL;
+    ch = NULL;
+
+    /* ---- step (iii): force computation per body ---- */
+    b = Lbodies;
+    while (b != NULL) {
+        S = malloc(sizeof(struct stack));
+        S->nxt = NULL;
+        S->node = root;
+        while (S != NULL) {
+            n2 = S->node;
+            S = S->nxt;
+            if (farenough) {
+                force = force + 1; /* use n2's center of mass */
+            } else {
+                ch = n2->children;
+                while (ch != NULL) {
+                    f = malloc(sizeof(struct stack));
+                    f->nxt = S;
+                    f->node = ch->node;
+                    S = f;
+                    ch = ch->nxt;
+                }
+            }
+        }
+        n2 = NULL;
+        f = NULL;
+        ch = NULL;
+        b = b->nxt;
+    }
+}
+`

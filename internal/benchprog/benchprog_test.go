@@ -1,0 +1,43 @@
+package benchprog
+
+import (
+	"testing"
+
+	"repro/internal/analysis"
+	"repro/internal/rsg"
+)
+
+func TestAllKernelsCompile(t *testing.T) {
+	for _, k := range All() {
+		prog, err := k.Compile()
+		if err != nil {
+			t.Errorf("%s: %v", k.Name, err)
+			continue
+		}
+		if prog.Exit <= prog.Entry {
+			t.Errorf("%s: degenerate CFG", k.Name)
+		}
+	}
+}
+
+func TestTeachingKernelsAccurateAtL1(t *testing.T) {
+	for _, k := range []*Kernel{SinglyList(), DoublyList(), BinaryTree()} {
+		prog, err := k.Compile()
+		if err != nil {
+			t.Fatalf("%s: %v", k.Name, err)
+		}
+		res, err := analysis.Run(prog, analysis.Options{Level: rsg.L1})
+		if err != nil {
+			t.Fatalf("%s: %v", k.Name, err)
+		}
+		for _, g := range k.Goals {
+			if _, isLoop := g.(interface{ loopGoal() }); isLoop {
+				continue
+			}
+			ok, detail := g.Met(res)
+			if !ok {
+				t.Errorf("%s: goal %s failed at L1: %s", k.Name, g.Name(), detail)
+			}
+		}
+	}
+}

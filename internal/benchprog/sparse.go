@@ -1,0 +1,381 @@
+package benchprog
+
+import (
+	"repro/internal/analysis"
+	"repro/internal/checker"
+)
+
+// MatVec is the paper's "S.Mat-Vec" benchmark: sparse matrix by vector
+// multiplication. The matrix is a linked list of rows, each row a
+// linked list of element cells; the vectors are linked lists. The
+// paper reports this code is accurately analyzed at level L1.
+func MatVec() *Kernel {
+	return &Kernel{
+		Name:       "matvec",
+		Title:      "S.Mat-Vec (sparse matrix by vector)",
+		PaperLevel: 1,
+		Goals: []analysis.Goal{
+			checker.NonEmptyExit{},
+			// Rows and cells form trees of lists: nothing is shared.
+			checker.NoShared{Struct: "row"},
+			checker.NoShared{Struct: "cell"},
+			checker.NoShared{Struct: "vnode"},
+			checker.NoSharedSelector{Struct: "cell", Sel: "nxt"},
+			checker.NoSharedSelector{Struct: "vnode", Sel: "nxt"},
+		},
+		Source: `
+/* Sparse matrix: list of rows; each row a list of cells (col, val). */
+struct row  { int idx; struct row *nxtrow; struct cell *cells; };
+struct cell { int col; int val; struct cell *nxt; };
+/* Sparse vector: list of (idx, val) nodes. */
+struct vnode { int idx; int val; struct vnode *nxt; };
+
+void main(void) {
+    struct row *A;
+    struct row *r;
+    struct row *rp;
+    struct cell *c;
+    struct cell *cp;
+    struct vnode *x;
+    struct vnode *v;
+    struct vnode *vp;
+    struct vnode *y;
+    struct vnode *yv;
+    struct vnode *yp;
+    int acc;
+
+    /* --- build the sparse matrix A --- */
+    A = NULL;
+    rp = NULL;
+    while (morerows) {
+        r = malloc(sizeof(struct row));
+        r->nxtrow = NULL;
+        r->cells = NULL;
+        if (A == NULL) {
+            A = r;
+        } else {
+            rp->nxtrow = r;
+        }
+        rp = r;
+        cp = NULL;
+        while (morecells) {
+            c = malloc(sizeof(struct cell));
+            c->nxt = NULL;
+            if (cp == NULL) {
+                r->cells = c;
+            } else {
+                cp->nxt = c;
+            }
+            cp = c;
+        }
+    }
+    r = NULL;
+    rp = NULL;
+    c = NULL;
+    cp = NULL;
+
+    /* --- build the sparse vector x --- */
+    x = NULL;
+    vp = NULL;
+    while (moreentries) {
+        v = malloc(sizeof(struct vnode));
+        v->nxt = NULL;
+        if (x == NULL) {
+            x = v;
+        } else {
+            vp->nxt = v;
+        }
+        vp = v;
+    }
+    v = NULL;
+    vp = NULL;
+
+    /* --- y = A * x --- */
+    y = NULL;
+    yp = NULL;
+    r = A;
+    while (r != NULL) {
+        acc = 0;
+        c = r->cells;
+        while (c != NULL) {
+            /* find the matching x entry */
+            v = x;
+            while (v != NULL) {
+                if (match) {
+                    acc = acc + 1; /* acc += c->val * v->val */
+                }
+                v = v->nxt;
+            }
+            c = c->nxt;
+        }
+        if (nonzero) {
+            yv = malloc(sizeof(struct vnode));
+            yv->nxt = NULL;
+            if (y == NULL) {
+                y = yv;
+            } else {
+                yp->nxt = yv;
+            }
+            yp = yv;
+        }
+        r = r->nxtrow;
+    }
+}
+`,
+	}
+}
+
+// MatMat is the paper's "S.Mat-Mat" benchmark: sparse matrix by matrix
+// multiplication C = A * B. Each result row is accumulated by searching
+// the row for the target column and appending a fresh cell when absent
+// — one more traversal level than Mat-Vec (matching the paper's cost
+// ratio between the two codes; the middle-of-list insertion pattern
+// that makes abstractions explode lives in the LU kernel, where the
+// paper reports exactly that explosion). Accurate at L1.
+func MatMat() *Kernel {
+	return &Kernel{
+		Name:       "matmat",
+		Title:      "S.Mat-Mat (sparse matrix by matrix)",
+		PaperLevel: 1,
+		Goals: []analysis.Goal{
+			checker.NonEmptyExit{},
+			checker.NoShared{Struct: "row"},
+			checker.NoShared{Struct: "cell"},
+			checker.NoSharedSelector{Struct: "row", Sel: "nxtrow"},
+			checker.NoSharedSelector{Struct: "cell", Sel: "nxt"},
+		},
+		Source: `
+struct row  { int idx; struct row *nxtrow; struct cell *cells; };
+struct cell { int col; int val; struct cell *nxt; };
+
+void main(void) {
+    struct row *A;
+    struct row *B;
+    struct row *C;
+    struct row *r;
+    struct row *rp;
+    struct row *ra;
+    struct row *rb;
+    struct row *rc;
+    struct cell *c;
+    struct cell *cp;
+    struct cell *ca;
+    struct cell *cb;
+    struct cell *cc;
+    struct cell *ct;
+    struct cell *nu;
+
+    /* --- build A --- */
+    A = NULL;
+    rp = NULL;
+    while (morerowsA) {
+        r = malloc(sizeof(struct row));
+        r->nxtrow = NULL;
+        r->cells = NULL;
+        if (A == NULL) { A = r; } else { rp->nxtrow = r; }
+        rp = r;
+        cp = NULL;
+        while (morecellsA) {
+            c = malloc(sizeof(struct cell));
+            c->nxt = NULL;
+            if (cp == NULL) { r->cells = c; } else { cp->nxt = c; }
+            cp = c;
+        }
+    }
+    /* --- build B --- */
+    B = NULL;
+    rp = NULL;
+    while (morerowsB) {
+        r = malloc(sizeof(struct row));
+        r->nxtrow = NULL;
+        r->cells = NULL;
+        if (B == NULL) { B = r; } else { rp->nxtrow = r; }
+        rp = r;
+        cp = NULL;
+        while (morecellsB) {
+            c = malloc(sizeof(struct cell));
+            c->nxt = NULL;
+            if (cp == NULL) { r->cells = c; } else { cp->nxt = c; }
+            cp = c;
+        }
+    }
+    r = NULL;
+    rp = NULL;
+    c = NULL;
+    cp = NULL;
+
+    /* --- C = A * B --- */
+    C = NULL;
+    rp = NULL;
+    ra = A;
+    while (ra != NULL) {
+        /* result row for this A row */
+        rc = malloc(sizeof(struct row));
+        rc->nxtrow = NULL;
+        rc->cells = NULL;
+        if (C == NULL) { C = rc; } else { rp->nxtrow = rc; }
+        rp = rc;
+        ct = NULL;
+
+        ca = ra->cells;
+        while (ca != NULL) {
+            /* find the B row matching ca's column */
+            rb = B;
+            while (rb != NULL) {
+                if (rowmatch) {
+                    /* accumulate rb's cells into the result row rc */
+                    cb = rb->cells;
+                    while (cb != NULL) {
+                        /* search rc's cells for the target column */
+                        cc = rc->cells;
+                        while (cc != NULL) {
+                            if (found) {
+                                break;
+                            }
+                            cc = cc->nxt;
+                        }
+                        if (cc != NULL) {
+                            /* accumulate in place: scalar update */
+                            dummy = 0;
+                        } else {
+                            nu = malloc(sizeof(struct cell));
+                            nu->nxt = NULL;
+                            if (ct == NULL) {
+                                rc->cells = nu;
+                            } else {
+                                ct->nxt = nu;
+                            }
+                            ct = nu;
+                        }
+                        cc = NULL;
+                        cb = cb->nxt;
+                    }
+                }
+                rb = rb->nxtrow;
+            }
+            ca = ca->nxt;
+        }
+        ra = ra->nxtrow;
+    }
+}
+`,
+	}
+}
+
+// LU is the paper's "S.LU fact." benchmark: an in-place sparse LU
+// factorization over a matrix stored as a list of columns, each column
+// a linked list of entries. The update loop inserts fill-in entries in
+// the middle of columns and deletes cancelled entries, the heaviest mix
+// of destructive updates in the suite — the paper reports 12'15" and
+// 99.46 MB at L1, and that the compiler runs out of memory at L2/L3 on
+// its 128 MB machine.
+func LU() *Kernel {
+	return &Kernel{
+		Name:       "lu",
+		Title:      "S.LU fact. (sparse LU factorization)",
+		PaperLevel: 1,
+		Goals: []analysis.Goal{
+			checker.NonEmptyExit{},
+			checker.NoShared{Struct: "col"},
+			checker.NoSharedSelector{Struct: "entry", Sel: "nxt"},
+		},
+		Source: `
+struct col   { int idx; struct col *nxtcol; struct entry *ents; };
+struct entry { int rowidx; int val; struct entry *nxt; };
+
+void main(void) {
+    struct col *M;
+    struct col *k;
+    struct col *j;
+    struct col *cp;
+    struct col *nc;
+    struct entry *e;
+    struct entry *ep;
+    struct entry *piv;
+    struct entry *t;
+    struct entry *prev;
+    struct entry *nu;
+
+    /* --- build the sparse matrix: list of columns of entries --- */
+    M = NULL;
+    cp = NULL;
+    while (morecols) {
+        nc = malloc(sizeof(struct col));
+        nc->nxtcol = NULL;
+        nc->ents = NULL;
+        if (M == NULL) { M = nc; } else { cp->nxtcol = nc; }
+        cp = nc;
+        ep = NULL;
+        while (moreents) {
+            e = malloc(sizeof(struct entry));
+            e->nxt = NULL;
+            if (ep == NULL) { nc->ents = e; } else { ep->nxt = e; }
+            ep = e;
+        }
+    }
+    nc = NULL;
+    cp = NULL;
+    e = NULL;
+    ep = NULL;
+
+    /* --- right-looking factorization --- */
+    k = M;
+    while (k != NULL) {
+        /* find the pivot entry of column k */
+        piv = k->ents;
+        while (piv != NULL) {
+            if (ispivot) {
+                break;
+            }
+            piv = piv->nxt;
+        }
+        /* update the trailing columns */
+        j = k->nxtcol;
+        while (j != NULL) {
+            /* scale and subtract: walk column j alongside column k */
+            t = k->ents;
+            while (t != NULL) {
+                /* locate the row position in column j */
+                prev = NULL;
+                e = j->ents;
+                while (e != NULL) {
+                    if (found) {
+                        break;
+                    }
+                    prev = e;
+                    e = e->nxt;
+                }
+                if (e != NULL) {
+                    if (cancels) {
+                        /* the update zeroed the entry: unlink it */
+                        if (prev == NULL) {
+                            j->ents = e->nxt;
+                        } else {
+                            prev->nxt = e->nxt;
+                        }
+                        e->nxt = NULL;
+                        free(e);
+                    } else {
+                        dummy = 0; /* in-place numeric update */
+                    }
+                } else {
+                    /* fill-in: insert a new entry after prev */
+                    nu = malloc(sizeof(struct entry));
+                    if (prev == NULL) {
+                        nu->nxt = j->ents;
+                        j->ents = nu;
+                    } else {
+                        nu->nxt = prev->nxt;
+                        prev->nxt = nu;
+                    }
+                }
+                t = t->nxt;
+            }
+            j = j->nxtcol;
+        }
+        k = k->nxtcol;
+    }
+}
+`,
+	}
+}

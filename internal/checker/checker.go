@@ -1,0 +1,202 @@
+// Package checker implements client queries over analysis results: the
+// data-structure properties a parallelizing pass would consume
+// (Sect. 1 of the paper: "a subsequent analysis would detect whether or
+// not certain sections of the code can be parallelized because they
+// access independent data regions"). Its Goal types also drive the
+// progressive driver's escalation decisions.
+package checker
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/analysis"
+	"repro/internal/rsg"
+)
+
+// NoSharedSelector is the accuracy goal "no node of struct `Struct` is
+// shared through selector `Sel` at the function exit". This is exactly
+// the paper's Barnes-Hut criterion: at L1 the body selector of the
+// octree leaves looks shared (several leaves might reference the same
+// body), which is resolved at L2 (Sect. 5.1).
+type NoSharedSelector struct {
+	Struct string
+	Sel    string
+}
+
+// Name implements Goal.
+func (g NoSharedSelector) Name() string {
+	return fmt.Sprintf("no-shsel(%s,%s)", g.Struct, g.Sel)
+}
+
+// Met implements Goal.
+func (g NoSharedSelector) Met(res *analysis.Result) (bool, string) {
+	return scanNodes(res, func(n *rsg.Node) (bool, string) {
+		if n.Type == g.Struct && n.SharedBy(g.Sel) {
+			return false, fmt.Sprintf("node %s is shared by %s", n, g.Sel)
+		}
+		return true, ""
+	})
+}
+
+// NoShared is the goal "no node of struct `Struct` carries the SHARED
+// attribute at the function exit".
+type NoShared struct {
+	Struct string
+}
+
+// Name implements Goal.
+func (g NoShared) Name() string { return fmt.Sprintf("no-shared(%s)", g.Struct) }
+
+// Met implements Goal.
+func (g NoShared) Met(res *analysis.Result) (bool, string) {
+	return scanNodes(res, func(n *rsg.Node) (bool, string) {
+		if n.Type == g.Struct && n.Shared {
+			return false, fmt.Sprintf("node %s is shared", n)
+		}
+		return true, ""
+	})
+}
+
+// NonEmptyExit is the sanity goal "the function exit is reachable with
+// at least one configuration".
+type NonEmptyExit struct{}
+
+// Name implements Goal.
+func (NonEmptyExit) Name() string { return "non-empty-exit" }
+
+// Met implements Goal.
+func (NonEmptyExit) Met(res *analysis.Result) (bool, string) {
+	s := res.ExitSet()
+	if s == nil || s.Len() == 0 {
+		return false, "no configuration reaches the exit"
+	}
+	return true, fmt.Sprintf("%d RSGs at exit", s.Len())
+}
+
+// UnsharedDuringLoop is the goal "within the loop whose header is at
+// source line Line, no node of struct `Struct` both carries a non-empty
+// TOUCH set and is shared through `Sel`" — the L3 criterion that the
+// traversal of step (iii) of Barnes-Hut visits each octree node through
+// exactly one live reference, enabling a parallel traversal. Below L3
+// the goal fails by definition (TOUCH is not tracked, so the sharing
+// introduced by the traversal stack cannot be discharged).
+type UnsharedDuringLoop struct {
+	Struct string
+	Sel    string
+	Line   int
+}
+
+// Name implements Goal.
+func (g UnsharedDuringLoop) Name() string {
+	return fmt.Sprintf("loop@%d-parallel(%s,%s)", g.Line, g.Struct, g.Sel)
+}
+
+// Met implements Goal.
+func (g UnsharedDuringLoop) Met(res *analysis.Result) (bool, string) {
+	if !res.Level.UseTouch() {
+		return false, "TOUCH tracking requires L3"
+	}
+	var loopID = -1
+	for _, l := range res.Program.Loops {
+		if l.Line == g.Line {
+			loopID = l.ID
+			break
+		}
+	}
+	if loopID < 0 {
+		return false, fmt.Sprintf("no loop at line %d", g.Line)
+	}
+	for id := range res.Program.Loops[loopID].Body {
+		set := res.Out[id]
+		if set == nil {
+			continue
+		}
+		for _, gr := range set.Graphs() {
+			for _, n := range gr.Nodes() {
+				if n.Type == g.Struct && len(n.Touch) > 0 && n.SharedBy(g.Sel) {
+					return false, fmt.Sprintf("stmt %d: touched node %s shared by %s", id, n, g.Sel)
+				}
+			}
+		}
+	}
+	return true, "visited nodes never shared inside the loop"
+}
+
+// scanNodes applies a predicate to every node of every exit RSG.
+func scanNodes(res *analysis.Result, f func(*rsg.Node) (bool, string)) (bool, string) {
+	s := res.ExitSet()
+	if s == nil {
+		return false, "no exit state"
+	}
+	for _, g := range s.Graphs() {
+		for _, n := range g.Nodes() {
+			if ok, detail := f(n); !ok {
+				return false, detail
+			}
+		}
+	}
+	return true, "holds in all exit RSGs"
+}
+
+// TypeSummary describes the abstract state of one struct type at the
+// function exit.
+type TypeSummary struct {
+	Struct     string
+	Nodes      int
+	Summaries  int
+	Shared     int
+	SharedSels []string
+}
+
+// Report summarizes the exit RSRSG per struct type.
+func Report(res *analysis.Result) []TypeSummary {
+	byType := make(map[string]*TypeSummary)
+	shsel := make(map[string]map[string]struct{})
+	s := res.ExitSet()
+	if s == nil {
+		return nil
+	}
+	for _, g := range s.Graphs() {
+		for _, n := range g.Nodes() {
+			ts := byType[n.Type]
+			if ts == nil {
+				ts = &TypeSummary{Struct: n.Type}
+				byType[n.Type] = ts
+				shsel[n.Type] = make(map[string]struct{})
+			}
+			ts.Nodes++
+			if !n.Singleton {
+				ts.Summaries++
+			}
+			if n.Shared {
+				ts.Shared++
+			}
+			for sel := range n.ShSel {
+				shsel[n.Type][sel] = struct{}{}
+			}
+		}
+	}
+	var out []TypeSummary
+	for typ, ts := range byType {
+		for sel := range shsel[typ] {
+			ts.SharedSels = append(ts.SharedSels, sel)
+		}
+		sort.Strings(ts.SharedSels)
+		out = append(out, *ts)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Struct < out[j].Struct })
+	return out
+}
+
+// FormatReport renders the type summaries as an aligned table.
+func FormatReport(summaries []TypeSummary) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-16s %6s %10s %7s %s\n", "struct", "nodes", "summaries", "shared", "shared-selectors")
+	for _, ts := range summaries {
+		fmt.Fprintf(&b, "%-16s %6d %10d %7d %s\n",
+			ts.Struct, ts.Nodes, ts.Summaries, ts.Shared, strings.Join(ts.SharedSels, ","))
+	}
+	return b.String()
+}

@@ -1,0 +1,148 @@
+package checker
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/analysis"
+	"repro/internal/cminic"
+	"repro/internal/ir"
+	"repro/internal/rsg"
+)
+
+func analyze(t *testing.T, src string, lvl rsg.Level) *analysis.Result {
+	t.Helper()
+	f, err := cminic.Parse(src)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	p, err := ir.LowerMain(f)
+	if err != nil {
+		t.Fatalf("lower: %v", err)
+	}
+	res, err := analysis.Run(p, analysis.Options{Level: lvl})
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	return res
+}
+
+const listSrc = `
+struct node { int v; struct node *nxt; };
+void main(void) {
+    struct node *h;
+    struct node *p;
+    h = malloc(sizeof(struct node));
+    h->nxt = NULL;
+    p = h;
+    while (c) {
+        p->nxt = malloc(sizeof(struct node));
+        p = p->nxt;
+        p->nxt = NULL;
+    }
+}`
+
+const sharedSrc = `
+struct node { int v; struct node *nxt; };
+void main(void) {
+    struct node *a;
+    struct node *b;
+    struct node *t;
+    a = malloc(sizeof(struct node));
+    b = malloc(sizeof(struct node));
+    t = malloc(sizeof(struct node));
+    a->nxt = t;
+    b->nxt = t;
+}`
+
+func TestNoSharedGoals(t *testing.T) {
+	res := analyze(t, listSrc, rsg.L1)
+	if ok, d := (NoShared{Struct: "node"}).Met(res); !ok {
+		t.Errorf("list must be unshared: %s", d)
+	}
+	if ok, _ := (NoSharedSelector{Struct: "node", Sel: "nxt"}).Met(res); !ok {
+		t.Error("list must be unshared by nxt")
+	}
+
+	res = analyze(t, sharedSrc, rsg.L1)
+	if ok, _ := (NoShared{Struct: "node"}).Met(res); ok {
+		t.Error("t is referenced twice; NoShared must fail")
+	}
+	if ok, _ := (NoSharedSelector{Struct: "node", Sel: "nxt"}).Met(res); ok {
+		t.Error("t is referenced twice through nxt; NoSharedSelector must fail")
+	}
+}
+
+func TestNonEmptyExit(t *testing.T) {
+	res := analyze(t, listSrc, rsg.L1)
+	if ok, _ := (NonEmptyExit{}).Met(res); !ok {
+		t.Error("exit must be reachable")
+	}
+	// A guaranteed NULL dereference leaves no exit configuration.
+	res = analyze(t, `
+struct node { int v; struct node *nxt; };
+void main(void) {
+    struct node *p;
+    p = NULL;
+    p->nxt = NULL;
+}`, rsg.L1)
+	if ok, _ := (NonEmptyExit{}).Met(res); ok {
+		t.Error("unavoidable NULL dereference must empty the exit state")
+	}
+}
+
+func TestUnsharedDuringLoopRequiresL3(t *testing.T) {
+	g := UnsharedDuringLoop{Struct: "node", Sel: "nxt", Line: 9}
+	res := analyze(t, listSrc, rsg.L2)
+	if ok, d := g.Met(res); ok {
+		t.Errorf("below L3 the goal must fail: %s", d)
+	}
+	res = analyze(t, listSrc, rsg.L3)
+	ok, d := g.Met(res)
+	if !ok {
+		t.Errorf("L3 list loop: %s", d)
+	}
+}
+
+func TestUnsharedDuringLoopUnknownLine(t *testing.T) {
+	res := analyze(t, listSrc, rsg.L3)
+	g := UnsharedDuringLoop{Struct: "node", Sel: "nxt", Line: 999}
+	if ok, d := g.Met(res); ok || !strings.Contains(d, "no loop") {
+		t.Errorf("unknown line must fail with a clear message, got %v %q", ok, d)
+	}
+}
+
+func TestReportSummaries(t *testing.T) {
+	res := analyze(t, sharedSrc, rsg.L1)
+	sums := Report(res)
+	if len(sums) != 1 || sums[0].Struct != "node" {
+		t.Fatalf("summaries = %+v", sums)
+	}
+	s := sums[0]
+	if s.Shared == 0 {
+		t.Error("shared node not reported")
+	}
+	if len(s.SharedSels) != 1 || s.SharedSels[0] != "nxt" {
+		t.Errorf("shared selectors = %v", s.SharedSels)
+	}
+	txt := FormatReport(sums)
+	if !strings.Contains(txt, "node") || !strings.Contains(txt, "nxt") {
+		t.Errorf("formatted report incomplete:\n%s", txt)
+	}
+}
+
+func TestGoalNames(t *testing.T) {
+	names := []string{
+		NoSharedSelector{Struct: "a", Sel: "b"}.Name(),
+		NoShared{Struct: "a"}.Name(),
+		NonEmptyExit{}.Name(),
+		UnsharedDuringLoop{Struct: "a", Sel: "b", Line: 3}.Name(),
+	}
+	seen := map[string]bool{}
+	for _, n := range names {
+		if n == "" || seen[n] {
+			t.Errorf("goal names must be unique and non-empty: %v", names)
+		}
+		seen[n] = true
+	}
+}

@@ -1,0 +1,95 @@
+package checker
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/rsg"
+)
+
+const traverseSrc = `
+struct node { int v; struct node *nxt; };
+void main(void) {
+    struct node *h;
+    struct node *p;
+    h = malloc(sizeof(struct node));
+    h->nxt = NULL;
+    p = h;
+    while (build) {
+        p->nxt = malloc(sizeof(struct node));
+        p = p->nxt;
+        p->nxt = NULL;
+    }
+    p = h;
+    while (p != NULL) {
+        p = p->nxt;
+    }
+}`
+
+func TestAnalyzeLoopsListTraversal(t *testing.T) {
+	res := analyze(t, traverseSrc, rsg.L1)
+	reports := AnalyzeLoops(res)
+	if len(reports) != 2 {
+		t.Fatalf("got %d loop reports, want 2", len(reports))
+	}
+	build, trav := reports[0], reports[1]
+
+	if build.Parallelizable {
+		t.Error("the build loop stores pointers and must not be judged parallelizable")
+	}
+	if !build.WritesHeap {
+		t.Error("the build loop stores pointers")
+	}
+
+	if !trav.Traversal || len(trav.Induction) == 0 {
+		t.Errorf("the second loop traverses via p: %+v", trav)
+	}
+	if trav.WritesHeap {
+		t.Error("the traversal loop performs no pointer stores")
+	}
+	if !trav.Parallelizable {
+		t.Errorf("an unshared list traversal is parallelizable: %+v", trav)
+	}
+}
+
+const sharedTraverseSrc = `
+struct node { int v; struct node *nxt; struct node *other; };
+void main(void) {
+    struct node *h;
+    struct node *p;
+    struct node *x;
+    h = malloc(sizeof(struct node));
+    h->nxt = NULL;
+    x = malloc(sizeof(struct node));
+    h->other = x;
+    p = h;
+    while (build) {
+        p->nxt = malloc(sizeof(struct node));
+        p = p->nxt;
+        p->nxt = NULL;
+        p->other = x;
+    }
+    p = h;
+    while (p != NULL) {
+        p = p->nxt;
+    }
+}`
+
+func TestAnalyzeLoopsSharedStructure(t *testing.T) {
+	res := analyze(t, sharedTraverseSrc, rsg.L1)
+	reports := AnalyzeLoops(res)
+	if len(reports) != 2 {
+		t.Fatalf("got %d loop reports, want 2", len(reports))
+	}
+	trav := reports[1]
+	if trav.Parallelizable {
+		t.Errorf("every element shares x through `other`; traversal must not be judged parallelizable: %+v", trav)
+	}
+	if len(trav.SharedTypes) == 0 {
+		t.Error("shared types must be reported")
+	}
+	txt := FormatLoopReports(reports)
+	if !strings.Contains(txt, "node") {
+		t.Errorf("report rendering:\n%s", txt)
+	}
+}

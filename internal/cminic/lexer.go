@@ -1,0 +1,178 @@
+package cminic
+
+import "strings"
+
+// Lex tokenizes the source, stripping // and /* */ comments and
+// #-preprocessor lines. It returns the token stream terminated by an
+// EOF token.
+func Lex(src string) ([]Token, error) {
+	l := &lexer{src: src, line: 1, col: 1}
+	var toks []Token
+	for {
+		tok, err := l.next()
+		if err != nil {
+			return nil, err
+		}
+		toks = append(toks, tok)
+		if tok.Kind == EOF {
+			return toks, nil
+		}
+	}
+}
+
+type lexer struct {
+	src  string
+	pos  int
+	line int
+	col  int
+}
+
+func (l *lexer) peek() byte {
+	if l.pos >= len(l.src) {
+		return 0
+	}
+	return l.src[l.pos]
+}
+
+func (l *lexer) peek2() byte {
+	if l.pos+1 >= len(l.src) {
+		return 0
+	}
+	return l.src[l.pos+1]
+}
+
+func (l *lexer) advance() byte {
+	c := l.src[l.pos]
+	l.pos++
+	if c == '\n' {
+		l.line++
+		l.col = 1
+	} else {
+		l.col++
+	}
+	return c
+}
+
+func (l *lexer) skipSpaceAndComments() error {
+	for l.pos < len(l.src) {
+		c := l.peek()
+		switch {
+		case c == ' ' || c == '\t' || c == '\r' || c == '\n':
+			l.advance()
+		case c == '#':
+			// Preprocessor line: skip to end of line.
+			for l.pos < len(l.src) && l.peek() != '\n' {
+				l.advance()
+			}
+		case c == '/' && l.peek2() == '/':
+			for l.pos < len(l.src) && l.peek() != '\n' {
+				l.advance()
+			}
+		case c == '/' && l.peek2() == '*':
+			startLine, startCol := l.line, l.col
+			l.advance()
+			l.advance()
+			for {
+				if l.pos >= len(l.src) {
+					return errf(startLine, startCol, "unterminated block comment")
+				}
+				if l.peek() == '*' && l.peek2() == '/' {
+					l.advance()
+					l.advance()
+					break
+				}
+				l.advance()
+			}
+		default:
+			return nil
+		}
+	}
+	return nil
+}
+
+func isIdentStart(c byte) bool {
+	return c == '_' || (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z')
+}
+
+func isIdentCont(c byte) bool {
+	return isIdentStart(c) || (c >= '0' && c <= '9')
+}
+
+func isDigit(c byte) bool { return c >= '0' && c <= '9' }
+
+func (l *lexer) next() (Token, error) {
+	if err := l.skipSpaceAndComments(); err != nil {
+		return Token{}, err
+	}
+	line, col := l.line, l.col
+	if l.pos >= len(l.src) {
+		return Token{Kind: EOF, Line: line, Col: col}, nil
+	}
+	c := l.peek()
+
+	switch {
+	case isIdentStart(c):
+		start := l.pos
+		for l.pos < len(l.src) && isIdentCont(l.peek()) {
+			l.advance()
+		}
+		text := l.src[start:l.pos]
+		kind := IDENT
+		if keywords[text] {
+			kind = KEYWORD
+		}
+		return Token{Kind: kind, Text: text, Line: line, Col: col}, nil
+
+	case isDigit(c):
+		start := l.pos
+		for l.pos < len(l.src) && (isIdentCont(l.peek()) || l.peek() == '.') {
+			l.advance()
+		}
+		return Token{Kind: NUMBER, Text: l.src[start:l.pos], Line: line, Col: col}, nil
+
+	case c == '"':
+		start := l.pos
+		l.advance()
+		for {
+			if l.pos >= len(l.src) {
+				return Token{}, errf(line, col, "unterminated string literal")
+			}
+			ch := l.advance()
+			if ch == '\\' && l.pos < len(l.src) {
+				l.advance()
+			} else if ch == '"' {
+				break
+			}
+		}
+		return Token{Kind: STRING, Text: l.src[start:l.pos], Line: line, Col: col}, nil
+
+	case c == '\'':
+		start := l.pos
+		l.advance()
+		for {
+			if l.pos >= len(l.src) {
+				return Token{}, errf(line, col, "unterminated character literal")
+			}
+			ch := l.advance()
+			if ch == '\\' && l.pos < len(l.src) {
+				l.advance()
+			} else if ch == '\'' {
+				break
+			}
+		}
+		return Token{Kind: CHARLIT, Text: l.src[start:l.pos], Line: line, Col: col}, nil
+	}
+
+	for _, p := range punct2 {
+		if strings.HasPrefix(l.src[l.pos:], p) {
+			l.advance()
+			l.advance()
+			return Token{Kind: PUNCT, Text: p, Line: line, Col: col}, nil
+		}
+	}
+	if strings.IndexByte(punct1, c) >= 0 {
+		l.advance()
+		return Token{Kind: PUNCT, Text: string(c), Line: line, Col: col}, nil
+	}
+	return Token{}, errf(line, col, "unexpected character %q", string(c))
+}

@@ -1,0 +1,111 @@
+package cminic
+
+import "testing"
+
+func kinds(t *testing.T, src string) []Token {
+	t.Helper()
+	toks, err := Lex(src)
+	if err != nil {
+		t.Fatalf("Lex(%q): %v", src, err)
+	}
+	return toks
+}
+
+func TestLexBasicTokens(t *testing.T) {
+	toks := kinds(t, "struct node { int v; struct node *nxt; };")
+	want := []struct {
+		kind Kind
+		text string
+	}{
+		{KEYWORD, "struct"}, {IDENT, "node"}, {PUNCT, "{"},
+		{KEYWORD, "int"}, {IDENT, "v"}, {PUNCT, ";"},
+		{KEYWORD, "struct"}, {IDENT, "node"}, {PUNCT, "*"}, {IDENT, "nxt"}, {PUNCT, ";"},
+		{PUNCT, "}"}, {PUNCT, ";"}, {EOF, ""},
+	}
+	if len(toks) != len(want) {
+		t.Fatalf("got %d tokens, want %d: %v", len(toks), len(want), toks)
+	}
+	for i, w := range want {
+		if toks[i].Kind != w.kind || toks[i].Text != w.text {
+			t.Errorf("token %d: got (%v,%q), want (%v,%q)", i, toks[i].Kind, toks[i].Text, w.kind, w.text)
+		}
+	}
+}
+
+func TestLexArrowVsMinus(t *testing.T) {
+	toks := kinds(t, "a->b - c")
+	if !toks[1].Is("->") {
+		t.Errorf("expected ->, got %v", toks[1])
+	}
+	if !toks[3].Is("-") {
+		t.Errorf("expected -, got %v", toks[3])
+	}
+}
+
+func TestLexComments(t *testing.T) {
+	toks := kinds(t, "a /* inline */ b // to end\nc")
+	if len(toks) != 4 { // a b c EOF
+		t.Fatalf("comments not stripped: %v", toks)
+	}
+}
+
+func TestLexPreprocessorSkipped(t *testing.T) {
+	toks := kinds(t, "#include <stdio.h>\nx")
+	if len(toks) != 2 || toks[0].Text != "x" {
+		t.Fatalf("preprocessor line not skipped: %v", toks)
+	}
+}
+
+func TestLexLineNumbers(t *testing.T) {
+	toks := kinds(t, "a\nb\n  c")
+	if toks[0].Line != 1 || toks[1].Line != 2 || toks[2].Line != 3 {
+		t.Errorf("wrong lines: %v", toks)
+	}
+	if toks[2].Col != 3 {
+		t.Errorf("wrong column for c: %d", toks[2].Col)
+	}
+}
+
+func TestLexStringAndCharLiterals(t *testing.T) {
+	toks := kinds(t, `x = "he\"llo"; y = 'a';`)
+	found := 0
+	for _, tok := range toks {
+		if tok.Kind == STRING || tok.Kind == CHARLIT {
+			found++
+		}
+	}
+	if found != 2 {
+		t.Errorf("expected 2 literals, got %d: %v", found, toks)
+	}
+}
+
+func TestLexNumbers(t *testing.T) {
+	toks := kinds(t, "i = 42 + 3.14;")
+	nums := 0
+	for _, tok := range toks {
+		if tok.Kind == NUMBER {
+			nums++
+		}
+	}
+	if nums != 2 {
+		t.Errorf("expected 2 numbers, got %d", nums)
+	}
+}
+
+func TestLexUnterminatedComment(t *testing.T) {
+	if _, err := Lex("a /* never closed"); err == nil {
+		t.Error("expected error for unterminated comment")
+	}
+}
+
+func TestLexUnterminatedString(t *testing.T) {
+	if _, err := Lex(`a = "oops`); err == nil {
+		t.Error("expected error for unterminated string")
+	}
+}
+
+func TestLexUnexpectedCharacter(t *testing.T) {
+	if _, err := Lex("a @ b"); err == nil {
+		t.Error("expected error for @")
+	}
+}

@@ -1,0 +1,906 @@
+package cminic
+
+import "strings"
+
+// Parse lexes and parses a translation unit of the supported C subset.
+func Parse(src string) (*File, error) {
+	toks, err := Lex(src)
+	if err != nil {
+		return nil, err
+	}
+	p := &parser{toks: toks, file: &File{Types: make(map[string]*StructDecl)}}
+	p.ptrVars = make(map[string]string)
+	if err := p.parseFile(); err != nil {
+		return nil, err
+	}
+	return p.file, nil
+}
+
+type parser struct {
+	toks []Token
+	pos  int
+	file *File
+	// ptrVars maps declared pointer-variable names to their pointee
+	// struct; globals and every function's locals share the map (the
+	// analysis is per-function; the kernels do not reuse names with
+	// conflicting types).
+	ptrVars map[string]string
+}
+
+func (p *parser) cur() Token { return p.toks[p.pos] }
+func (p *parser) la(n int) Token {
+	if p.pos+n >= len(p.toks) {
+		return p.toks[len(p.toks)-1]
+	}
+	return p.toks[p.pos+n]
+}
+func (p *parser) next() Token {
+	t := p.toks[p.pos]
+	if p.pos < len(p.toks)-1 {
+		p.pos++
+	}
+	return t
+}
+
+func (p *parser) accept(text string) bool {
+	if p.cur().Is(text) {
+		p.next()
+		return true
+	}
+	return false
+}
+
+func (p *parser) expect(text string) error {
+	if p.accept(text) {
+		return nil
+	}
+	t := p.cur()
+	return errf(t.Line, t.Col, "expected %q, found %s", text, t)
+}
+
+func (p *parser) expectIdent() (Token, error) {
+	t := p.cur()
+	if t.Kind != IDENT {
+		return t, errf(t.Line, t.Col, "expected identifier, found %s", t)
+	}
+	p.next()
+	return t, nil
+}
+
+var scalarTypeKeywords = map[string]bool{
+	"int": true, "char": true, "long": true, "short": true,
+	"float": true, "double": true, "unsigned": true, "signed": true,
+	"const": true,
+}
+
+func (p *parser) parseFile() error {
+	for p.cur().Kind != EOF {
+		t := p.cur()
+		switch {
+		case t.Is("struct") && p.la(2).Is("{"):
+			if err := p.parseStructDecl(); err != nil {
+				return err
+			}
+		case t.Is("typedef"):
+			if err := p.parseTypedef(); err != nil {
+				return err
+			}
+		case t.Is("void") || t.Is("int"):
+			// Function definition or global scalar declaration.
+			if p.la(1).Kind == IDENT && p.la(2).Is("(") {
+				if err := p.parseFunc(); err != nil {
+					return err
+				}
+			} else {
+				if _, err := p.parseDeclStmts(); err != nil {
+					return err
+				}
+			}
+		case t.Is("struct"):
+			// Global pointer declaration: struct T *x;
+			if _, err := p.parseDeclStmts(); err != nil {
+				return err
+			}
+		default:
+			return errf(t.Line, t.Col, "unexpected %s at top level", t)
+		}
+	}
+	if len(p.file.Funcs) == 0 {
+		return errf(1, 1, "no function definition found")
+	}
+	p.file.PtrVars = p.PtrVars()
+	return nil
+}
+
+func (p *parser) parseTypedef() error {
+	start := p.next() // typedef
+	if !p.cur().Is("struct") {
+		return errf(start.Line, start.Col, "only `typedef struct` is supported")
+	}
+	if err := p.parseStructBody(); err != nil {
+		return err
+	}
+	// `typedef struct X { ... } Y;` — the alias name is ignored; the
+	// kernels reference `struct X` directly.
+	if p.cur().Kind == IDENT {
+		p.next()
+	}
+	return p.expect(";")
+}
+
+// parseStructDecl parses `struct Name { fields } ;`.
+func (p *parser) parseStructDecl() error {
+	if err := p.parseStructBody(); err != nil {
+		return err
+	}
+	return p.expect(";")
+}
+
+func (p *parser) parseStructBody() error {
+	if err := p.expect("struct"); err != nil {
+		return err
+	}
+	nameTok, err := p.expectIdent()
+	if err != nil {
+		return err
+	}
+	decl := &StructDecl{Name: nameTok.Text, Line: nameTok.Line}
+	if err := p.expect("{"); err != nil {
+		return err
+	}
+	for !p.cur().Is("}") {
+		if p.cur().Kind == EOF {
+			return errf(nameTok.Line, nameTok.Col, "unterminated struct %s", nameTok.Text)
+		}
+		if err := p.parseFieldDecl(decl); err != nil {
+			return err
+		}
+	}
+	p.next() // }
+	if _, dup := p.file.Types[decl.Name]; dup {
+		return errf(nameTok.Line, nameTok.Col, "struct %s redeclared", decl.Name)
+	}
+	p.file.Structs = append(p.file.Structs, decl)
+	p.file.Types[decl.Name] = decl
+	return nil
+}
+
+// parseFieldDecl parses one member declaration inside a struct body.
+func (p *parser) parseFieldDecl(decl *StructDecl) error {
+	t := p.cur()
+	pointee := ""
+	switch {
+	case t.Is("struct"):
+		p.next()
+		nt, err := p.expectIdent()
+		if err != nil {
+			return err
+		}
+		pointee = nt.Text
+	case t.Kind == KEYWORD && scalarTypeKeywords[t.Text]:
+		for p.cur().Kind == KEYWORD && scalarTypeKeywords[p.cur().Text] {
+			p.next()
+		}
+	default:
+		return errf(t.Line, t.Col, "unsupported struct member starting with %s", t)
+	}
+
+	for {
+		stars := 0
+		for p.accept("*") {
+			stars++
+		}
+		nameTok, err := p.expectIdent()
+		if err != nil {
+			return err
+		}
+		fieldPointee := ""
+		if pointee != "" {
+			if stars != 1 {
+				return errf(nameTok.Line, nameTok.Col,
+					"field %s: only single-level struct pointers are supported", nameTok.Text)
+			}
+			fieldPointee = pointee
+		} else if stars > 0 {
+			// Pointer to scalar: treated as opaque scalar data.
+			fieldPointee = ""
+		}
+		// Array suffix: scalar payload, size ignored.
+		for p.accept("[") {
+			for !p.cur().Is("]") && p.cur().Kind != EOF {
+				p.next()
+			}
+			if err := p.expect("]"); err != nil {
+				return err
+			}
+			if fieldPointee != "" {
+				return errf(nameTok.Line, nameTok.Col,
+					"field %s: arrays of struct pointers are not supported", nameTok.Text)
+			}
+		}
+		decl.Fields = append(decl.Fields, &Field{
+			Name: nameTok.Text, PointsTo: fieldPointee, Line: nameTok.Line,
+		})
+		if !p.accept(",") {
+			break
+		}
+	}
+	return p.expect(";")
+}
+
+func (p *parser) parseFunc() error {
+	p.next() // return type keyword
+	nameTok, err := p.expectIdent()
+	if err != nil {
+		return err
+	}
+	if err := p.expect("("); err != nil {
+		return err
+	}
+	p.accept("void")
+	if err := p.expect(")"); err != nil {
+		t := p.cur()
+		return errf(t.Line, t.Col,
+			"function %s: parameters are not supported (the analysis is intraprocedural)", nameTok.Text)
+	}
+	body, err := p.parseBlock()
+	if err != nil {
+		return err
+	}
+	p.file.Funcs = append(p.file.Funcs, &FuncDecl{
+		Name: nameTok.Text, Body: body, Line: nameTok.Line,
+	})
+	return nil
+}
+
+func (p *parser) parseBlock() (*Block, error) {
+	open := p.cur()
+	if err := p.expect("{"); err != nil {
+		return nil, err
+	}
+	blk := &Block{Line: open.Line}
+	for !p.cur().Is("}") {
+		if p.cur().Kind == EOF {
+			return nil, errf(open.Line, open.Col, "unterminated block")
+		}
+		stmts, err := p.parseStmt()
+		if err != nil {
+			return nil, err
+		}
+		blk.Stmts = append(blk.Stmts, stmts...)
+	}
+	p.next() // }
+	return blk, nil
+}
+
+// parseStmt parses one statement; declarations with multiple
+// declarators expand into several DeclStmts, hence the slice.
+func (p *parser) parseStmt() ([]Stmt, error) {
+	t := p.cur()
+	switch {
+	case t.Is(";"):
+		p.next()
+		return []Stmt{&EmptyStmt{Line: t.Line}}, nil
+	case t.Is("{"):
+		blk, err := p.parseBlock()
+		if err != nil {
+			return nil, err
+		}
+		return []Stmt{blk}, nil
+	case t.Is("struct") || (t.Kind == KEYWORD && scalarTypeKeywords[t.Text]):
+		return p.parseDeclStmts()
+	case t.Is("if"):
+		s, err := p.parseIf()
+		return wrap(s), err
+	case t.Is("while"):
+		s, err := p.parseWhile()
+		return wrap(s), err
+	case t.Is("do"):
+		s, err := p.parseDoWhile()
+		return wrap(s), err
+	case t.Is("for"):
+		s, err := p.parseFor()
+		return wrap(s), err
+	case t.Is("break"):
+		p.next()
+		return []Stmt{&BreakStmt{Line: t.Line}}, p.expect(";")
+	case t.Is("continue"):
+		p.next()
+		return []Stmt{&ContinueStmt{Line: t.Line}}, p.expect(";")
+	case t.Is("return"):
+		p.next()
+		p.skipToSemi()
+		return []Stmt{&ReturnStmt{Line: t.Line}}, p.expect(";")
+	case t.Is("free"):
+		p.next()
+		if err := p.expect("("); err != nil {
+			return nil, err
+		}
+		path, err := p.parsePath()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expect(")"); err != nil {
+			return nil, err
+		}
+		return []Stmt{&FreeStmt{Arg: path, Line: t.Line}}, p.expect(";")
+	default:
+		s, err := p.parseSimpleStmt()
+		if err != nil {
+			return nil, err
+		}
+		return []Stmt{s}, nil
+	}
+}
+
+func wrap(s Stmt) []Stmt {
+	if s == nil {
+		return nil
+	}
+	return []Stmt{s}
+}
+
+// parseDeclStmts parses a local or global declaration line.
+func (p *parser) parseDeclStmts() ([]Stmt, error) {
+	t := p.cur()
+	pointee := ""
+	if t.Is("struct") {
+		p.next()
+		nt, err := p.expectIdent()
+		if err != nil {
+			return nil, err
+		}
+		pointee = nt.Text
+	} else {
+		for p.cur().Kind == KEYWORD && scalarTypeKeywords[p.cur().Text] {
+			p.next()
+		}
+	}
+
+	var out []Stmt
+	for {
+		stars := 0
+		for p.accept("*") {
+			stars++
+		}
+		nameTok, err := p.expectIdent()
+		if err != nil {
+			return nil, err
+		}
+		declPointee := ""
+		if pointee != "" {
+			if stars != 1 {
+				return nil, errf(nameTok.Line, nameTok.Col,
+					"%s: only single-level struct pointers are supported", nameTok.Text)
+			}
+			declPointee = pointee
+		}
+		for p.accept("[") { // scalar arrays
+			for !p.cur().Is("]") && p.cur().Kind != EOF {
+				p.next()
+			}
+			if err := p.expect("]"); err != nil {
+				return nil, err
+			}
+			if declPointee != "" {
+				return nil, errf(nameTok.Line, nameTok.Col,
+					"%s: arrays of struct pointers are not supported", nameTok.Text)
+			}
+		}
+		decl := &DeclStmt{Name: nameTok.Text, PointsTo: declPointee, Line: nameTok.Line}
+		if declPointee != "" {
+			if prev, ok := p.ptrVars[nameTok.Text]; ok && prev != declPointee {
+				return nil, errf(nameTok.Line, nameTok.Col,
+					"%s redeclared with a different pointee (%s vs %s)", nameTok.Text, prev, declPointee)
+			}
+			p.ptrVars[nameTok.Text] = declPointee
+		}
+		if p.accept("=") {
+			init, err := p.parseRHS(declPointee != "")
+			if err != nil {
+				return nil, err
+			}
+			decl.Init = init
+		}
+		out = append(out, decl)
+		if !p.accept(",") {
+			break
+		}
+	}
+	return out, p.expect(";")
+}
+
+// parseSimpleStmt parses an assignment or an opaque expression
+// statement terminated by ';'.
+func (p *parser) parseSimpleStmt() (Stmt, error) {
+	start := p.cur()
+	if start.Kind != IDENT {
+		// Unknown construct: consume as opaque.
+		p.skipToSemi()
+		return &EmptyStmt{Line: start.Line}, p.expect(";")
+	}
+	path, err := p.parsePath()
+	if err != nil {
+		return nil, err
+	}
+	t := p.cur()
+	switch {
+	case t.Is("="):
+		p.next()
+		isPtr := p.pathIsPointer(path)
+		rhs, err := p.parseRHS(isPtr)
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expect(";"); err != nil {
+			return nil, err
+		}
+		return &AssignStmt{LHS: path, RHS: rhs, IsScalar: !isPtr, Line: start.Line}, nil
+	case t.Is("+=") || t.Is("-=") || t.Is("*=") || t.Is("/=") || t.Is("++") || t.Is("--"):
+		// Compound scalar update.
+		p.skipToSemi()
+		return &AssignStmt{LHS: path, RHS: &OpaqueExpr{Text: "compound"},
+			IsScalar: true, Line: start.Line}, p.expect(";")
+	default:
+		// Expression statement (e.g. a bare call): opaque.
+		p.skipToSemi()
+		return &EmptyStmt{Line: start.Line}, p.expect(";")
+	}
+}
+
+// pathIsPointer reports whether the access path denotes a
+// pointer-to-struct value: a declared pointer variable whose selector
+// chain ends in a pointer field (or has no selectors).
+func (p *parser) pathIsPointer(path *Path) bool {
+	typ, ok := p.ptrVars[path.Base]
+	if !ok {
+		return false
+	}
+	for _, sel := range path.Sels {
+		decl := p.file.Types[typ]
+		if decl == nil {
+			return false
+		}
+		f := decl.Selector(sel)
+		if f == nil || f.PointsTo == "" {
+			return false
+		}
+		typ = f.PointsTo
+	}
+	return true
+}
+
+// PathType resolves the struct type an access path points to, walking
+// the selector chain; ok is false when the path is not pointer-typed.
+func (f *File) PathType(ptrVars map[string]string, path *Path) (string, bool) {
+	typ, ok := ptrVars[path.Base]
+	if !ok {
+		return "", false
+	}
+	for _, sel := range path.Sels {
+		decl := f.Types[typ]
+		if decl == nil {
+			return "", false
+		}
+		fd := decl.Selector(sel)
+		if fd == nil || fd.PointsTo == "" {
+			return "", false
+		}
+		typ = fd.PointsTo
+	}
+	return typ, true
+}
+
+// PtrVars returns a copy of the declared pointer-variable table
+// (name -> pointee struct).
+func (p *parser) PtrVars() map[string]string {
+	out := make(map[string]string, len(p.ptrVars))
+	for k, v := range p.ptrVars {
+		out[k] = v
+	}
+	return out
+}
+
+// parsePath parses `ident (-> ident | . ident)*`, folding `.` accesses
+// into compound selector names.
+func (p *parser) parsePath() (*Path, error) {
+	baseTok, err := p.expectIdent()
+	if err != nil {
+		return nil, err
+	}
+	path := &Path{Base: baseTok.Text, Line: baseTok.Line}
+	for {
+		switch {
+		case p.cur().Is("->"):
+			p.next()
+			sel, err := p.expectIdent()
+			if err != nil {
+				return nil, err
+			}
+			path.Sels = append(path.Sels, sel.Text)
+		case p.cur().Is("."):
+			p.next()
+			sel, err := p.expectIdent()
+			if err != nil {
+				return nil, err
+			}
+			if len(path.Sels) == 0 {
+				// `v.f` on a non-pointer local: opaque scalar access;
+				// record it as a compound base so it stays non-pointer.
+				path.Base = path.Base + "." + sel.Text
+			} else {
+				path.Sels[len(path.Sels)-1] += "." + sel.Text
+			}
+		case p.cur().Is("["):
+			// Array subscript: scalar payload; consume the index.
+			p.next()
+			depth := 1
+			for depth > 0 && p.cur().Kind != EOF {
+				if p.cur().Is("[") {
+					depth++
+				} else if p.cur().Is("]") {
+					depth--
+				}
+				p.next()
+			}
+		default:
+			return path, nil
+		}
+	}
+}
+
+// parseRHS parses the right-hand side of an assignment. ptrContext
+// selects pointer interpretation: NULL/0, malloc, casted malloc, or an
+// access path; anything else is opaque.
+func (p *parser) parseRHS(ptrContext bool) (Expr, error) {
+	if !ptrContext {
+		p.skipToSemiOrComma()
+		return &OpaqueExpr{Text: "scalar"}, nil
+	}
+	// Optional cast `(struct T *)`.
+	if p.cur().Is("(") && p.la(1).Is("struct") {
+		save := p.pos
+		p.next() // (
+		p.next() // struct
+		if p.cur().Kind == IDENT && p.la(1).Is("*") && p.la(2).Is(")") {
+			p.next()
+			p.next()
+			p.next()
+		} else {
+			p.pos = save
+		}
+	}
+	t := p.cur()
+	switch {
+	case t.Is("NULL"):
+		p.next()
+		return &NullExpr{}, nil
+	case t.Kind == NUMBER && t.Text == "0":
+		p.next()
+		return &NullExpr{}, nil
+	case t.Is("malloc") || t.Is("calloc"):
+		return p.parseMalloc()
+	case t.Kind == IDENT:
+		path, err := p.parsePath()
+		if err != nil {
+			return nil, err
+		}
+		return &PathExpr{Path: path}, nil
+	default:
+		return nil, errf(t.Line, t.Col, "unsupported pointer right-hand side starting with %s", t)
+	}
+}
+
+// parseMalloc parses `malloc(sizeof(struct T))` and the calloc variant,
+// extracting the allocated struct type.
+func (p *parser) parseMalloc() (Expr, error) {
+	callTok := p.next() // malloc | calloc
+	if err := p.expect("("); err != nil {
+		return nil, err
+	}
+	var structName string
+	depth := 1
+	for depth > 0 {
+		t := p.cur()
+		if t.Kind == EOF {
+			return nil, errf(callTok.Line, callTok.Col, "unterminated %s call", callTok.Text)
+		}
+		if t.Is("(") {
+			depth++
+		} else if t.Is(")") {
+			depth--
+			if depth == 0 {
+				p.next()
+				break
+			}
+		} else if t.Is("struct") && p.la(1).Kind == IDENT {
+			structName = p.la(1).Text
+		}
+		p.next()
+	}
+	if structName == "" {
+		return nil, errf(callTok.Line, callTok.Col,
+			"%s: cannot determine allocated struct type (use sizeof(struct T))", callTok.Text)
+	}
+	return &MallocExpr{Type: structName}, nil
+}
+
+func (p *parser) skipToSemi() {
+	for !p.cur().Is(";") && p.cur().Kind != EOF {
+		p.next()
+	}
+}
+
+func (p *parser) skipToSemiOrComma() {
+	depth := 0
+	for p.cur().Kind != EOF {
+		t := p.cur()
+		if t.Is("(") || t.Is("[") {
+			depth++
+		} else if t.Is(")") || t.Is("]") {
+			if depth == 0 {
+				return
+			}
+			depth--
+		} else if depth == 0 && (t.Is(";") || t.Is(",")) {
+			return
+		}
+		p.next()
+	}
+}
+
+// parseCondition parses a parenthesized condition, recognizing the
+// pointer-NULL comparison patterns the analysis can refine on.
+func (p *parser) parseCondition() (Expr, error) {
+	if err := p.expect("("); err != nil {
+		return nil, err
+	}
+	expr := p.recognizeCond()
+	// Skip the remainder of the condition up to the matching ')'.
+	depth := 1
+	var raw []string
+	for depth > 0 {
+		t := p.cur()
+		if t.Kind == EOF {
+			return nil, errf(t.Line, t.Col, "unterminated condition")
+		}
+		if t.Is("(") {
+			depth++
+		} else if t.Is(")") {
+			depth--
+			if depth == 0 {
+				p.next()
+				break
+			}
+		}
+		raw = append(raw, t.Text)
+		p.next()
+	}
+	if expr == nil {
+		expr = &OpaqueExpr{Text: strings.Join(raw, " ")}
+	}
+	return expr, nil
+}
+
+// recognizeCond tries to match the refinable condition patterns at the
+// current position without consuming tokens on failure. On success the
+// matched tokens are consumed (the caller still skips to the ')').
+func (p *parser) recognizeCond() Expr {
+	save := p.pos
+
+	negated := false
+	if p.cur().Is("!") && !p.la(1).Is("=") {
+		negated = true
+		p.next()
+	}
+	if p.cur().Kind != IDENT {
+		p.pos = save
+		return nil
+	}
+	path, err := p.parsePath()
+	if err != nil || !p.pathIsPointer(path) {
+		p.pos = save
+		return nil
+	}
+	t := p.cur()
+	switch {
+	case t.Is(")"):
+		// `(p)` or `(!p)`
+		return &CmpNullExpr{Path: path, Equal: negated}
+	case t.Is("==") || t.Is("!="):
+		eq := t.Is("==")
+		p.next()
+		rt := p.cur()
+		if rt.Is("NULL") || (rt.Kind == NUMBER && rt.Text == "0") {
+			p.next()
+			if p.cur().Is(")") && !negated {
+				return &CmpNullExpr{Path: path, Equal: eq}
+			}
+			p.pos = save
+			return nil
+		}
+		if rt.Kind == IDENT {
+			other, err := p.parsePath()
+			if err == nil && p.pathIsPointer(other) && p.cur().Is(")") && !negated {
+				return &CmpPathExpr{A: path, B: other, Equal: eq}
+			}
+		}
+		p.pos = save
+		return nil
+	default:
+		p.pos = save
+		return nil
+	}
+}
+
+func (p *parser) parseIf() (Stmt, error) {
+	t := p.next() // if
+	cond, err := p.parseCondition()
+	if err != nil {
+		return nil, err
+	}
+	thenStmts, err := p.parseStmt()
+	if err != nil {
+		return nil, err
+	}
+	stmt := &IfStmt{Cond: cond, Then: blockOf(thenStmts, t.Line), Line: t.Line}
+	if p.accept("else") {
+		elseStmts, err := p.parseStmt()
+		if err != nil {
+			return nil, err
+		}
+		stmt.Else = blockOf(elseStmts, t.Line)
+	}
+	return stmt, nil
+}
+
+func (p *parser) parseWhile() (Stmt, error) {
+	t := p.next() // while
+	cond, err := p.parseCondition()
+	if err != nil {
+		return nil, err
+	}
+	body, err := p.parseStmt()
+	if err != nil {
+		return nil, err
+	}
+	return &WhileStmt{Cond: cond, Body: blockOf(body, t.Line), Line: t.Line}, nil
+}
+
+func (p *parser) parseDoWhile() (Stmt, error) {
+	t := p.next() // do
+	body, err := p.parseStmt()
+	if err != nil {
+		return nil, err
+	}
+	if err := p.expect("while"); err != nil {
+		return nil, err
+	}
+	cond, err := p.parseCondition()
+	if err != nil {
+		return nil, err
+	}
+	if err := p.expect(";"); err != nil {
+		return nil, err
+	}
+	return &WhileStmt{Cond: cond, Body: blockOf(body, t.Line), DoWhile: true, Line: t.Line}, nil
+}
+
+func (p *parser) parseFor() (Stmt, error) {
+	t := p.next() // for
+	if err := p.expect("("); err != nil {
+		return nil, err
+	}
+	stmt := &ForStmt{Line: t.Line}
+	if !p.cur().Is(";") {
+		init, err := p.parseSimpleStmt() // consumes the ';'
+		if err != nil {
+			return nil, err
+		}
+		stmt.Init = init
+	} else {
+		p.next()
+	}
+	if !p.cur().Is(";") {
+		// The middle clause ends at ';': recognize or treat as opaque.
+		cond := p.recognizeCond()
+		var raw []string
+		for !p.cur().Is(";") && p.cur().Kind != EOF {
+			raw = append(raw, p.cur().Text)
+			p.next()
+		}
+		if cond == nil {
+			cond = &OpaqueExpr{Text: strings.Join(raw, " ")}
+		}
+		stmt.Cond = cond
+	}
+	if err := p.expect(";"); err != nil {
+		return nil, err
+	}
+	if !p.cur().Is(")") {
+		post, err := p.parsePostClause()
+		if err != nil {
+			return nil, err
+		}
+		stmt.Post = post
+	}
+	if err := p.expect(")"); err != nil {
+		return nil, err
+	}
+	body, err := p.parseStmt()
+	if err != nil {
+		return nil, err
+	}
+	stmt.Body = blockOf(body, t.Line)
+	return stmt, nil
+}
+
+// parsePostClause parses the third for-header clause (up to the ')').
+func (p *parser) parsePostClause() (Stmt, error) {
+	start := p.cur()
+	if start.Kind != IDENT {
+		p.skipToCloseParen()
+		return &EmptyStmt{Line: start.Line}, nil
+	}
+	path, err := p.parsePath()
+	if err != nil {
+		return nil, err
+	}
+	t := p.cur()
+	switch {
+	case t.Is("="):
+		p.next()
+		isPtr := p.pathIsPointer(path)
+		var rhs Expr
+		if isPtr {
+			rhs, err = p.parseRHS(true)
+			if err != nil {
+				return nil, err
+			}
+		} else {
+			p.skipToCloseParen()
+			rhs = &OpaqueExpr{Text: "scalar"}
+		}
+		return &AssignStmt{LHS: path, RHS: rhs, IsScalar: !isPtr, Line: start.Line}, nil
+	default:
+		p.skipToCloseParen()
+		return &AssignStmt{LHS: path, RHS: &OpaqueExpr{Text: "compound"},
+			IsScalar: true, Line: start.Line}, nil
+	}
+}
+
+func (p *parser) skipToCloseParen() {
+	depth := 0
+	for p.cur().Kind != EOF {
+		t := p.cur()
+		if t.Is("(") {
+			depth++
+		} else if t.Is(")") {
+			if depth == 0 {
+				return
+			}
+			depth--
+		}
+		p.next()
+	}
+}
+
+func blockOf(s interface{}, line int) *Block {
+	switch v := s.(type) {
+	case *Block:
+		return v
+	case []Stmt:
+		if len(v) == 1 {
+			if b, ok := v[0].(*Block); ok {
+				return b
+			}
+		}
+		return &Block{Stmts: v, Line: line}
+	case Stmt:
+		if b, ok := v.(*Block); ok {
+			return b
+		}
+		return &Block{Stmts: []Stmt{v}, Line: line}
+	}
+	return &Block{Line: line}
+}

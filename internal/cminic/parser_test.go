@@ -1,0 +1,289 @@
+package cminic
+
+import (
+	"strings"
+	"testing"
+)
+
+func parse(t *testing.T, src string) *File {
+	t.Helper()
+	f, err := Parse(src)
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	return f
+}
+
+func parseErr(t *testing.T, src, wantSub string) {
+	t.Helper()
+	_, err := Parse(src)
+	if err == nil {
+		t.Fatalf("expected error containing %q, got none", wantSub)
+	}
+	if !strings.Contains(err.Error(), wantSub) {
+		t.Fatalf("error %q does not contain %q", err, wantSub)
+	}
+}
+
+const prologue = `
+struct node { int val; struct node *nxt; struct leaf *down; };
+struct leaf { int v; struct leaf *sib; };
+`
+
+func wrapMain(body string) string {
+	return prologue + "\nvoid main(void) {\n struct node *p;\n struct node *q;\n struct leaf *l;\n" + body + "\n}\n"
+}
+
+func TestParseStructs(t *testing.T) {
+	f := parse(t, wrapMain(""))
+	if len(f.Structs) != 2 {
+		t.Fatalf("got %d structs", len(f.Structs))
+	}
+	n := f.Types["node"]
+	if n == nil {
+		t.Fatal("struct node missing")
+	}
+	sels := n.Selectors()
+	if len(sels) != 2 || sels[0] != "nxt" || sels[1] != "down" {
+		t.Errorf("node selectors = %v", sels)
+	}
+	if n.Selector("val").PointsTo != "" {
+		t.Errorf("val must be scalar")
+	}
+}
+
+func TestParseDeclWithInit(t *testing.T) {
+	f := parse(t, prologue+`
+void main(void) {
+    struct node *p = NULL;
+    struct node *q = malloc(sizeof(struct node));
+    struct node *r = q;
+}`)
+	fn := f.Funcs[0]
+	decls := 0
+	for _, s := range fn.Body.Stmts {
+		if d, ok := s.(*DeclStmt); ok {
+			decls++
+			switch d.Name {
+			case "p":
+				if _, ok := d.Init.(*NullExpr); !ok {
+					t.Errorf("p init: %T", d.Init)
+				}
+			case "q":
+				m, ok := d.Init.(*MallocExpr)
+				if !ok || m.Type != "node" {
+					t.Errorf("q init: %#v", d.Init)
+				}
+			case "r":
+				pe, ok := d.Init.(*PathExpr)
+				if !ok || pe.Path.Base != "q" {
+					t.Errorf("r init: %#v", d.Init)
+				}
+			}
+		}
+	}
+	if decls != 3 {
+		t.Errorf("got %d decls", decls)
+	}
+}
+
+func TestParseCastedMalloc(t *testing.T) {
+	f := parse(t, wrapMain(`p = (struct node *) malloc(sizeof(struct node));`))
+	found := false
+	walkStmts(f.Funcs[0].Body, func(s Stmt) {
+		if a, ok := s.(*AssignStmt); ok && !a.IsScalar {
+			if m, ok := a.RHS.(*MallocExpr); ok && m.Type == "node" {
+				found = true
+			}
+		}
+	})
+	if !found {
+		t.Error("casted malloc not recognized")
+	}
+}
+
+func TestParsePointerPaths(t *testing.T) {
+	f := parse(t, wrapMain(`p->nxt->down = l->sib;`))
+	var assign *AssignStmt
+	walkStmts(f.Funcs[0].Body, func(s Stmt) {
+		if a, ok := s.(*AssignStmt); ok && !a.IsScalar {
+			assign = a
+		}
+	})
+	if assign == nil {
+		t.Fatal("no pointer assignment found")
+	}
+	if assign.LHS.String() != "p->nxt->down" {
+		t.Errorf("LHS = %s", assign.LHS)
+	}
+	rhs := assign.RHS.(*PathExpr)
+	if rhs.Path.String() != "l->sib" {
+		t.Errorf("RHS = %s", rhs.Path)
+	}
+}
+
+func TestParseScalarAssignIsScalar(t *testing.T) {
+	f := parse(t, wrapMain(`p->val = 3; i = i + 1;`))
+	scalars := 0
+	walkStmts(f.Funcs[0].Body, func(s Stmt) {
+		if a, ok := s.(*AssignStmt); ok && a.IsScalar {
+			scalars++
+		}
+	})
+	if scalars != 2 {
+		t.Errorf("got %d scalar assignments, want 2", scalars)
+	}
+}
+
+func TestParseConditions(t *testing.T) {
+	src := wrapMain(`
+if (p) { q = p; }
+if (!p) { q = NULL; }
+if (p == NULL) { q = NULL; }
+if (p->nxt != NULL) { q = p; }
+if (i < 10) { q = p; }
+while (p != q) { p = NULL; }
+`)
+	f := parse(t, src)
+	var conds []Expr
+	walkStmts(f.Funcs[0].Body, func(s Stmt) {
+		switch st := s.(type) {
+		case *IfStmt:
+			conds = append(conds, st.Cond)
+		case *WhileStmt:
+			conds = append(conds, st.Cond)
+		}
+	})
+	if len(conds) != 6 {
+		t.Fatalf("got %d conditions", len(conds))
+	}
+	if c, ok := conds[0].(*CmpNullExpr); !ok || c.Equal {
+		t.Errorf("cond 0 (`p`): %#v", conds[0])
+	}
+	if c, ok := conds[1].(*CmpNullExpr); !ok || !c.Equal {
+		t.Errorf("cond 1 (`!p`): %#v", conds[1])
+	}
+	if c, ok := conds[2].(*CmpNullExpr); !ok || !c.Equal {
+		t.Errorf("cond 2 (`p == NULL`): %#v", conds[2])
+	}
+	if c, ok := conds[3].(*CmpNullExpr); !ok || c.Equal || c.Path.String() != "p->nxt" {
+		t.Errorf("cond 3 (`p->nxt != NULL`): %#v", conds[3])
+	}
+	if _, ok := conds[4].(*OpaqueExpr); !ok {
+		t.Errorf("cond 4 (`i < 10`): %#v", conds[4])
+	}
+	if _, ok := conds[5].(*CmpPathExpr); !ok {
+		t.Errorf("cond 5 (`p != q`): %#v", conds[5])
+	}
+}
+
+func TestParseControlFlow(t *testing.T) {
+	src := wrapMain(`
+while (c1) { p = NULL; }
+do { p = NULL; } while (c2);
+for (i = 0; i < n; i = i + 1) { p = NULL; }
+for (;;) { break; }
+if (c3) { continue_target = 1; } else { other = 2; }
+return;
+`)
+	f := parse(t, src)
+	var whiles, dos, fors, ifs, rets int
+	walkStmts(f.Funcs[0].Body, func(s Stmt) {
+		switch st := s.(type) {
+		case *WhileStmt:
+			whiles++
+			if st.DoWhile {
+				dos++
+			}
+		case *ForStmt:
+			fors++
+		case *IfStmt:
+			ifs++
+		case *ReturnStmt:
+			rets++
+		}
+	})
+	if whiles != 2 || dos != 1 || fors != 2 || ifs != 1 || rets != 1 {
+		t.Errorf("control counts: while=%d do=%d for=%d if=%d ret=%d", whiles, dos, fors, ifs, rets)
+	}
+}
+
+func TestParseFree(t *testing.T) {
+	f := parse(t, wrapMain(`free(p);`))
+	found := false
+	walkStmts(f.Funcs[0].Body, func(s Stmt) {
+		if fr, ok := s.(*FreeStmt); ok && fr.Arg.Base == "p" {
+			found = true
+		}
+	})
+	if !found {
+		t.Error("free statement not parsed")
+	}
+}
+
+func TestParseTypedefStruct(t *testing.T) {
+	f := parse(t, `
+typedef struct cell { int v; struct cell *nxt; } Cell;
+void main(void) { struct cell *p; p = NULL; }
+`)
+	if f.Types["cell"] == nil {
+		t.Error("typedef struct body not registered")
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	parseErr(t, `void main(int argc) { }`, "parameters are not supported")
+	parseErr(t, `struct a { struct b **x; }; void main(void) {}`, "single-level")
+	parseErr(t, prologue+`void main(void) { struct node *p; p = malloc(10); }`, "sizeof")
+	parseErr(t, `int x;`, "no function")
+	parseErr(t, prologue+`void main(void) { struct node *p; struct leaf *p; }`, "redeclared")
+	parseErr(t, `struct a { int x; }; struct a { int y; }; void main(void) {}`, "redeclared")
+}
+
+func TestPathTypeResolution(t *testing.T) {
+	f := parse(t, wrapMain(``))
+	typ, ok := f.PathType(f.PtrVars, &Path{Base: "p", Sels: []string{"nxt", "down"}})
+	if !ok || typ != "leaf" {
+		t.Errorf("PathType(p->nxt->down) = %q, %v", typ, ok)
+	}
+	if _, ok := f.PathType(f.PtrVars, &Path{Base: "p", Sels: []string{"val"}}); ok {
+		t.Error("scalar field must not resolve as pointer path")
+	}
+	if _, ok := f.PathType(f.PtrVars, &Path{Base: "i"}); ok {
+		t.Error("undeclared base must not resolve")
+	}
+}
+
+func walkInto(s Stmt, f func(Stmt)) {
+	if b, ok := s.(*Block); ok {
+		walkStmts(b, f)
+	} else if s != nil {
+		f(s)
+	}
+}
+
+// walkStmts applies f to every statement recursively.
+func walkStmts(b *Block, f func(Stmt)) {
+	for _, s := range b.Stmts {
+		f(s)
+		switch st := s.(type) {
+		case *Block:
+			walkStmts(st, f)
+		case *IfStmt:
+			walkInto(st.Then, f)
+			if st.Else != nil {
+				walkInto(st.Else, f)
+			}
+		case *WhileStmt:
+			walkInto(st.Body, f)
+		case *ForStmt:
+			if st.Init != nil {
+				f(st.Init)
+			}
+			walkInto(st.Body, f)
+			if st.Post != nil {
+				f(st.Post)
+			}
+		}
+	}
+}

@@ -1,0 +1,93 @@
+// Package cminic implements the frontend for the C subset the shape
+// analyzer consumes: a lexer, a recursive-descent parser, and the type
+// table of struct declarations.
+//
+// The subset covers what the paper's benchmark kernels need: struct
+// declarations with pointer and scalar fields, one or more function
+// bodies with local declarations, assignments over pointer access
+// paths, malloc/free, NULL, if/else, while, for, break, continue and
+// return, plus opaque scalar expressions. Function calls other than
+// malloc/free are rejected — the paper's compiler has no
+// interprocedural analysis either (Sect. 6), and its authors manually
+// inlined and de-recursified the Barnes-Hut traversals; our kernels
+// arrive already in that form.
+package cminic
+
+import "fmt"
+
+// Kind enumerates token kinds.
+type Kind int
+
+// Token kinds.
+const (
+	EOF Kind = iota
+	IDENT
+	NUMBER
+	STRING
+	CHARLIT
+	PUNCT   // one of the operator/punctuation strings below
+	KEYWORD // one of the keyword strings below
+)
+
+// Token is one lexical token.
+type Token struct {
+	Kind Kind
+	Text string
+	Line int
+	Col  int
+}
+
+// String renders the token for diagnostics.
+func (t Token) String() string {
+	switch t.Kind {
+	case EOF:
+		return "end of file"
+	case IDENT:
+		return fmt.Sprintf("identifier %q", t.Text)
+	case NUMBER:
+		return fmt.Sprintf("number %q", t.Text)
+	case STRING:
+		return fmt.Sprintf("string %s", t.Text)
+	case CHARLIT:
+		return fmt.Sprintf("char %s", t.Text)
+	default:
+		return fmt.Sprintf("%q", t.Text)
+	}
+}
+
+// Is reports whether the token is the given punctuation or keyword.
+func (t Token) Is(text string) bool {
+	return (t.Kind == PUNCT || t.Kind == KEYWORD) && t.Text == text
+}
+
+var keywords = map[string]bool{
+	"struct": true, "int": true, "void": true, "char": true,
+	"long": true, "short": true, "float": true, "double": true,
+	"unsigned": true, "signed": true, "const": true,
+	"if": true, "else": true, "while": true, "for": true, "do": true,
+	"break": true, "continue": true, "return": true,
+	"sizeof": true, "typedef": true,
+	"NULL": true, "malloc": true, "calloc": true, "free": true,
+}
+
+// punct2 and punct1 list the multi- and single-character operators, in
+// the order the lexer tries them.
+var punct2 = []string{"->", "==", "!=", "<=", ">=", "&&", "||", "++", "--", "+=", "-=", "*=", "/="}
+
+const punct1 = "{}()[];,.*=<>!&|+-/%^~?:"
+
+// Error is a frontend diagnostic with position information.
+type Error struct {
+	Line int
+	Col  int
+	Msg  string
+}
+
+// Error implements the error interface.
+func (e *Error) Error() string {
+	return fmt.Sprintf("%d:%d: %s", e.Line, e.Col, e.Msg)
+}
+
+func errf(line, col int, format string, args ...interface{}) *Error {
+	return &Error{Line: line, Col: col, Msg: fmt.Sprintf(format, args...)}
+}

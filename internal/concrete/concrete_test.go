@@ -1,0 +1,150 @@
+package concrete
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/analysis"
+	"repro/internal/cminic"
+	"repro/internal/ir"
+	"repro/internal/rsg"
+)
+
+func compile(t *testing.T, src string) *ir.Program {
+	t.Helper()
+	file, err := cminic.Parse(src)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	prog, err := ir.LowerMain(file)
+	if err != nil {
+		t.Fatalf("lower: %v", err)
+	}
+	return prog
+}
+
+const listSrc = `
+struct node { int val; struct node *nxt; };
+
+void main(void) {
+    struct node *head;
+    struct node *p;
+    struct node *q;
+    head = malloc(sizeof(struct node));
+    head->nxt = NULL;
+    p = head;
+    while (more) {
+        q = malloc(sizeof(struct node));
+        q->nxt = NULL;
+        p->nxt = q;
+        p = q;
+    }
+    q = NULL;
+    p = head;
+    while (p != NULL) {
+        p = p->nxt;
+    }
+}
+`
+
+func TestInterpreterRuns(t *testing.T) {
+	prog := compile(t, listSrc)
+	it := &Interp{Prog: prog, Rng: rand.New(rand.NewSource(1))}
+	tr, err := it.Run()
+	if err != nil {
+		t.Fatalf("interp: %v", err)
+	}
+	if tr.NullDeref {
+		t.Fatalf("unexpected NULL dereference")
+	}
+	if len(tr.Steps) == 0 {
+		t.Fatalf("empty trace")
+	}
+}
+
+// TestSoundnessOnList validates the analysis against concrete
+// executions: every heap observed after statement s must be covered by
+// the RSRSG the analysis computed for s.
+func TestSoundnessOnList(t *testing.T) {
+	prog := compile(t, listSrc)
+	for _, lvl := range []rsg.Level{rsg.L1, rsg.L2, rsg.L3} {
+		res, err := analysis.Run(prog, analysis.Options{Level: lvl})
+		if err != nil {
+			t.Fatalf("%s: %v", lvl, err)
+		}
+		CheckTraces(t, prog, res, 25, 20250706)
+	}
+}
+
+// CheckTraces runs `runs` randomized concrete executions and asserts
+// coverage of every step's heap by the per-statement RSRSG.
+func CheckTraces(t *testing.T, prog *ir.Program, res *analysis.Result, runs int, seed int64) {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	for r := 0; r < runs; r++ {
+		it := &Interp{Prog: prog, Rng: rand.New(rand.NewSource(rng.Int63())), MaxSteps: 1500}
+		tr, err := it.Run()
+		if err != nil {
+			t.Fatalf("run %d: %v", r, err)
+		}
+		for i, step := range tr.Steps {
+			set := res.Out[step.StmtID]
+			if set == nil {
+				t.Fatalf("run %d step %d: no RSRSG for statement %d (%s)",
+					r, i, step.StmtID, prog.Stmt(step.StmtID))
+			}
+			ok, why := Covers(set, step.Heap)
+			if !ok {
+				t.Fatalf("run %d step %d: statement %d (%s) not covered at %s: %s",
+					r, i, step.StmtID, prog.Stmt(step.StmtID), res.Level, why)
+			}
+		}
+	}
+}
+
+const treeSrc = `
+struct tnode { int key; struct tnode *left; struct tnode *right; };
+
+void main(void) {
+    struct tnode *root;
+    struct tnode *cur;
+    struct tnode *kid;
+    root = malloc(sizeof(struct tnode));
+    root->left = NULL;
+    root->right = NULL;
+    while (grow) {
+        cur = root;
+        while (descend) {
+            if (goleft) {
+                if (cur->left == NULL) {
+                    kid = malloc(sizeof(struct tnode));
+                    kid->left = NULL;
+                    kid->right = NULL;
+                    cur->left = kid;
+                }
+                cur = cur->left;
+            } else {
+                if (cur->right == NULL) {
+                    kid = malloc(sizeof(struct tnode));
+                    kid->left = NULL;
+                    kid->right = NULL;
+                    cur->right = kid;
+                }
+                cur = cur->right;
+            }
+        }
+    }
+}
+`
+
+func TestSoundnessOnTree(t *testing.T) {
+	if testing.Short() {
+		t.Skip("tree soundness check is slow")
+	}
+	prog := compile(t, treeSrc)
+	res, err := analysis.Run(prog, analysis.Options{Level: rsg.L1})
+	if err != nil {
+		t.Fatalf("analysis: %v", err)
+	}
+	CheckTraces(t, prog, res, 10, 7)
+}

@@ -1,0 +1,231 @@
+package concrete
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/rsg"
+	"repro/internal/rsrsg"
+)
+
+// Covers reports whether the RSRSG covers the concrete heap: some
+// member RSG admits an embedding of the heap. detail explains a
+// negative verdict.
+func Covers(set *rsrsg.Set, h *Heap) (bool, string) {
+	if set == nil {
+		return false, "nil RSRSG"
+	}
+	var reasons []string
+	for i, g := range set.Graphs() {
+		if ok, why := Embeds(g, h); ok {
+			return true, ""
+		} else {
+			reasons = append(reasons, fmt.Sprintf("rsg#%d: %s", i, why))
+		}
+	}
+	return false, fmt.Sprintf("no RSG embeds the heap (%d candidates): %v\nheap:\n%s",
+		set.Len(), reasons, h)
+}
+
+// Embeds reports whether the RSG admits an embedding of the concrete
+// heap: a mapping m from live cells to nodes such that
+//
+//   - pvar bindings agree: p -> l in the heap iff p -> m(l) in PL
+//     (and p NULL iff p unbound in PL);
+//   - every heap reference maps to an NL link: l1.sel = l2 implies
+//     <m(l1), sel, m(l2)> in NL; l1.sel = NULL implies sel not in
+//     SELOUT(m(l1)) unless some cell mapped to the node has the field
+//     (definite SELOUT requires *all* represented cells to have it);
+//   - node properties are respected: types match; a Singleton node
+//     receives at most one cell; SHARED(n)=false forbids mapping a
+//     cell with 2+ incoming heap references to n; SHSEL(n,sel)=false
+//     forbids a cell with 2+ incoming sel references; definite SELIN /
+//     SELOUT entries hold for every mapped cell; cycle links hold for
+//     every mapped cell.
+//
+// Nodes may be unmapped (embeddings are not surjective; see the
+// materialization notes in the rsg package).
+func Embeds(g *rsg.Graph, h *Heap) (bool, string) {
+	reach := h.Reachable()
+	var cells []*Cell
+	for l := range reach {
+		if c := h.Cell(l); c != nil {
+			cells = append(cells, c)
+		}
+	}
+	sort.Slice(cells, func(i, j int) bool { return cells[i].Loc < cells[j].Loc })
+
+	// Pvar agreement first (cheap rejection).
+	for p, l := range h.Pvars {
+		if l != 0 && g.PvarTarget(p) == nil {
+			return false, fmt.Sprintf("pvar %s non-NULL concretely but NULL in RSG", p)
+		}
+	}
+	for _, p := range g.Pvars() {
+		if h.Get(p) == 0 {
+			return false, fmt.Sprintf("pvar %s NULL concretely but bound in RSG", p)
+		}
+	}
+
+	total, bySel := h.InDegree()
+
+	// Candidate nodes per cell.
+	cand := make(map[Loc][]rsg.NodeID)
+	for _, c := range cells {
+		var ns []rsg.NodeID
+		for _, n := range g.Nodes() {
+			if cellFitsNode(g, h, c, n, total[c.Loc], bySel[c.Loc]) {
+				ns = append(ns, n.ID)
+			}
+		}
+		if len(ns) == 0 {
+			return false, fmt.Sprintf("cell L%d (%s) fits no node", c.Loc, c.Type)
+		}
+		// Pvar-forced assignment.
+		for p, l := range h.Pvars {
+			if l == c.Loc {
+				want := g.PvarTarget(p)
+				found := false
+				for _, id := range ns {
+					if id == want.ID {
+						found = true
+						break
+					}
+				}
+				if !found {
+					return false, fmt.Sprintf("cell L%d bound to %s cannot map to its PL node", c.Loc, p)
+				}
+				ns = []rsg.NodeID{want.ID}
+			}
+		}
+		cand[c.Loc] = ns
+	}
+
+	// Backtracking search for a consistent assignment.
+	assign := make(map[Loc]rsg.NodeID, len(cells))
+	if ok := assignCells(g, h, cells, 0, cand, assign); !ok {
+		return false, "no consistent cell-to-node assignment"
+	}
+	return true, ""
+}
+
+// cellFitsNode checks the per-cell constraints against one node.
+func cellFitsNode(g *rsg.Graph, h *Heap, c *Cell, n *rsg.Node, inTotal int, inBySel map[string]int) bool {
+	if n.Type != c.Type {
+		return false
+	}
+	if !n.Shared && inTotal >= 2 {
+		return false
+	}
+	for sel, cnt := range inBySel {
+		if cnt >= 2 && !n.SharedBy(sel) {
+			return false
+		}
+	}
+	// Definite SELOUT: the cell must have the reference.
+	for sel := range n.SelOut {
+		if c.Fields[sel] == 0 {
+			return false
+		}
+	}
+	// SELOUT completeness: a non-NULL field requires sel in SELOUT or
+	// PosSELOUT (otherwise the node claims no location has it)...
+	for sel, t := range c.Fields {
+		if t != 0 && !n.SelOut.Has(sel) && !n.PosSelOut.Has(sel) {
+			return false
+		}
+	}
+	// Definite SELIN: the cell must be referenced through the selector.
+	_, bySel := h.InDegree()
+	for sel := range n.SelIn {
+		if bySel[c.Loc][sel] == 0 {
+			return false
+		}
+	}
+	// Cycle links: following Out then In from the cell returns to it.
+	for pair := range n.Cycle {
+		t := c.Fields[pair.Out]
+		if t == 0 {
+			continue // vacuous when the Out field is NULL? No: the pair
+			// claims the reference pattern only for existing refs; the
+			// paper couples it with SELOUT. Treat NULL as vacuous.
+		}
+		tc := h.Cell(t)
+		if tc == nil || tc.Fields[pair.In] != c.Loc {
+			return false
+		}
+	}
+	return true
+}
+
+// assignCells backtracks over candidate assignments, enforcing link
+// coverage and singleton capacity.
+func assignCells(g *rsg.Graph, h *Heap, cells []*Cell, idx int, cand map[Loc][]rsg.NodeID, assign map[Loc]rsg.NodeID) bool {
+	if idx == len(cells) {
+		return checkLinks(g, h, assign)
+	}
+	c := cells[idx]
+	for _, id := range cand[c.Loc] {
+		if g.Node(id).Singleton {
+			used := false
+			for _, a := range assign {
+				if a == id {
+					used = true
+					break
+				}
+			}
+			if used {
+				continue
+			}
+		}
+		assign[c.Loc] = id
+		if partialLinksOK(g, h, cells[:idx+1], assign) && assignCells(g, h, cells, idx+1, cand, assign) {
+			return true
+		}
+		delete(assign, c.Loc)
+	}
+	return false
+}
+
+// partialLinksOK verifies link coverage among already-assigned cells.
+func partialLinksOK(g *rsg.Graph, h *Heap, done []*Cell, assign map[Loc]rsg.NodeID) bool {
+	for _, c := range done {
+		src, ok := assign[c.Loc]
+		if !ok {
+			continue
+		}
+		for sel, t := range c.Fields {
+			if t == 0 {
+				continue
+			}
+			dst, ok := assign[t]
+			if !ok {
+				continue
+			}
+			if !g.HasLink(src, sel, dst) {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// checkLinks verifies full link coverage.
+func checkLinks(g *rsg.Graph, h *Heap, assign map[Loc]rsg.NodeID) bool {
+	for l, src := range assign {
+		c := h.Cell(l)
+		for sel, t := range c.Fields {
+			if t == 0 {
+				continue
+			}
+			dst, ok := assign[t]
+			if !ok {
+				return false
+			}
+			if !g.HasLink(src, sel, dst) {
+				return false
+			}
+		}
+	}
+	return true
+}

@@ -1,0 +1,192 @@
+package concrete
+
+import (
+	"testing"
+
+	"repro/internal/rsg"
+	"repro/internal/rsrsg"
+)
+
+// listHeap builds a concrete singly-linked list of n cells with pvar
+// "h" at the head.
+func listHeap(n int) *Heap {
+	h := NewHeap()
+	var prev Loc
+	for i := 0; i < n; i++ {
+		l := h.Alloc("node", []string{"nxt"})
+		if i == 0 {
+			h.Set("h", l)
+		} else {
+			h.Cell(prev).Fields["nxt"] = l
+		}
+		prev = l
+	}
+	return h
+}
+
+// listRSG builds the abstract 2+-element list (head/middle/tail) with
+// pvar "h".
+func listRSG() *rsg.Graph {
+	g := rsg.NewGraph()
+	hd := rsg.NewNode("node")
+	hd.Singleton = true
+	hd.MarkDefiniteOut("nxt")
+	g.AddNode(hd)
+	mid := rsg.NewNode("node")
+	mid.MarkDefiniteIn("nxt")
+	mid.MarkDefiniteOut("nxt")
+	g.AddNode(mid)
+	tl := rsg.NewNode("node")
+	tl.Singleton = true
+	tl.MarkDefiniteIn("nxt")
+	g.AddNode(tl)
+	g.AddLink(hd.ID, "nxt", mid.ID)
+	g.AddLink(hd.ID, "nxt", tl.ID)
+	g.AddLink(mid.ID, "nxt", mid.ID)
+	g.AddLink(mid.ID, "nxt", tl.ID)
+	g.SetPvar("h", hd.ID)
+	return g
+}
+
+func TestEmbedsList(t *testing.T) {
+	g := listRSG()
+	for _, n := range []int{2, 3, 6} {
+		if ok, why := Embeds(g, listHeap(n)); !ok {
+			t.Errorf("%d-element list must embed: %s", n, why)
+		}
+	}
+	// A 1-element list does not embed: the head claims a definite nxt.
+	if ok, _ := Embeds(g, listHeap(1)); ok {
+		t.Error("1-element list must not embed (head SELOUT is definite)")
+	}
+}
+
+func TestEmbedsRejectsWrongPvars(t *testing.T) {
+	g := listRSG()
+	h := listHeap(3)
+	h.Set("x", h.Get("h")) // extra bound pvar not in the RSG
+	if ok, _ := Embeds(g, h); ok {
+		t.Error("heap with extra bound pvar must not embed")
+	}
+	h2 := listHeap(3)
+	h2.Set("h", 0) // h NULL concretely but bound in the RSG
+	if ok, _ := Embeds(g, h2); ok {
+		t.Error("heap with NULL h must not embed")
+	}
+}
+
+func TestEmbedsRespectsSharing(t *testing.T) {
+	// Concrete: two cells point at one target through nxt.
+	h := NewHeap()
+	a := h.Alloc("node", []string{"nxt"})
+	b := h.Alloc("node", []string{"nxt"})
+	tgt := h.Alloc("node", []string{"nxt"})
+	h.Set("a", a)
+	h.Set("b", b)
+	h.Cell(a).Fields["nxt"] = tgt
+	h.Cell(b).Fields["nxt"] = tgt
+
+	// Abstract graph without SHSEL on the target: must reject.
+	g := rsg.NewGraph()
+	na := rsg.NewNode("node")
+	na.Singleton = true
+	na.MarkDefiniteOut("nxt")
+	g.AddNode(na)
+	nb := rsg.NewNode("node")
+	nb.Singleton = true
+	nb.MarkDefiniteOut("nxt")
+	g.AddNode(nb)
+	nt := rsg.NewNode("node")
+	nt.Singleton = true
+	nt.MarkDefiniteIn("nxt")
+	g.AddNode(nt)
+	g.AddLink(na.ID, "nxt", nt.ID)
+	g.AddLink(nb.ID, "nxt", nt.ID)
+	g.SetPvar("a", na.ID)
+	g.SetPvar("b", nb.ID)
+
+	if ok, _ := Embeds(g, h); ok {
+		t.Error("doubly-referenced cell must not embed into an unshared node")
+	}
+	nt.Shared = true
+	nt.ShSel.Add("nxt")
+	if ok, why := Embeds(g, h); !ok {
+		t.Errorf("with SHSEL the heap must embed: %s", why)
+	}
+}
+
+func TestEmbedsRespectsCycleLinks(t *testing.T) {
+	// Concrete: a -> b via nxt, b -> a via prv (a doubly pair).
+	h := NewHeap()
+	a := h.Alloc("node", []string{"nxt", "prv"})
+	b := h.Alloc("node", []string{"nxt", "prv"})
+	h.Set("a", a)
+	h.Cell(a).Fields["nxt"] = b
+	h.Cell(b).Fields["prv"] = a
+
+	g := rsg.NewGraph()
+	na := rsg.NewNode("node")
+	na.Singleton = true
+	na.MarkDefiniteOut("nxt")
+	na.Cycle.Add(rsg.CyclePair{Out: "nxt", In: "prv"})
+	g.AddNode(na)
+	nb := rsg.NewNode("node")
+	nb.Singleton = true
+	nb.MarkDefiniteIn("nxt")
+	nb.MarkDefiniteOut("prv")
+	g.AddNode(nb)
+	g.AddLink(na.ID, "nxt", nb.ID)
+	g.AddLink(nb.ID, "prv", na.ID)
+	g.SetPvar("a", na.ID)
+
+	if ok, why := Embeds(g, h); !ok {
+		t.Fatalf("cyclic pair must embed: %s", why)
+	}
+
+	// Break the concrete back link: the cycle-link claim now fails.
+	h.Cell(b).Fields["prv"] = 0
+	if ok, _ := Embeds(g, h); ok {
+		t.Error("broken cycle must not embed into a node with the cycle link")
+	}
+}
+
+func TestEmbedsSingletonCapacity(t *testing.T) {
+	// Two concrete cells cannot both map onto one singleton node.
+	h := NewHeap()
+	a := h.Alloc("node", []string{"nxt"})
+	b := h.Alloc("node", []string{"nxt"})
+	h.Set("a", a)
+	h.Cell(a).Fields["nxt"] = b
+
+	g := rsg.NewGraph()
+	n := rsg.NewNode("node")
+	n.Singleton = true
+	n.MarkPossibleOut("nxt")
+	n.MarkPossibleIn("nxt")
+	g.AddNode(n)
+	g.AddLink(n.ID, "nxt", n.ID)
+	g.SetPvar("a", n.ID)
+
+	if ok, _ := Embeds(g, h); ok {
+		t.Error("two cells must not share one singleton node")
+	}
+	n.Singleton = false
+	if ok, why := Embeds(g, h); !ok {
+		t.Errorf("a summary accepts both cells: %s", why)
+	}
+}
+
+func TestCoversReportsDetail(t *testing.T) {
+	set := rsrsg.New()
+	set.Add(listRSG())
+	ok, why := Covers(set, listHeap(1))
+	if ok {
+		t.Fatal("1-element list must not be covered")
+	}
+	if why == "" {
+		t.Error("negative verdicts must carry an explanation")
+	}
+	if ok, _ := Covers(set, listHeap(4)); !ok {
+		t.Error("4-element list must be covered")
+	}
+}

@@ -1,0 +1,91 @@
+package concrete
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"repro/internal/analysis"
+	"repro/internal/rsg"
+)
+
+// genProgram emits a random mini-C program over three node pointers and
+// two selectors, with one loop in the middle. Dereferences through
+// possibly-NULL pvars are fine: the interpreter stops the trace and the
+// analysis drops the branch, and both must agree.
+func genProgram(r *rand.Rand) string {
+	var b strings.Builder
+	b.WriteString("struct node { int v; struct node *nxt; struct node *prv; };\n")
+	b.WriteString("void main(void) {\n")
+	b.WriteString("    struct node *p;\n    struct node *q;\n    struct node *r;\n")
+
+	pvars := []string{"p", "q", "r"}
+	sels := []string{"nxt", "prv"}
+	stmt := func() string {
+		x := pvars[r.Intn(3)]
+		y := pvars[r.Intn(3)]
+		sel := sels[r.Intn(2)]
+		switch r.Intn(12) {
+		case 0, 1, 2:
+			return fmt.Sprintf("%s = malloc(sizeof(struct node));", x)
+		case 3:
+			return fmt.Sprintf("%s = NULL;", x)
+		case 4, 5:
+			return fmt.Sprintf("%s = %s;", x, y)
+		case 6, 7:
+			return fmt.Sprintf("if (%s != NULL) { %s->%s = %s; }", x, x, sel, y)
+		case 8:
+			return fmt.Sprintf("if (%s != NULL) { %s->%s = NULL; }", x, x, sel)
+		case 9, 10:
+			return fmt.Sprintf("if (%s != NULL) { %s = %s->%s; }", y, x, y, sel)
+		default:
+			return fmt.Sprintf("%s->%s = %s;", x, sel, y) // may NULL-deref
+		}
+	}
+	n := 4 + r.Intn(5)
+	for i := 0; i < n; i++ {
+		fmt.Fprintf(&b, "    %s\n", stmt())
+	}
+	b.WriteString("    while (cond) {\n")
+	m := 3 + r.Intn(4)
+	for i := 0; i < m; i++ {
+		fmt.Fprintf(&b, "        %s\n", stmt())
+	}
+	b.WriteString("    }\n")
+	for i := 0; i < 3; i++ {
+		fmt.Fprintf(&b, "    %s\n", stmt())
+	}
+	b.WriteString("}\n")
+	return b.String()
+}
+
+// TestFuzzSoundness cross-validates the analysis against the concrete
+// interpreter on randomly generated programs: every reachable concrete
+// heap must be covered by the RSRSG of its statement, at every level.
+func TestFuzzSoundness(t *testing.T) {
+	programs := 30
+	traces := 10
+	if testing.Short() {
+		programs, traces = 4, 4
+	}
+	seedRng := rand.New(rand.NewSource(20260706))
+	for i := 0; i < programs; i++ {
+		src := genProgram(rand.New(rand.NewSource(seedRng.Int63())))
+		prog := compile(t, src)
+		for _, lvl := range []rsg.Level{rsg.L1, rsg.L3} {
+			res, err := analysis.Run(prog, analysis.Options{Level: lvl, MaxVisits: 50000})
+			if err != nil {
+				t.Fatalf("program %d at %s: %v\n%s", i, lvl, err, src)
+			}
+			func() {
+				defer func() {
+					if r := recover(); r != nil {
+						t.Fatalf("program %d at %s panicked: %v\n%s", i, lvl, r, src)
+					}
+				}()
+				CheckTraces(t, prog, res, traces, int64(1000+i))
+			}()
+		}
+	}
+}

@@ -1,0 +1,180 @@
+// Package concrete implements a concrete interpreter for the IR, an
+// abstraction function from concrete heaps to RSGs, and an embedding
+// check that validates the analysis results: every concrete memory
+// configuration observable at a program point must be covered by some
+// RSG of the computed RSRSG. The analysis tests use it to machine-check
+// soundness on randomized executions.
+package concrete
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Loc identifies one allocated cell.
+type Loc int
+
+// Cell is one concrete heap cell.
+type Cell struct {
+	Loc    Loc
+	Type   string
+	Fields map[string]Loc // selector -> target (0 = NULL)
+}
+
+// Heap is a concrete memory configuration: cells plus pvar bindings.
+type Heap struct {
+	Cells map[Loc]*Cell
+	Pvars map[string]Loc // pvar -> cell (absent or 0 = NULL)
+	next  Loc
+}
+
+// NewHeap returns an empty heap.
+func NewHeap() *Heap {
+	return &Heap{
+		Cells: make(map[Loc]*Cell),
+		Pvars: make(map[string]Loc),
+	}
+}
+
+// Alloc creates a fresh cell of the given type with NULL fields.
+func (h *Heap) Alloc(typ string, selectors []string) Loc {
+	h.next++
+	c := &Cell{Loc: h.next, Type: typ, Fields: make(map[string]Loc, len(selectors))}
+	for _, s := range selectors {
+		c.Fields[s] = 0
+	}
+	h.Cells[h.next] = c
+	return h.next
+}
+
+// Get returns the pvar binding (0 = NULL).
+func (h *Heap) Get(p string) Loc { return h.Pvars[p] }
+
+// Set binds a pvar (0 clears it).
+func (h *Heap) Set(p string, l Loc) {
+	if l == 0 {
+		delete(h.Pvars, p)
+		return
+	}
+	h.Pvars[p] = l
+}
+
+// Cell returns the cell at l, or nil.
+func (h *Heap) Cell(l Loc) *Cell { return h.Cells[l] }
+
+// Reachable returns every cell reachable from the pvars.
+func (h *Heap) Reachable() map[Loc]struct{} {
+	seen := make(map[Loc]struct{})
+	var stack []Loc
+	for _, l := range h.Pvars {
+		if l != 0 {
+			if _, ok := seen[l]; !ok {
+				seen[l] = struct{}{}
+				stack = append(stack, l)
+			}
+		}
+	}
+	for len(stack) > 0 {
+		l := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		c := h.Cells[l]
+		if c == nil {
+			continue
+		}
+		for _, t := range c.Fields {
+			if t != 0 {
+				if _, ok := seen[t]; !ok {
+					seen[t] = struct{}{}
+					stack = append(stack, t)
+				}
+			}
+		}
+	}
+	return seen
+}
+
+// GC drops unreachable cells (mirrors the abstraction's garbage
+// collection so embeddings compare live structure only).
+func (h *Heap) GC() {
+	reach := h.Reachable()
+	for l := range h.Cells {
+		if _, ok := reach[l]; !ok {
+			delete(h.Cells, l)
+		}
+	}
+}
+
+// Clone returns a deep copy of the heap.
+func (h *Heap) Clone() *Heap {
+	c := NewHeap()
+	c.next = h.next
+	for l, cell := range h.Cells {
+		nc := &Cell{Loc: l, Type: cell.Type, Fields: make(map[string]Loc, len(cell.Fields))}
+		for s, t := range cell.Fields {
+			nc.Fields[s] = t
+		}
+		c.Cells[l] = nc
+	}
+	for p, l := range h.Pvars {
+		c.Pvars[p] = l
+	}
+	return c
+}
+
+// InDegree returns, per cell, the number of incoming heap references
+// and the per-selector incoming reference counts.
+func (h *Heap) InDegree() (total map[Loc]int, bySel map[Loc]map[string]int) {
+	total = make(map[Loc]int)
+	bySel = make(map[Loc]map[string]int)
+	for _, c := range h.Cells {
+		for sel, t := range c.Fields {
+			if t == 0 {
+				continue
+			}
+			total[t]++
+			m := bySel[t]
+			if m == nil {
+				m = make(map[string]int)
+				bySel[t] = m
+			}
+			m[sel]++
+		}
+	}
+	return total, bySel
+}
+
+// String renders the heap deterministically.
+func (h *Heap) String() string {
+	var b strings.Builder
+	var ps []string
+	for p := range h.Pvars {
+		ps = append(ps, p)
+	}
+	sort.Strings(ps)
+	for _, p := range ps {
+		fmt.Fprintf(&b, "%s -> L%d\n", p, h.Pvars[p])
+	}
+	var ls []Loc
+	for l := range h.Cells {
+		ls = append(ls, l)
+	}
+	sort.Slice(ls, func(i, j int) bool { return ls[i] < ls[j] })
+	for _, l := range ls {
+		c := h.Cells[l]
+		fmt.Fprintf(&b, "L%d:%s{", l, c.Type)
+		var sels []string
+		for s := range c.Fields {
+			sels = append(sels, s)
+		}
+		sort.Strings(sels)
+		for i, s := range sels {
+			if i > 0 {
+				b.WriteString(" ")
+			}
+			fmt.Fprintf(&b, "%s=L%d", s, c.Fields[s])
+		}
+		b.WriteString("}\n")
+	}
+	return b.String()
+}

@@ -1,0 +1,144 @@
+package concrete
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/ir"
+)
+
+// Trace is one recorded execution: the statements executed and the heap
+// after each.
+type Trace struct {
+	// Steps[i] pairs the executed statement ID with the heap state
+	// after it (already garbage collected).
+	Steps []Step
+	// NullDeref is set when the execution dereferenced NULL; the trace
+	// stops at that point.
+	NullDeref bool
+}
+
+// Step is one executed statement and the resulting heap.
+type Step struct {
+	StmtID int
+	Heap   *Heap
+}
+
+// Interp executes the IR concretely. Branch decisions at opaque
+// conditions are drawn from rng; loops and the total step count are
+// bounded so every run terminates.
+type Interp struct {
+	Prog *ir.Program
+	Rng  *rand.Rand
+	// MaxSteps bounds the executed statements (default 4000).
+	MaxSteps int
+}
+
+// Run executes from the entry and returns the trace.
+func (it *Interp) Run() (*Trace, error) {
+	maxSteps := it.MaxSteps
+	if maxSteps == 0 {
+		maxSteps = 4000
+	}
+	h := NewHeap()
+	tr := &Trace{}
+	cur := it.Prog.Entry
+	for steps := 0; steps < maxSteps; steps++ {
+		s := it.Prog.Stmt(cur)
+		ok, err := it.exec(s, h)
+		if err != nil {
+			return nil, err
+		}
+		if !ok {
+			tr.NullDeref = true
+			return tr, nil
+		}
+		h.GC()
+		tr.Steps = append(tr.Steps, Step{StmtID: cur, Heap: h.Clone()})
+		if s.Op == ir.OpExit {
+			return tr, nil
+		}
+		next, err := it.pick(s, h)
+		if err != nil {
+			return nil, err
+		}
+		cur = next
+	}
+	// Step budget exhausted mid-loop: the trace so far is still a valid
+	// prefix execution.
+	return tr, nil
+}
+
+// exec applies one statement; ok=false signals a NULL dereference.
+func (it *Interp) exec(s *ir.Stmt, h *Heap) (bool, error) {
+	switch s.Op {
+	case ir.OpNil:
+		h.Set(s.X, 0)
+	case ir.OpMalloc:
+		sels := it.Prog.Selectors[s.Type]
+		h.Set(s.X, h.Alloc(s.Type, sels))
+	case ir.OpCopy:
+		h.Set(s.X, h.Get(s.Y))
+	case ir.OpSelNil:
+		l := h.Get(s.X)
+		if l == 0 {
+			return false, nil
+		}
+		c := h.Cell(l)
+		if c == nil {
+			return false, fmt.Errorf("concrete: dangling pvar %s", s.X)
+		}
+		c.Fields[s.Sel] = 0
+	case ir.OpSelCopy:
+		l := h.Get(s.X)
+		if l == 0 {
+			return false, nil
+		}
+		c := h.Cell(l)
+		if c == nil {
+			return false, fmt.Errorf("concrete: dangling pvar %s", s.X)
+		}
+		c.Fields[s.Sel] = h.Get(s.Y)
+	case ir.OpLoad:
+		l := h.Get(s.Y)
+		if l == 0 {
+			return false, nil
+		}
+		c := h.Cell(l)
+		if c == nil {
+			return false, fmt.Errorf("concrete: dangling pvar %s", s.Y)
+		}
+		h.Set(s.X, c.Fields[s.Sel])
+	case ir.OpAssumeNull, ir.OpAssumeNonNull,
+		ir.OpNoop, ir.OpEntry, ir.OpExit:
+		// Assumes are handled by successor selection; no heap effect.
+	}
+	return true, nil
+}
+
+// pick chooses the successor, respecting assume statements.
+func (it *Interp) pick(s *ir.Stmt, h *Heap) (int, error) {
+	var viable []int
+	for _, succ := range s.Succs {
+		n := it.Prog.Stmt(succ)
+		switch n.Op {
+		case ir.OpAssumeNull:
+			if h.Get(n.X) == 0 {
+				viable = append(viable, succ)
+			}
+		case ir.OpAssumeNonNull:
+			if h.Get(n.X) != 0 {
+				viable = append(viable, succ)
+			}
+		default:
+			viable = append(viable, succ)
+		}
+	}
+	if len(viable) == 0 {
+		if len(s.Succs) == 0 {
+			return 0, fmt.Errorf("concrete: statement %d has no successors", s.ID)
+		}
+		return 0, fmt.Errorf("concrete: statement %d: no viable successor (assume deadlock)", s.ID)
+	}
+	return viable[it.Rng.Intn(len(viable))], nil
+}

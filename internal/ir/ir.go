@@ -1,0 +1,220 @@
+// Package ir defines the normalized intermediate representation the
+// shape analyzer executes symbolically: a statement-level control-flow
+// graph whose pointer statements are exactly the paper's six simple
+// instructions (Sect. 2), produced by lowering the mini-C AST with
+// temporary pvars.
+package ir
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Op enumerates IR statement kinds.
+type Op int
+
+// The six simple pointer statements of the paper, plus the control
+// operations the engine needs.
+const (
+	// OpNil is "x = NULL".
+	OpNil Op = iota
+	// OpMalloc is "x = malloc(sizeof(struct Type))".
+	OpMalloc
+	// OpCopy is "x = y".
+	OpCopy
+	// OpSelNil is "x->sel = NULL".
+	OpSelNil
+	// OpSelCopy is "x->sel = y".
+	OpSelCopy
+	// OpLoad is "x = y->sel".
+	OpLoad
+	// OpNoop has no pointer effect (scalar statements, free, labels).
+	OpNoop
+	// OpAssumeNull filters configurations where X is non-NULL (the true
+	// edge of an `x == NULL` condition).
+	OpAssumeNull
+	// OpAssumeNonNull filters configurations where X is NULL.
+	OpAssumeNonNull
+	// OpEntry is the unique function entry.
+	OpEntry
+	// OpExit is the unique function exit.
+	OpExit
+)
+
+// String returns the op mnemonic.
+func (o Op) String() string {
+	switch o {
+	case OpNil:
+		return "nil"
+	case OpMalloc:
+		return "malloc"
+	case OpCopy:
+		return "copy"
+	case OpSelNil:
+		return "selnil"
+	case OpSelCopy:
+		return "selcopy"
+	case OpLoad:
+		return "load"
+	case OpNoop:
+		return "noop"
+	case OpAssumeNull:
+		return "assume-null"
+	case OpAssumeNonNull:
+		return "assume-nonnull"
+	case OpEntry:
+		return "entry"
+	case OpExit:
+		return "exit"
+	}
+	return "?"
+}
+
+// Stmt is one IR statement, a node of the CFG.
+type Stmt struct {
+	ID   int
+	Op   Op
+	X    string // destination pvar / dereferenced pvar
+	Y    string // source pvar (copy, selcopy, load)
+	Sel  string // selector (selnil, selcopy, load)
+	Type string // allocated struct type (malloc)
+	Line int    // source line
+	// Succs are the IDs of the successor statements.
+	Succs []int
+	// Preds are the IDs of the predecessor statements (computed).
+	Preds []int
+	// Loops lists the IDs of the loops whose body contains this
+	// statement, innermost last.
+	Loops []int
+}
+
+// String renders the statement in C-like syntax.
+func (s *Stmt) String() string {
+	switch s.Op {
+	case OpNil:
+		return fmt.Sprintf("%s = NULL", s.X)
+	case OpMalloc:
+		return fmt.Sprintf("%s = malloc(struct %s)", s.X, s.Type)
+	case OpCopy:
+		return fmt.Sprintf("%s = %s", s.X, s.Y)
+	case OpSelNil:
+		return fmt.Sprintf("%s->%s = NULL", s.X, s.Sel)
+	case OpSelCopy:
+		return fmt.Sprintf("%s->%s = %s", s.X, s.Sel, s.Y)
+	case OpLoad:
+		return fmt.Sprintf("%s = %s->%s", s.X, s.Y, s.Sel)
+	case OpAssumeNull:
+		return fmt.Sprintf("assume %s == NULL", s.X)
+	case OpAssumeNonNull:
+		return fmt.Sprintf("assume %s != NULL", s.X)
+	default:
+		return s.Op.String()
+	}
+}
+
+// Loop describes one loop of the CFG.
+type Loop struct {
+	ID int
+	// Header is the statement ID the back edge returns to.
+	Header int
+	// Body is the set of statement IDs inside the loop (condition
+	// evaluation, body and post statements).
+	Body map[int]struct{}
+	// Induction is the set of induction pvars of this loop (filled by
+	// the induction package).
+	Induction map[string]struct{}
+	// Parent is the enclosing loop's ID, or -1.
+	Parent int
+	// Line is the source line of the loop statement.
+	Line int
+}
+
+// Program is a lowered function: the CFG plus type and loop metadata.
+type Program struct {
+	Name  string
+	Stmts []*Stmt
+	Entry int
+	Exit  int
+	Loops []*Loop
+	// PtrVars maps each pointer variable (including compiler
+	// temporaries) to its pointee struct name.
+	PtrVars map[string]string
+	// Selectors maps each struct name to its pointer-field selectors.
+	Selectors map[string][]string
+	// Temps lists the compiler-generated temporary pvars.
+	Temps []string
+}
+
+// Stmt returns the statement with the given ID.
+func (p *Program) Stmt(id int) *Stmt { return p.Stmts[id] }
+
+// ComputePreds fills in the Preds lists from the Succs lists.
+func (p *Program) ComputePreds() {
+	for _, s := range p.Stmts {
+		s.Preds = nil
+	}
+	for _, s := range p.Stmts {
+		for _, succ := range s.Succs {
+			p.Stmts[succ].Preds = append(p.Stmts[succ].Preds, s.ID)
+		}
+	}
+	for _, s := range p.Stmts {
+		sort.Ints(s.Preds)
+	}
+}
+
+// LoopsExited returns the loops left by the edge from stmt u to stmt v:
+// every loop containing u but not v, ordered innermost first.
+func (p *Program) LoopsExited(u, v int) []*Loop {
+	su, sv := p.Stmts[u], p.Stmts[v]
+	in := make(map[int]struct{}, len(sv.Loops))
+	for _, l := range sv.Loops {
+		in[l] = struct{}{}
+	}
+	var out []*Loop
+	for i := len(su.Loops) - 1; i >= 0; i-- {
+		l := su.Loops[i]
+		if _, ok := in[l]; !ok {
+			out = append(out, p.Loops[l])
+		}
+	}
+	return out
+}
+
+// InLoop reports whether the statement is inside any loop body.
+func (p *Program) InLoop(id int) bool { return len(p.Stmts[id].Loops) > 0 }
+
+// InductionFor returns the union of the induction pvar sets of every
+// loop enclosing the statement.
+func (p *Program) InductionFor(id int) map[string]struct{} {
+	out := make(map[string]struct{})
+	for _, l := range p.Stmts[id].Loops {
+		for pv := range p.Loops[l].Induction {
+			out[pv] = struct{}{}
+		}
+	}
+	return out
+}
+
+// String renders the program listing with successor edges.
+func (p *Program) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "func %s (entry=%d exit=%d)\n", p.Name, p.Entry, p.Exit)
+	for _, s := range p.Stmts {
+		fmt.Fprintf(&b, "%4d: %-30s -> %v", s.ID, s.String(), s.Succs)
+		if len(s.Loops) > 0 {
+			fmt.Fprintf(&b, "  loops=%v", s.Loops)
+		}
+		b.WriteString("\n")
+	}
+	for _, l := range p.Loops {
+		ids := make([]int, 0, len(l.Body))
+		for id := range l.Body {
+			ids = append(ids, id)
+		}
+		sort.Ints(ids)
+		fmt.Fprintf(&b, "loop %d: header=%d body=%v\n", l.ID, l.Header, ids)
+	}
+	return b.String()
+}

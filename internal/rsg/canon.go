@@ -1,0 +1,162 @@
+package rsg
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Signature returns a canonical textual form of the graph, independent
+// of node IDs for deterministically generated graphs. It is used for
+// fixed-point detection (has an RSRSG changed?) and for de-duplicating
+// graphs inside an RSRSG.
+//
+// The ordering is computed by a breadth-first traversal from the pvars
+// in sorted order, following selectors in sorted order; ties between
+// sibling targets are broken by a local node descriptor (properties +
+// SPATH), and as a last resort by node ID. The last-resort tie-break
+// means two differently-generated isomorphic graphs can, in rare
+// symmetric cases, produce different signatures; that costs a duplicate
+// RSG in the set (a precision/space issue, never a soundness issue),
+// and cannot prevent fixed-point detection because the transfer
+// functions themselves are deterministic.
+func Signature(g *Graph) string {
+	order := canonicalOrder(g)
+	index := make(map[NodeID]int, len(order))
+	for i, id := range order {
+		index[id] = i
+	}
+
+	var b strings.Builder
+	for _, p := range g.Pvars() {
+		fmt.Fprintf(&b, "P %s %d\n", p, index[g.PvarTarget(p).ID])
+	}
+	for i, id := range order {
+		n := g.Node(id)
+		fmt.Fprintf(&b, "N %d %s\n", i, nodeDescriptor(n))
+	}
+	// Emit edges grouped by canonical source index and selector; only
+	// the destination indices of each small group need sorting.
+	for _, id := range order {
+		srcIdx := index[id]
+		for _, sel := range g.OutSelectors(id) {
+			targets := g.Targets(id, sel)
+			dsts := make([]int, len(targets))
+			for i, t := range targets {
+				dsts[i] = index[t]
+			}
+			sort.Ints(dsts)
+			for _, d := range dsts {
+				fmt.Fprintf(&b, "L %d %s %d\n", srcIdx, sel, d)
+			}
+		}
+	}
+	return b.String()
+}
+
+// Hash returns a fixed-size digest of Signature(g).
+func Hash(g *Graph) string {
+	sum := sha256.Sum256([]byte(Signature(g)))
+	return hex.EncodeToString(sum[:16])
+}
+
+// nodeDescriptor encodes every intrinsic property of a node (ID
+// excluded) for use in signatures and tie-breaking.
+func nodeDescriptor(n *Node) string {
+	var b strings.Builder
+	b.WriteString(n.Type)
+	if n.Singleton {
+		b.WriteString("|1|")
+	} else {
+		b.WriteString("|*|")
+	}
+	if n.Shared {
+		b.WriteString("S|")
+	} else {
+		b.WriteString("s|")
+	}
+	b.WriteString(n.ShSel.String())
+	b.WriteByte('|')
+	b.WriteString(n.SelIn.String())
+	b.WriteByte('|')
+	b.WriteString(n.SelOut.String())
+	b.WriteByte('|')
+	b.WriteString(n.PosSelIn.String())
+	b.WriteByte('|')
+	b.WriteString(n.PosSelOut.String())
+	b.WriteByte('|')
+	b.WriteString(n.Cycle.String())
+	b.WriteByte('|')
+	b.WriteString(n.Touch.String())
+	return b.String()
+}
+
+// canonicalOrder returns the node IDs in BFS order from the sorted
+// pvars, with deterministic tie-breaking; unreachable nodes follow in
+// descriptor order.
+func canonicalOrder(g *Graph) []NodeID {
+	spaths := g.SPaths()
+	local := make(map[NodeID]string, g.NumNodes())
+	for _, id := range g.NodeIDs() {
+		local[id] = nodeDescriptor(g.Node(id)) + "@" + spaths[id].String()
+	}
+
+	var order []NodeID
+	seen := make(map[NodeID]struct{}, g.NumNodes())
+	push := func(id NodeID) {
+		if _, ok := seen[id]; !ok {
+			seen[id] = struct{}{}
+			order = append(order, id)
+		}
+	}
+	var queue []NodeID
+	for _, p := range g.Pvars() {
+		t := g.PvarTarget(p).ID
+		if _, ok := seen[t]; !ok {
+			push(t)
+			queue = append(queue, t)
+		}
+	}
+	for len(queue) > 0 {
+		id := queue[0]
+		queue = queue[1:]
+		for _, sel := range g.OutSelectors(id) {
+			targets := g.Targets(id, sel)
+			sort.Slice(targets, func(i, j int) bool {
+				a, b := targets[i], targets[j]
+				_, sa := seen[a]
+				_, sb := seen[b]
+				if sa != sb {
+					return sa // already-ordered nodes first, keeping BFS stable
+				}
+				if local[a] != local[b] {
+					return local[a] < local[b]
+				}
+				return a < b
+			})
+			for _, t := range targets {
+				if _, ok := seen[t]; !ok {
+					push(t)
+					queue = append(queue, t)
+				}
+			}
+		}
+	}
+	// Unreachable leftovers (normally garbage collected before this).
+	var rest []NodeID
+	for _, id := range g.NodeIDs() {
+		if _, ok := seen[id]; !ok {
+			rest = append(rest, id)
+		}
+	}
+	sort.Slice(rest, func(i, j int) bool {
+		if local[rest[i]] != local[rest[j]] {
+			return local[rest[i]] < local[rest[j]]
+		}
+		return rest[i] < rest[j]
+	})
+	order = append(order, rest...)
+	return order
+}

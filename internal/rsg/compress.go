@@ -1,0 +1,139 @@
+package rsg
+
+// Compress applies the paper's COMPRESS function (Sect. 3.1) to the
+// graph in place: every maximal group of chain-compatible nodes
+// (C_NODES_RSG) is summarized into one node via MERGE_COMP_NODES, and
+// PL/NL are remapped through MAP_RSG. The process repeats until no two
+// nodes are compatible, because a merge changes SPATHs and structure
+// and can enable further merges. Returns the number of merges applied.
+func Compress(g *Graph, lvl Level) int {
+	total := 0
+	for {
+		merges := compressOnce(g, lvl)
+		if merges == 0 {
+			return total
+		}
+		total += merges
+	}
+}
+
+// compressOnce performs one summarization round.
+func compressOnce(g *Graph, lvl Level) int {
+	ids := g.NodeIDs()
+	if len(ids) < 2 {
+		return 0
+	}
+	spaths := g.SPaths()
+	structure := g.StructureOf()
+
+	// Bucket by the equality-checked properties so the pairwise
+	// C_NODES_RSG tests only run within plausible groups.
+	buckets := make(map[string][]NodeID)
+	var order []string
+	for _, id := range ids {
+		n := g.Node(id)
+		key := n.propertyKey() + "|" + structure[id]
+		if _, ok := buckets[key]; !ok {
+			order = append(order, key)
+		}
+		buckets[key] = append(buckets[key], id)
+	}
+
+	// Union-find for chain compatibility (the paper summarizes chains
+	// n1..nk with C_NODES_RSG(n_i, n_{i+1}) for consecutive pairs).
+	parent := make(map[NodeID]NodeID, len(ids))
+	for _, id := range ids {
+		parent[id] = id
+	}
+	var find func(NodeID) NodeID
+	find = func(x NodeID) NodeID {
+		for parent[x] != x {
+			parent[x] = parent[parent[x]]
+			x = parent[x]
+		}
+		return x
+	}
+
+	merges := 0
+	for _, key := range order {
+		group := buckets[key]
+		for i := 0; i < len(group); i++ {
+			for j := i + 1; j < len(group); j++ {
+				a, b := group[i], group[j]
+				if find(a) == find(b) {
+					continue
+				}
+				na, nb := g.Node(a), g.Node(b)
+				if CNodesRSG(lvl, na, nb, spaths[a], spaths[b], structure[a], structure[b]) {
+					ra, rb := find(a), find(b)
+					if ra < rb {
+						parent[rb] = ra
+					} else {
+						parent[ra] = rb
+					}
+					merges++
+				}
+			}
+		}
+	}
+	if merges == 0 {
+		return 0
+	}
+
+	// Collect the groups (deterministic order by root id).
+	groups := make(map[NodeID][]*Node)
+	for _, id := range ids {
+		r := find(id)
+		groups[r] = append(groups[r], g.Node(id))
+	}
+	for root, members := range groups {
+		if len(members) < 2 {
+			continue
+		}
+		summarizeGroup(g, members)
+		_ = root
+	}
+	return merges
+}
+
+// summarizeGroup replaces the member nodes by one summary node,
+// retargeting PL and NL (the MAP_RSG of the paper).
+func summarizeGroup(g *Graph, members []*Node) {
+	merged := MergeCompNodes(g, members, true)
+	memberSet := make(map[NodeID]struct{}, len(members))
+	for _, m := range members {
+		memberSet[m.ID] = struct{}{}
+	}
+
+	// Gather the remapped links and pvar references before mutating.
+	var newLinks []Link
+	for _, l := range g.Links() {
+		_, srcIn := memberSet[l.Src]
+		_, dstIn := memberSet[l.Dst]
+		if !srcIn && !dstIn {
+			continue
+		}
+		newLinks = append(newLinks, l)
+	}
+	var pvars []string
+	for _, m := range members {
+		pvars = append(pvars, g.PvarsOf(m.ID)...)
+	}
+
+	node := g.AddNode(merged)
+	mapID := func(id NodeID) NodeID {
+		if _, ok := memberSet[id]; ok {
+			return node.ID
+		}
+		return id
+	}
+	for _, l := range newLinks {
+		g.AddLink(mapID(l.Src), l.Sel, mapID(l.Dst))
+	}
+	for _, p := range pvars {
+		g.SetPvar(p, node.ID)
+	}
+	for _, m := range members {
+		g.RemoveNode(m.ID)
+	}
+}

@@ -1,0 +1,316 @@
+package rsg
+
+import (
+	"sort"
+	"strings"
+)
+
+// SPathOf computes the SPATH derived property of a node: the set of
+// access paths of length <= 1 from pvars to it (Sect. 3). The
+// zero-length path <p, ""> is present when p references the node
+// directly; <p, sel> is present when p references a node m and
+// <m, sel, n> is in NL.
+func (g *Graph) SPathOf(id NodeID) SPathSet {
+	s := NewSPathSet()
+	for p, t := range g.pl {
+		if t == id {
+			s.Add(SPath{Pvar: p})
+		}
+	}
+	for p, t := range g.pl {
+		for _, sel := range g.OutSelectors(t) {
+			for _, dst := range g.Targets(t, sel) {
+				if dst == id {
+					s.Add(SPath{Pvar: p, Sel: sel})
+				}
+			}
+		}
+	}
+	return s
+}
+
+// SPaths computes SPATH for every node at once.
+func (g *Graph) SPaths() map[NodeID]SPathSet {
+	out := make(map[NodeID]SPathSet, len(g.nodes))
+	for id := range g.nodes {
+		out[id] = NewSPathSet()
+	}
+	for p, t := range g.pl {
+		out[t].Add(SPath{Pvar: p})
+		for _, sel := range g.OutSelectors(t) {
+			for _, dst := range g.Targets(t, sel) {
+				out[dst].Add(SPath{Pvar: p, Sel: sel})
+			}
+		}
+	}
+	return out
+}
+
+// StructureOf computes the STRUCTURE derived property for every node:
+// an identifier of the weakly-connected component the node belongs to,
+// keyed by the sorted set of pvars that can reach the component. Nodes
+// of different components are never summarized ("Structure avoids the
+// summarization of nodes representing non-connected components").
+func (g *Graph) StructureOf() map[NodeID]string {
+	// Union-find over undirected adjacency.
+	parent := make(map[NodeID]NodeID, len(g.nodes))
+	var find func(NodeID) NodeID
+	find = func(x NodeID) NodeID {
+		for parent[x] != x {
+			parent[x] = parent[parent[x]]
+			x = parent[x]
+		}
+		return x
+	}
+	union := func(a, b NodeID) {
+		ra, rb := find(a), find(b)
+		if ra != rb {
+			if ra < rb {
+				parent[rb] = ra
+			} else {
+				parent[ra] = rb
+			}
+		}
+	}
+	for id := range g.nodes {
+		parent[id] = id
+	}
+	for _, l := range g.Links() {
+		union(l.Src, l.Dst)
+	}
+	// Collect, per component, the sorted pvars anchored in it.
+	pvarsByRoot := make(map[NodeID][]string)
+	for p, t := range g.pl {
+		r := find(t)
+		pvarsByRoot[r] = append(pvarsByRoot[r], p)
+	}
+	out := make(map[NodeID]string, len(g.nodes))
+	for id := range g.nodes {
+		r := find(id)
+		ps := pvarsByRoot[r]
+		sort.Strings(ps)
+		if len(ps) == 0 {
+			// Unreachable component: identify by its root id so distinct
+			// garbage components stay distinct until collected.
+			out[id] = "#" + itoa(int(r))
+			continue
+		}
+		out[id] = strings.Join(ps, ",")
+	}
+	return out
+}
+
+func itoa(v int) string {
+	if v == 0 {
+		return "0"
+	}
+	neg := v < 0
+	if neg {
+		v = -v
+	}
+	var buf [20]byte
+	i := len(buf)
+	for v > 0 {
+		i--
+		buf[i] = byte('0' + v%10)
+		v /= 10
+	}
+	if neg {
+		i--
+		buf[i] = '-'
+	}
+	return string(buf[i:])
+}
+
+// Reachable returns the set of nodes reachable from any pvar by
+// following NL links forward.
+func (g *Graph) Reachable() map[NodeID]struct{} {
+	seen := make(map[NodeID]struct{})
+	var stack []NodeID
+	for _, t := range g.pl {
+		if _, ok := seen[t]; !ok {
+			seen[t] = struct{}{}
+			stack = append(stack, t)
+		}
+	}
+	for len(stack) > 0 {
+		id := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for _, sel := range g.OutSelectors(id) {
+			for _, dst := range g.Targets(id, sel) {
+				if _, ok := seen[dst]; !ok {
+					seen[dst] = struct{}{}
+					stack = append(stack, dst)
+				}
+			}
+		}
+	}
+	return seen
+}
+
+// CollectGarbage removes every node not reachable from a pvar and
+// returns how many nodes were removed. Memory that no pvar can reach
+// can never be navigated by the program again, so dropping it keeps the
+// graph a valid approximation of the live structure (this is how node
+// n2 disappears in the paper's Fig. 1(c) walk-through).
+//
+// A garbage location may still reference surviving locations, so before
+// a garbage node is dropped, the definite SELIN entries of its
+// surviving link targets are demoted to possible when the dropped link
+// was their witness: the incoming reference still exists concretely,
+// the graph just stops modelling its origin.
+func (g *Graph) CollectGarbage() int {
+	reach := g.Reachable()
+	removed := 0
+	for _, id := range g.NodeIDs() {
+		if _, ok := reach[id]; !ok {
+			for _, l := range g.OutLinks(id) {
+				if _, survives := reach[l.Dst]; !survives || l.Dst == id {
+					continue
+				}
+				dst := g.nodes[l.Dst]
+				if dst != nil && dst.SelIn.Has(l.Sel) {
+					dst.SelIn.Remove(l.Sel)
+					dst.PosSelIn.Add(l.Sel)
+				}
+			}
+			g.RemoveNode(id)
+			removed++
+		}
+	}
+	return removed
+}
+
+// DefiniteLink reports whether <src, sel, dst> holds in *every* concrete
+// configuration the graph covers: the source is a singleton whose sel
+// reference definitely exists (sel in SELOUT) and dst is its only
+// possible target.
+func (g *Graph) DefiniteLink(src NodeID, sel string, dst NodeID) bool {
+	s := g.nodes[src]
+	if s == nil || !s.Singleton || !s.SelOut.Has(sel) {
+		return false
+	}
+	ts := g.Targets(src, sel)
+	return len(ts) == 1 && ts[0] == dst
+}
+
+// RefreshSingleton recomputes the share and reference-pattern state of a
+// singleton node from the graph after links around it changed. For a
+// singleton the graph is the ground truth:
+//
+//   - sel in SELIN iff some incoming sel link is definite; otherwise
+//     sel in PosSELIN iff any incoming sel link remains.
+//   - SHSEL(n, sel) can be reset to false when every remaining incoming
+//     sel link comes from a singleton source and at most one remains.
+//     Links from summary sources have unknown multiplicity, so they can
+//     sustain sharing but never prove its absence: in that case the
+//     previous value is kept.
+//   - SHARED aggregates the same reasoning across all selectors.
+//
+// Outgoing definite sets are left to the abstract semantics, which
+// knows whether a store created or destroyed the reference; this
+// function only demotes definite-out entries that no longer have any
+// witnessing link.
+func (g *Graph) RefreshSingleton(id NodeID) {
+	n := g.nodes[id]
+	if n == nil || !n.Singleton {
+		return
+	}
+	// Incoming reference pattern.
+	allSels := NewSelSet()
+	for _, sel := range g.InSelectors(id) {
+		allSels.Add(sel)
+	}
+	for _, sel := range n.SelIn.Sorted() {
+		allSels.Add(sel)
+	}
+	for _, sel := range n.PosSelIn.Sorted() {
+		allSels.Add(sel)
+	}
+	for _, sel := range allSels.Sorted() {
+		srcs := g.Sources(id, sel)
+		if len(srcs) == 0 {
+			n.ClearIn(sel)
+			continue
+		}
+		definite := false
+		for _, s := range srcs {
+			if g.DefiniteLink(s, sel, id) {
+				definite = true
+				break
+			}
+		}
+		if definite {
+			n.MarkDefiniteIn(sel)
+		} else {
+			n.SelIn.Remove(sel)
+			n.MarkPossibleIn(sel)
+		}
+	}
+	// Share information. Refresh only ever *lowers* the share flags:
+	// sharing is created exclusively by the store semantics (absem's
+	// link), where the update is exact. Raising here on link counts
+	// would confuse may-links (e.g. the duplicated candidates left by
+	// materialization) with simultaneous references and poison whole
+	// fixed points with spurious SHARED attributes.
+	totalLinks := 0
+	anySummarySource := false
+	for _, sel := range g.InSelectors(id) {
+		srcs := g.Sources(id, sel)
+		allSingleton := true
+		for _, s := range srcs {
+			if sn := g.nodes[s]; sn == nil || !sn.Singleton {
+				allSingleton = false
+				anySummarySource = true
+			}
+		}
+		if allSingleton && len(srcs) < 2 {
+			n.ShSel.Remove(sel)
+		}
+		totalLinks += len(srcs)
+	}
+	// Drop SHSEL entries for selectors with no incoming links at all.
+	for _, sel := range n.ShSel.Sorted() {
+		if len(g.Sources(id, sel)) == 0 {
+			n.ShSel.Remove(sel)
+		}
+	}
+	if !anySummarySource && totalLinks < 2 && len(n.ShSel) == 0 {
+		n.Shared = false
+	}
+	// Demote definite-out entries with no witnessing link.
+	for _, sel := range n.SelOut.Sorted() {
+		if len(g.Targets(id, sel)) == 0 {
+			n.ClearOut(sel)
+		}
+	}
+	for _, sel := range n.PosSelOut.Sorted() {
+		if len(g.Targets(id, sel)) == 0 {
+			n.PosSelOut.Remove(sel)
+		}
+	}
+}
+
+// RefreshCycleLinks recomputes CYCLELINKS for a singleton node: the pair
+// <selOut, selIn> is definite when the node's selOut reference
+// definitely exists, has a single target, and that target definitely
+// points back through selIn.
+func (g *Graph) RefreshCycleLinks(id NodeID) {
+	n := g.nodes[id]
+	if n == nil || !n.Singleton {
+		return
+	}
+	n.Cycle = NewCycleSet()
+	for _, selOut := range g.OutSelectors(id) {
+		ts := g.Targets(id, selOut)
+		if len(ts) != 1 || !n.SelOut.Has(selOut) {
+			continue
+		}
+		t := ts[0]
+		for _, selIn := range g.OutSelectors(t) {
+			if g.DefiniteLink(t, selIn, id) {
+				n.Cycle.Add(CyclePair{Out: selOut, In: selIn})
+			}
+		}
+	}
+}

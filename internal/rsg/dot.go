@@ -1,0 +1,64 @@
+package rsg
+
+import (
+	"fmt"
+	"strings"
+)
+
+// DOT renders the graph in Graphviz dot syntax. Summary nodes are drawn
+// with doubled borders; shared nodes are shaded; pvars appear as
+// plaintext sources.
+func DOT(g *Graph, name string) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "digraph %q {\n", name)
+	b.WriteString("  rankdir=LR;\n  node [shape=record, fontsize=10];\n")
+	for _, p := range g.Pvars() {
+		fmt.Fprintf(&b, "  pv_%s [shape=plaintext, label=%q];\n", sanitizeDot(p), p)
+	}
+	for _, n := range g.Nodes() {
+		var attrs []string
+		if !n.Singleton {
+			attrs = append(attrs, "peripheries=2")
+		}
+		if n.Shared {
+			attrs = append(attrs, `style=filled`, `fillcolor="#f2d7d5"`)
+		}
+		label := fmt.Sprintf("n%d: %s", n.ID, n.Type)
+		var props []string
+		if len(n.ShSel) > 0 {
+			props = append(props, "shsel="+n.ShSel.String())
+		}
+		if len(n.Cycle) > 0 {
+			props = append(props, "cyc="+n.Cycle.String())
+		}
+		if len(n.Touch) > 0 {
+			props = append(props, "touch="+n.Touch.String())
+		}
+		if len(props) > 0 {
+			label += "\\n" + strings.Join(props, " ")
+		}
+		attrs = append(attrs, fmt.Sprintf("label=%q", label))
+		fmt.Fprintf(&b, "  n%d [%s];\n", n.ID, strings.Join(attrs, ", "))
+	}
+	for _, p := range g.Pvars() {
+		fmt.Fprintf(&b, "  pv_%s -> n%d;\n", sanitizeDot(p), g.PvarTarget(p).ID)
+	}
+	for _, l := range g.Links() {
+		fmt.Fprintf(&b, "  n%d -> n%d [label=%q];\n", l.Src, l.Dst, l.Sel)
+	}
+	b.WriteString("}\n")
+	return b.String()
+}
+
+func sanitizeDot(s string) string {
+	var b strings.Builder
+	for _, r := range s {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r >= '0' && r <= '9', r == '_':
+			b.WriteRune(r)
+		default:
+			b.WriteByte('_')
+		}
+	}
+	return b.String()
+}

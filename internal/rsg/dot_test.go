@@ -1,0 +1,55 @@
+package rsg
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestDOTOutput(t *testing.T) {
+	g, n1, n2, _ := dlist(true)
+	n2.Touch.Add("p")
+	out := DOT(g, "fig1")
+	for _, want := range []string{
+		`digraph "fig1"`,
+		"pv_x -> n1",
+		"pv_last -> n3",
+		`label="nxt"`,
+		`label="prv"`,
+		"peripheries=2", // the summary node
+		"touch={p}",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("DOT output missing %q:\n%s", want, out)
+		}
+	}
+	_ = n1
+}
+
+func TestDOTSharedShading(t *testing.T) {
+	g := oneNode("t", "x")
+	g.PvarTarget("x").Shared = true
+	out := DOT(g, "s")
+	if !strings.Contains(out, "fillcolor") {
+		t.Errorf("shared nodes must be shaded:\n%s", out)
+	}
+}
+
+func TestSanitizeDot(t *testing.T) {
+	g := NewGraph()
+	n := g.AddNode(NewNode("t"))
+	g.SetPvar("__t1_node", n.ID)
+	out := DOT(g, "weird name-with.dots")
+	if !strings.Contains(out, "pv___t1_node") {
+		t.Errorf("pvar name not sanitized:\n%s", out)
+	}
+}
+
+func TestGraphStringDeterministic(t *testing.T) {
+	g, _, _, _ := dlist(true)
+	if g.String() != g.String() {
+		t.Error("String must be deterministic")
+	}
+	if !strings.Contains(g.String(), "x -> n1") {
+		t.Errorf("String output:\n%s", g)
+	}
+}

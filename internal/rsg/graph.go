@@ -1,0 +1,399 @@
+package rsg
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Link is one NL entry <Src, Sel, Dst>: locations represented by Src may
+// reference locations represented by Dst through selector Sel.
+type Link struct {
+	Src NodeID
+	Sel string
+	Dst NodeID
+}
+
+// String renders the link as "<n1,sel,n2>".
+func (l Link) String() string {
+	return fmt.Sprintf("<n%d,%s,n%d>", l.Src, l.Sel, l.Dst)
+}
+
+// Graph is one Reference Shape Graph: RSG = (N, P, S, PL, NL).
+// The pvar set P and selector set S are implicit (P is the domain the
+// program declares; S is derivable from the type table); the graph
+// stores N, PL and NL. Within one RSG a pvar references at most one
+// node: a pointer variable holds a single value per concrete
+// configuration and the abstract semantics keep the distinct
+// possibilities in distinct RSGs of the RSRSG.
+type Graph struct {
+	nodes  map[NodeID]*Node
+	pl     map[string]NodeID                         // pvar -> node
+	out    map[NodeID]map[string]map[NodeID]struct{} // src -> sel -> dsts
+	in     map[NodeID]map[string]map[NodeID]struct{} // dst -> sel -> srcs
+	nextID NodeID
+	nLinks int
+}
+
+// NewGraph returns an empty RSG (no nodes; every pvar NULL).
+func NewGraph() *Graph {
+	return &Graph{
+		nodes: make(map[NodeID]*Node),
+		pl:    make(map[string]NodeID),
+		out:   make(map[NodeID]map[string]map[NodeID]struct{}),
+		in:    make(map[NodeID]map[string]map[NodeID]struct{}),
+	}
+}
+
+// Clone returns a deep copy of the graph. Node IDs are preserved.
+func (g *Graph) Clone() *Graph {
+	c := NewGraph()
+	c.nextID = g.nextID
+	for id, n := range g.nodes {
+		c.nodes[id] = n.Clone()
+	}
+	for p, id := range g.pl {
+		c.pl[p] = id
+	}
+	g.ForEachLink(func(l Link) { c.addLinkRaw(l) })
+	return c
+}
+
+// AddNode inserts n into the graph, assigning it a fresh ID, and
+// returns the node.
+func (g *Graph) AddNode(n *Node) *Node {
+	g.nextID++
+	n.ID = g.nextID
+	g.nodes[n.ID] = n
+	return n
+}
+
+// adoptNode inserts a node preserving its ID; used by clone-like
+// operations that rebuild a graph from pieces of others.
+func (g *Graph) adoptNode(n *Node) {
+	g.nodes[n.ID] = n
+	if n.ID > g.nextID {
+		g.nextID = n.ID
+	}
+}
+
+// Node returns the node with the given ID, or nil.
+func (g *Graph) Node(id NodeID) *Node { return g.nodes[id] }
+
+// NumNodes returns the number of nodes.
+func (g *Graph) NumNodes() int { return len(g.nodes) }
+
+// NumLinks returns the number of NL entries.
+func (g *Graph) NumLinks() int { return g.nLinks }
+
+// NodeIDs returns all node IDs in ascending order.
+func (g *Graph) NodeIDs() []NodeID {
+	ids := make([]int, 0, len(g.nodes))
+	for id := range g.nodes {
+		ids = append(ids, int(id))
+	}
+	sort.Ints(ids)
+	out := make([]NodeID, len(ids))
+	for i, id := range ids {
+		out[i] = NodeID(id)
+	}
+	return out
+}
+
+// Nodes returns all nodes ordered by ID.
+func (g *Graph) Nodes() []*Node {
+	out := make([]*Node, 0, len(g.nodes))
+	for _, id := range g.NodeIDs() {
+		out = append(out, g.nodes[id])
+	}
+	return out
+}
+
+// SetPvar makes pvar reference the node with the given ID.
+func (g *Graph) SetPvar(pvar string, id NodeID) {
+	if _, ok := g.nodes[id]; !ok {
+		panic(fmt.Sprintf("rsg: SetPvar(%s, n%d): no such node", pvar, id))
+	}
+	g.pl[pvar] = id
+}
+
+// ClearPvar makes pvar NULL.
+func (g *Graph) ClearPvar(pvar string) { delete(g.pl, pvar) }
+
+// PvarTarget returns the node a pvar references, or nil when the pvar
+// is NULL.
+func (g *Graph) PvarTarget(pvar string) *Node {
+	id, ok := g.pl[pvar]
+	if !ok {
+		return nil
+	}
+	return g.nodes[id]
+}
+
+// Pvars returns the pvars with a non-NULL reference, sorted.
+func (g *Graph) Pvars() []string {
+	out := make([]string, 0, len(g.pl))
+	for p := range g.pl {
+		out = append(out, p)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// PvarsOf returns the sorted pvars that reference the given node.
+func (g *Graph) PvarsOf(id NodeID) []string {
+	var out []string
+	for p, t := range g.pl {
+		if t == id {
+			out = append(out, p)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// AddLink inserts the NL entry <src, sel, dst>. It is idempotent.
+func (g *Graph) AddLink(src NodeID, sel string, dst NodeID) {
+	if _, ok := g.nodes[src]; !ok {
+		panic(fmt.Sprintf("rsg: AddLink: no src node n%d", src))
+	}
+	if _, ok := g.nodes[dst]; !ok {
+		panic(fmt.Sprintf("rsg: AddLink: no dst node n%d", dst))
+	}
+	g.addLinkRaw(Link{src, sel, dst})
+}
+
+func (g *Graph) addLinkRaw(l Link) {
+	bySel := g.out[l.Src]
+	if bySel == nil {
+		bySel = make(map[string]map[NodeID]struct{})
+		g.out[l.Src] = bySel
+	}
+	dsts := bySel[l.Sel]
+	if dsts == nil {
+		dsts = make(map[NodeID]struct{})
+		bySel[l.Sel] = dsts
+	}
+	if _, dup := dsts[l.Dst]; !dup {
+		g.nLinks++
+	}
+	dsts[l.Dst] = struct{}{}
+
+	bySel = g.in[l.Dst]
+	if bySel == nil {
+		bySel = make(map[string]map[NodeID]struct{})
+		g.in[l.Dst] = bySel
+	}
+	srcs := bySel[l.Sel]
+	if srcs == nil {
+		srcs = make(map[NodeID]struct{})
+		bySel[l.Sel] = srcs
+	}
+	srcs[l.Src] = struct{}{}
+}
+
+// RemoveLink deletes the NL entry <src, sel, dst> if present.
+func (g *Graph) RemoveLink(src NodeID, sel string, dst NodeID) {
+	if bySel := g.out[src]; bySel != nil {
+		if dsts := bySel[sel]; dsts != nil {
+			if _, had := dsts[dst]; had {
+				g.nLinks--
+			}
+			delete(dsts, dst)
+			if len(dsts) == 0 {
+				delete(bySel, sel)
+			}
+		}
+		if len(bySel) == 0 {
+			delete(g.out, src)
+		}
+	}
+	if bySel := g.in[dst]; bySel != nil {
+		if srcs := bySel[sel]; srcs != nil {
+			delete(srcs, src)
+			if len(srcs) == 0 {
+				delete(bySel, sel)
+			}
+		}
+		if len(bySel) == 0 {
+			delete(g.in, dst)
+		}
+	}
+}
+
+// HasLink reports whether <src, sel, dst> is in NL.
+func (g *Graph) HasLink(src NodeID, sel string, dst NodeID) bool {
+	if bySel := g.out[src]; bySel != nil {
+		if dsts := bySel[sel]; dsts != nil {
+			_, ok := dsts[dst]
+			return ok
+		}
+	}
+	return false
+}
+
+// Targets returns the sorted destinations of src through sel.
+func (g *Graph) Targets(src NodeID, sel string) []NodeID {
+	bySel := g.out[src]
+	if bySel == nil {
+		return nil
+	}
+	dsts := bySel[sel]
+	ids := make([]NodeID, 0, len(dsts))
+	for id := range dsts {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	return ids
+}
+
+// Sources returns the sorted origins of sel links into dst.
+func (g *Graph) Sources(dst NodeID, sel string) []NodeID {
+	bySel := g.in[dst]
+	if bySel == nil {
+		return nil
+	}
+	srcs := bySel[sel]
+	ids := make([]NodeID, 0, len(srcs))
+	for id := range srcs {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	return ids
+}
+
+// OutSelectors returns the sorted selectors with at least one outgoing
+// link from src.
+func (g *Graph) OutSelectors(src NodeID) []string {
+	bySel := g.out[src]
+	out := make([]string, 0, len(bySel))
+	for sel := range bySel {
+		out = append(out, sel)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// InSelectors returns the sorted selectors with at least one incoming
+// link into dst.
+func (g *Graph) InSelectors(dst NodeID) []string {
+	bySel := g.in[dst]
+	out := make([]string, 0, len(bySel))
+	for sel := range bySel {
+		out = append(out, sel)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// InLinks returns all links into dst, sorted by (Sel, Src).
+func (g *Graph) InLinks(dst NodeID) []Link {
+	var links []Link
+	for sel, srcs := range g.in[dst] {
+		for src := range srcs {
+			links = append(links, Link{src, sel, dst})
+		}
+	}
+	sortLinks(links)
+	return links
+}
+
+// OutLinks returns all links out of src, sorted by (Sel, Dst).
+func (g *Graph) OutLinks(src NodeID) []Link {
+	var links []Link
+	for sel, dsts := range g.out[src] {
+		for dst := range dsts {
+			links = append(links, Link{src, sel, dst})
+		}
+	}
+	sortLinks(links)
+	return links
+}
+
+// Links returns every NL entry, sorted by (Src, Sel, Dst). The order is
+// produced structurally (sorted nodes, then sorted selectors, then
+// sorted targets) instead of one big comparison sort, because this is
+// the hottest function of the analysis.
+func (g *Graph) Links() []Link {
+	links := make([]Link, 0, 16)
+	for _, src := range g.NodeIDs() {
+		bySel := g.out[src]
+		if len(bySel) == 0 {
+			continue
+		}
+		for _, sel := range g.OutSelectors(src) {
+			for _, dst := range g.Targets(src, sel) {
+				links = append(links, Link{src, sel, dst})
+			}
+		}
+	}
+	return links
+}
+
+// ForEachLink calls f for every NL entry in unspecified order; use it
+// when the order is irrelevant (cloning, counting).
+func (g *Graph) ForEachLink(f func(Link)) {
+	for src, bySel := range g.out {
+		for sel, dsts := range bySel {
+			for dst := range dsts {
+				f(Link{src, sel, dst})
+			}
+		}
+	}
+}
+
+func sortLinks(links []Link) {
+	sort.Slice(links, func(i, j int) bool {
+		a, b := links[i], links[j]
+		if a.Src != b.Src {
+			return a.Src < b.Src
+		}
+		if a.Sel != b.Sel {
+			return a.Sel < b.Sel
+		}
+		return a.Dst < b.Dst
+	})
+}
+
+// RemoveNode deletes a node, all its links and any pvar references to it.
+func (g *Graph) RemoveNode(id NodeID) {
+	for _, l := range g.InLinks(id) {
+		g.RemoveLink(l.Src, l.Sel, l.Dst)
+	}
+	for _, l := range g.OutLinks(id) {
+		g.RemoveLink(l.Src, l.Sel, l.Dst)
+	}
+	for p, t := range g.pl {
+		if t == id {
+			delete(g.pl, p)
+		}
+	}
+	delete(g.nodes, id)
+}
+
+// HeapInDegree returns the number of distinct incoming links (any
+// selector) into the node — heap references only, pvars excluded.
+func (g *Graph) HeapInDegree(id NodeID) int {
+	n := 0
+	for _, srcs := range g.in[id] {
+		n += len(srcs)
+	}
+	return n
+}
+
+// String renders the graph in a compact deterministic text form.
+func (g *Graph) String() string {
+	var b strings.Builder
+	b.WriteString("RSG{\n")
+	for _, p := range g.Pvars() {
+		fmt.Fprintf(&b, "  %s -> n%d\n", p, g.pl[p])
+	}
+	for _, n := range g.Nodes() {
+		fmt.Fprintf(&b, "  %s\n", n)
+	}
+	for _, l := range g.Links() {
+		fmt.Fprintf(&b, "  %s\n", l)
+	}
+	b.WriteString("}")
+	return b.String()
+}

@@ -1,0 +1,141 @@
+package rsg
+
+import (
+	"sort"
+	"strings"
+)
+
+// AliasKey returns a canonical encoding of the paper's ALIAS(rsg)
+// relation: the partition of the non-NULL pvars by referenced node.
+// Two graphs have the same alias relation iff their keys are equal.
+func AliasKey(g *Graph) string {
+	groups := make(map[NodeID][]string)
+	for _, p := range g.Pvars() {
+		t := g.PvarTarget(p)
+		groups[t.ID] = append(groups[t.ID], p)
+	}
+	keys := make([]string, 0, len(groups))
+	for _, ps := range groups {
+		sort.Strings(ps)
+		keys = append(keys, strings.Join(ps, ","))
+	}
+	sort.Strings(keys)
+	return strings.Join(keys, ";")
+}
+
+// Compatible is the paper's COMPATIBLE(rsg1, rsg2) predicate
+// (Sect. 4.3): the alias relations must match and, for every pvar, the
+// two directly referenced nodes must satisfy the join compatibility
+// check.
+func Compatible(lvl Level, g1, g2 *Graph) bool {
+	if AliasKey(g1) != AliasKey(g2) {
+		return false
+	}
+	return CompatibleSP(lvl, g1, g2, g1.SPaths(), g2.SPaths())
+}
+
+// CompatibleSP is Compatible with the alias keys already known equal
+// and the SPATH maps precomputed by the caller (the RSRSG reduction
+// caches them per graph).
+func CompatibleSP(lvl Level, g1, g2 *Graph, sp1, sp2 map[NodeID]SPathSet) bool {
+	for _, p := range g1.Pvars() {
+		n1 := g1.PvarTarget(p)
+		n2 := g2.PvarTarget(p)
+		if n2 == nil {
+			return false // alias keys equal => cannot happen, defensive
+		}
+		if !CNodesJoin(lvl, n1, n2, sp1[n1.ID], sp2[n2.ID]) {
+			return false
+		}
+	}
+	return true
+}
+
+// Join implements the paper's JOIN(rsg1, rsg2) = rsg operation
+// (Sect. 4.3) for two COMPATIBLE graphs. Compatible node pairs are
+// merged with MERGE_NODES; unmatched nodes are copied; PL and NL are
+// translated through the MAP function. The caller typically compresses
+// the result.
+//
+// The paper's set formula merges every compatible (n_i, n_j) pair; to
+// keep MAP well defined we compute a deterministic one-to-one matching:
+// pvar-referenced nodes are matched by their alias group first (required
+// so each pvar keeps a single target), then remaining nodes greedily in
+// ID order.
+func Join(lvl Level, g1, g2 *Graph) *Graph {
+	sp1, sp2 := g1.SPaths(), g2.SPaths()
+
+	match := make(map[NodeID]NodeID)   // g1 node -> g2 node
+	taken := make(map[NodeID]struct{}) // matched g2 nodes
+
+	// Pass 1: force-match pvar targets (alias groups correspond 1:1).
+	for _, p := range g1.Pvars() {
+		n1 := g1.PvarTarget(p)
+		n2 := g2.PvarTarget(p)
+		if n1 == nil || n2 == nil {
+			continue
+		}
+		if _, ok := match[n1.ID]; ok {
+			continue
+		}
+		match[n1.ID] = n2.ID
+		taken[n2.ID] = struct{}{}
+	}
+
+	// Pass 2: greedy matching of the remaining nodes.
+	for _, id1 := range g1.NodeIDs() {
+		if _, ok := match[id1]; ok {
+			continue
+		}
+		n1 := g1.Node(id1)
+		for _, id2 := range g2.NodeIDs() {
+			if _, ok := taken[id2]; ok {
+				continue
+			}
+			n2 := g2.Node(id2)
+			if CNodes(lvl, n1, n2, sp1[id1], sp2[id2]) {
+				match[id1] = id2
+				taken[id2] = struct{}{}
+				break
+			}
+		}
+	}
+
+	out := NewGraph()
+	map1 := make(map[NodeID]NodeID, g1.NumNodes())
+	map2 := make(map[NodeID]NodeID, g2.NumNodes())
+
+	for _, id1 := range g1.NodeIDs() {
+		n1 := g1.Node(id1)
+		if id2, ok := match[id1]; ok {
+			merged := MergeNodes(g1, n1, g2, g2.Node(id2), false)
+			nn := out.AddNode(merged)
+			map1[id1] = nn.ID
+			map2[id2] = nn.ID
+		} else {
+			nn := out.AddNode(n1.Clone())
+			map1[id1] = nn.ID
+		}
+	}
+	for _, id2 := range g2.NodeIDs() {
+		if _, ok := map2[id2]; ok {
+			continue
+		}
+		nn := out.AddNode(g2.Node(id2).Clone())
+		map2[id2] = nn.ID
+	}
+
+	for _, p := range g1.Pvars() {
+		out.SetPvar(p, map1[g1.PvarTarget(p).ID])
+	}
+	for _, p := range g2.Pvars() {
+		out.SetPvar(p, map2[g2.PvarTarget(p).ID])
+	}
+	for _, l := range g1.Links() {
+		out.AddLink(map1[l.Src], l.Sel, map1[l.Dst])
+	}
+	for _, l := range g2.Links() {
+		out.AddLink(map2[l.Src], l.Sel, map2[l.Dst])
+	}
+	return out
+}

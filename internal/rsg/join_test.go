@@ -1,0 +1,153 @@
+package rsg
+
+import "testing"
+
+// oneNode builds a graph with a single typed node referenced by the
+// given pvars.
+func oneNode(typ string, pvars ...string) *Graph {
+	g := NewGraph()
+	n := NewNode(typ)
+	n.Singleton = true
+	g.AddNode(n)
+	for _, p := range pvars {
+		g.SetPvar(p, n.ID)
+	}
+	return g
+}
+
+func TestAliasKey(t *testing.T) {
+	g1 := oneNode("t", "x", "y")
+	g2 := oneNode("t", "y", "x")
+	if AliasKey(g1) != AliasKey(g2) {
+		t.Error("alias key must be order independent")
+	}
+	g3 := oneNode("t", "x")
+	if AliasKey(g1) == AliasKey(g3) {
+		t.Error("different alias partitions must have different keys")
+	}
+	// NULL-ness matters: y bound vs unbound.
+	g4 := NewGraph()
+	a := g4.AddNode(NewNode("t"))
+	b := g4.AddNode(NewNode("t"))
+	g4.SetPvar("x", a.ID)
+	g4.SetPvar("y", b.ID)
+	if AliasKey(g1) == AliasKey(g4) {
+		t.Error("aliased vs separate pvars must differ")
+	}
+}
+
+func TestCompatibleRequiresAlias(t *testing.T) {
+	g1 := oneNode("t", "x", "y")
+	g2 := oneNode("t", "x")
+	if Compatible(L1, g1, g2) {
+		t.Error("different alias relations are incompatible")
+	}
+	g3 := oneNode("t", "x", "y")
+	if !Compatible(L1, g1, g3) {
+		t.Error("identical graphs must be compatible")
+	}
+}
+
+func TestCompatibleRequiresShareAgreement(t *testing.T) {
+	g1 := oneNode("t", "x")
+	g2 := oneNode("t", "x")
+	g2.PvarTarget("x").Shared = true
+	if Compatible(L1, g1, g2) {
+		t.Error("SHARED mismatch on pvar targets must block the join")
+	}
+	g2.PvarTarget("x").Shared = false
+	g2.PvarTarget("x").ShSel.Add("nxt")
+	if Compatible(L1, g1, g2) {
+		t.Error("SHSEL mismatch on pvar targets must block the join")
+	}
+}
+
+func TestCompatibleTouchAtL3(t *testing.T) {
+	g1 := oneNode("t", "x")
+	g2 := oneNode("t", "x")
+	g2.PvarTarget("x").Touch.Add("p")
+	if !Compatible(L2, g1, g2) {
+		t.Error("TOUCH is ignored below L3")
+	}
+	if Compatible(L3, g1, g2) {
+		t.Error("TOUCH mismatch must block the join at L3")
+	}
+}
+
+func TestJoinMergesPvarTargets(t *testing.T) {
+	// g1: x -> a (a has out s); g2: x -> b (b has no links).
+	g1 := oneNode("t", "x")
+	a := g1.PvarTarget("x")
+	c := g1.AddNode(NewNode("u"))
+	a.MarkDefiniteOut("s")
+	g1.AddLink(a.ID, "s", c.ID)
+	cNode := g1.Node(c.ID)
+	cNode.MarkDefiniteIn("s")
+
+	g2 := oneNode("t", "x")
+
+	if !Compatible(L1, g1, g2) {
+		t.Fatal("graphs should be compatible (join gate ignores refpat)")
+	}
+	j := Join(L1, g1, g2)
+	xt := j.PvarTarget("x")
+	if xt == nil {
+		t.Fatal("x lost in join")
+	}
+	// Merged node: s definite in only one input -> possible in result.
+	if xt.SelOut.Has("s") {
+		t.Error("SELOUT must intersect to empty")
+	}
+	if !xt.PosSelOut.Has("s") {
+		t.Error("s must be a possible out selector after the merge")
+	}
+	// Links of both inputs survive (translated).
+	if j.NumLinks() != 1 {
+		t.Errorf("joined graph has %d links, want 1", j.NumLinks())
+	}
+	if j.NumNodes() != 2 {
+		t.Errorf("joined graph has %d nodes, want 2", j.NumNodes())
+	}
+}
+
+func TestJoinCoversBothInputs(t *testing.T) {
+	// Joining a 1-chain and a 2-chain graph: result must embed both
+	// shapes (checked structurally: head with and without out link).
+	g1 := oneNode("t", "h")
+	g2 := NewGraph()
+	h := NewNode("t")
+	h.Singleton = true
+	h.MarkDefiniteOut("nxt")
+	g2.AddNode(h)
+	tl := NewNode("t")
+	tl.Singleton = true
+	tl.MarkDefiniteIn("nxt")
+	g2.AddNode(tl)
+	g2.AddLink(h.ID, "nxt", tl.ID)
+	g2.SetPvar("h", h.ID)
+
+	if !Compatible(L1, g1, g2) {
+		t.Fatal("expected compatible")
+	}
+	j := Join(L1, g1, g2)
+	ht := j.PvarTarget("h")
+	if ht == nil {
+		t.Fatal("h lost")
+	}
+	// nxt must be possible (present in g2, absent in g1).
+	if ht.SelOut.Has("nxt") || !ht.PosSelOut.Has("nxt") {
+		t.Errorf("join lost the optional nxt reference: %s", ht)
+	}
+}
+
+func TestJoinPreservesTotalPvars(t *testing.T) {
+	g1 := oneNode("t", "x", "y")
+	g2 := oneNode("t", "x", "y")
+	j := Join(L1, g1, g2)
+	if j.PvarTarget("x") == nil || j.PvarTarget("y") == nil {
+		t.Error("pvars lost in join")
+	}
+	if j.PvarTarget("x").ID != j.PvarTarget("y").ID {
+		t.Error("alias relation broken by join")
+	}
+}

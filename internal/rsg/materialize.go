@@ -1,0 +1,97 @@
+package rsg
+
+import "fmt"
+
+// Materialize extracts the single concrete location referenced by
+// <src, sel> out of a summary node, the focusing step of the abstract
+// semantics (the paper's Fig. 1(d), where node n4 is materialized from
+// the summary n2 before the x->nxt link can be safely removed).
+//
+// Preconditions: src is a singleton node (pvar-referenced nodes always
+// are) and, after DIVIDE, it has exactly one sel destination. When that
+// destination is already a singleton, nothing needs to change and it is
+// returned as-is.
+//
+// Otherwise the summary t is split into the materialized singleton
+// n_mat (returned) and the remainder t (which keeps representing the
+// other locations and may cover zero locations in some configurations —
+// embeddings are not required to be surjective):
+//
+//   - <src, sel, t> is retargeted to n_mat.
+//   - Every other incoming link of t is duplicated onto n_mat, except
+//     incoming sel links when SHSEL(t, sel) is false: the materialized
+//     location already carries its only sel reference.
+//   - Every outgoing link of t is duplicated onto n_mat. Self links are
+//     expanded over {n_mat, t} under the same SHSEL constraint.
+//   - n_mat inherits t's properties, with sel added to its definite
+//     SELIN set.
+//
+// The duplication is deliberately conservative; the caller runs PRUNE
+// afterwards, and the CYCLELINKS/SHSEL rules cut the spurious links
+// (exactly how the paper's example arrives at Fig. 1(d)).
+func Materialize(g *Graph, src NodeID, sel string) NodeID {
+	s := g.Node(src)
+	if s == nil {
+		panic(fmt.Sprintf("rsg: Materialize: no node n%d", src))
+	}
+	targets := g.Targets(src, sel)
+	if len(targets) != 1 {
+		panic(fmt.Sprintf("rsg: Materialize(n%d, %s): %d targets, want 1 (divide first)",
+			src, sel, len(targets)))
+	}
+	tID := targets[0]
+	t := g.Node(tID)
+	if t.Singleton {
+		return tID
+	}
+
+	exclusiveSel := !t.SharedBy(sel) // each location has at most one sel ref
+
+	nm := t.Clone()
+	nm.Singleton = true
+	nm.MarkDefiniteIn(sel)
+	nm = g.AddNode(nm)
+
+	// Retarget the triggering link.
+	g.RemoveLink(src, sel, tID)
+	g.AddLink(src, sel, nm.ID)
+
+	// Incoming links of t (excluding self links, handled below).
+	for _, l := range g.InLinks(tID) {
+		if l.Src == tID {
+			continue
+		}
+		if l.Sel == sel && exclusiveSel {
+			continue // n_mat's only sel reference is the one from src
+		}
+		g.AddLink(l.Src, l.Sel, nm.ID)
+	}
+
+	// Outgoing links of t (excluding self links).
+	for _, l := range g.OutLinks(tID) {
+		if l.Dst == tID {
+			continue
+		}
+		g.AddLink(nm.ID, l.Sel, l.Dst)
+	}
+
+	// Self links <t, sel', t> expand over {n_mat, t}.
+	for _, selPrime := range g.OutSelectors(tID) {
+		if !g.HasLink(tID, selPrime, tID) {
+			continue
+		}
+		blockedIntoNm := selPrime == sel && exclusiveSel
+		// t -> n_mat
+		if !blockedIntoNm {
+			g.AddLink(tID, selPrime, nm.ID)
+		}
+		// n_mat -> t
+		g.AddLink(nm.ID, selPrime, tID)
+		// n_mat -> n_mat
+		if !blockedIntoNm {
+			g.AddLink(nm.ID, selPrime, nm.ID)
+		}
+	}
+
+	return nm.ID
+}

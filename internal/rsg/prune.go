@@ -1,0 +1,153 @@
+package rsg
+
+// Prune applies the paper's PRUNE operation (Sect. 4.2) in place: an
+// iterative removal of the nodes and links that contradict the graph's
+// own properties, typically after DIVIDE or materialization left stale
+// elements behind. It returns false when the graph turns out to be
+// infeasible — a node directly referenced by a pvar violates its
+// properties, so no concrete configuration matches the graph and the
+// caller must discard it.
+//
+// Four rules run to a fixed point:
+//
+//  1. NL_PRUNE: a link <n1, sel_i, n2> is removed when n1 has a cycle
+//     link <sel_i, sel_j> but <n2, sel_j, n1> is not in NL — the
+//     candidate target provably does not close the definite cycle.
+//  2. Share pruning: when a singleton node b has SHSEL(b, sel) = false
+//     and one incoming sel link is definite, every other incoming sel
+//     link is removed ("because node n3 is not shared by selector nxt
+//     and we are sure that <n1,nxt,n3> exists ..."). Likewise, when
+//     SHARED(b) = false, a definite incoming link evicts all other
+//     incoming links regardless of selector.
+//  3. N_PRUNE: a node is removed when a definite reference-pattern
+//     entry (SELIN/SELOUT minus the possible sets) has no witnessing
+//     link left.
+//  4. Unreachable nodes are garbage collected.
+func Prune(g *Graph) bool {
+	for {
+		changed := false
+
+		// Rule 1: NL_PRUNE.
+		for _, l := range g.Links() {
+			if !g.HasLink(l.Src, l.Sel, l.Dst) {
+				continue // removed by an earlier iteration this round
+			}
+			n1 := g.Node(l.Src)
+			if n1 == nil {
+				continue
+			}
+			for pair := range n1.Cycle {
+				if pair.Out != l.Sel {
+					continue
+				}
+				if !g.HasLink(l.Dst, pair.In, l.Src) {
+					g.RemoveLink(l.Src, l.Sel, l.Dst)
+					changed = true
+					break
+				}
+			}
+		}
+
+		// Rule 2: share pruning.
+		for _, id := range g.NodeIDs() {
+			b := g.Node(id)
+			if b == nil || !b.Singleton {
+				continue
+			}
+			for _, sel := range g.InSelectors(id) {
+				if b.SharedBy(sel) {
+					continue
+				}
+				srcs := g.Sources(id, sel)
+				if len(srcs) < 2 {
+					continue
+				}
+				var definite NodeID = -1
+				for _, s := range srcs {
+					if g.DefiniteLink(s, sel, id) {
+						definite = s
+						break
+					}
+				}
+				if definite < 0 {
+					continue
+				}
+				for _, s := range srcs {
+					if s != definite {
+						g.RemoveLink(s, sel, id)
+						changed = true
+					}
+				}
+			}
+			if !b.Shared {
+				// At most one heap reference in total: a definite link
+				// evicts every other incoming link.
+				inLinks := g.InLinks(id)
+				if len(inLinks) >= 2 {
+					var keep *Link
+					for i := range inLinks {
+						l := inLinks[i]
+						if g.DefiniteLink(l.Src, l.Sel, l.Dst) {
+							keep = &inLinks[i]
+							break
+						}
+					}
+					if keep != nil {
+						for _, l := range inLinks {
+							if l != *keep {
+								g.RemoveLink(l.Src, l.Sel, l.Dst)
+								changed = true
+							}
+						}
+					}
+				}
+			}
+		}
+
+		// Rule 3: N_PRUNE.
+		for _, id := range g.NodeIDs() {
+			n := g.Node(id)
+			if n == nil {
+				continue
+			}
+			if !nPrune(g, n) {
+				continue
+			}
+			if len(g.PvarsOf(id)) > 0 {
+				return false // infeasible branch
+			}
+			g.RemoveNode(id)
+			changed = true
+		}
+
+		// Rule 4: garbage collection.
+		if g.CollectGarbage() > 0 {
+			changed = true
+		}
+
+		if !changed {
+			return true
+		}
+	}
+}
+
+// nPrune is the paper's N_PRUNE(n) predicate.
+func nPrune(g *Graph, n *Node) bool {
+	for sel := range n.SelOut {
+		if n.PosSelOut.Has(sel) {
+			continue
+		}
+		if len(g.Targets(n.ID, sel)) == 0 {
+			return true
+		}
+	}
+	for sel := range n.SelIn {
+		if n.PosSelIn.Has(sel) {
+			continue
+		}
+		if len(g.Sources(n.ID, sel)) == 0 {
+			return true
+		}
+	}
+	return false
+}

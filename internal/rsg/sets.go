@@ -1,0 +1,379 @@
+// Package rsg implements Reference Shape Graphs (RSGs), the core
+// abstraction of Corbera, Asenjo and Zapata, "Progressive Shape Analysis
+// for Real C Codes" (ICPP 2001).
+//
+// An RSG is a finite graph that over-approximates a set of concrete
+// memory configurations. Nodes summarize memory locations that share a
+// set of properties (type, structure, reference pattern, share
+// information, cycle links, simple paths and touch sets); edges record
+// pointer-variable references (PL) and selector links between nodes (NL).
+//
+// The package provides the graph operations the paper defines:
+// COMPRESS (node summarization, Sect. 3.1), DIVIDE (Sect. 4.1),
+// PRUNE (Sect. 4.2), JOIN (Sect. 4.3) and the materialization step used
+// by the abstract semantics (Fig. 1(d)).
+package rsg
+
+import (
+	"sort"
+	"strings"
+)
+
+// SelSet is a set of selector names (struct pointer fields).
+type SelSet map[string]struct{}
+
+// NewSelSet builds a selector set from the given names.
+func NewSelSet(sels ...string) SelSet {
+	s := make(SelSet, len(sels))
+	for _, sel := range sels {
+		s[sel] = struct{}{}
+	}
+	return s
+}
+
+// Has reports whether sel is in the set.
+func (s SelSet) Has(sel string) bool {
+	_, ok := s[sel]
+	return ok
+}
+
+// Add inserts sel into the set.
+func (s SelSet) Add(sel string) { s[sel] = struct{}{} }
+
+// Remove deletes sel from the set.
+func (s SelSet) Remove(sel string) { delete(s, sel) }
+
+// Clone returns an independent copy of the set.
+func (s SelSet) Clone() SelSet {
+	c := make(SelSet, len(s))
+	for sel := range s {
+		c[sel] = struct{}{}
+	}
+	return c
+}
+
+// Equal reports whether two sets hold the same selectors.
+func (s SelSet) Equal(o SelSet) bool {
+	if len(s) != len(o) {
+		return false
+	}
+	for sel := range s {
+		if !o.Has(sel) {
+			return false
+		}
+	}
+	return true
+}
+
+// Union returns a new set with all elements of s and o.
+func (s SelSet) Union(o SelSet) SelSet {
+	c := s.Clone()
+	for sel := range o {
+		c[sel] = struct{}{}
+	}
+	return c
+}
+
+// Intersect returns a new set with the elements common to s and o.
+func (s SelSet) Intersect(o SelSet) SelSet {
+	c := make(SelSet)
+	for sel := range s {
+		if o.Has(sel) {
+			c[sel] = struct{}{}
+		}
+	}
+	return c
+}
+
+// Minus returns a new set with the elements of s not in o.
+func (s SelSet) Minus(o SelSet) SelSet {
+	c := make(SelSet)
+	for sel := range s {
+		if !o.Has(sel) {
+			c[sel] = struct{}{}
+		}
+	}
+	return c
+}
+
+// Sorted returns the selectors in lexicographic order.
+func (s SelSet) Sorted() []string {
+	out := make([]string, 0, len(s))
+	for sel := range s {
+		out = append(out, sel)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// String renders the set as "{a,b,c}" with sorted elements.
+func (s SelSet) String() string {
+	return "{" + strings.Join(s.Sorted(), ",") + "}"
+}
+
+// PvarSet is a set of pointer-variable names. It is used for TOUCH sets
+// and for alias groups.
+type PvarSet map[string]struct{}
+
+// NewPvarSet builds a pvar set from the given names.
+func NewPvarSet(pvars ...string) PvarSet {
+	s := make(PvarSet, len(pvars))
+	for _, p := range pvars {
+		s[p] = struct{}{}
+	}
+	return s
+}
+
+// Has reports whether p is in the set.
+func (s PvarSet) Has(p string) bool {
+	_, ok := s[p]
+	return ok
+}
+
+// Add inserts p into the set.
+func (s PvarSet) Add(p string) { s[p] = struct{}{} }
+
+// Remove deletes p from the set.
+func (s PvarSet) Remove(p string) { delete(s, p) }
+
+// Clone returns an independent copy of the set.
+func (s PvarSet) Clone() PvarSet {
+	c := make(PvarSet, len(s))
+	for p := range s {
+		c[p] = struct{}{}
+	}
+	return c
+}
+
+// Equal reports whether two sets hold the same pvars.
+func (s PvarSet) Equal(o PvarSet) bool {
+	if len(s) != len(o) {
+		return false
+	}
+	for p := range s {
+		if !o.Has(p) {
+			return false
+		}
+	}
+	return true
+}
+
+// Sorted returns the pvars in lexicographic order.
+func (s PvarSet) Sorted() []string {
+	out := make([]string, 0, len(s))
+	for p := range s {
+		out = append(out, p)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// String renders the set as "{p,q}" with sorted elements.
+func (s PvarSet) String() string {
+	return "{" + strings.Join(s.Sorted(), ",") + "}"
+}
+
+// CyclePair is one CYCLELINKS entry <Out, In>: every location represented
+// by the node points via selector Out to a location that points back to it
+// via selector In (a definite simple cycle, Sect. 3).
+type CyclePair struct {
+	Out string // the forward selector (sel_i in the paper)
+	In  string // the returning selector (sel_j in the paper)
+}
+
+// String renders the pair as "<out,in>".
+func (p CyclePair) String() string { return "<" + p.Out + "," + p.In + ">" }
+
+// CycleSet is a set of CYCLELINKS pairs.
+type CycleSet map[CyclePair]struct{}
+
+// NewCycleSet builds a cycle-link set from the given pairs.
+func NewCycleSet(pairs ...CyclePair) CycleSet {
+	s := make(CycleSet, len(pairs))
+	for _, p := range pairs {
+		s[p] = struct{}{}
+	}
+	return s
+}
+
+// Has reports whether pair is in the set.
+func (s CycleSet) Has(p CyclePair) bool {
+	_, ok := s[p]
+	return ok
+}
+
+// Add inserts pair into the set.
+func (s CycleSet) Add(p CyclePair) { s[p] = struct{}{} }
+
+// Remove deletes pair from the set.
+func (s CycleSet) Remove(p CyclePair) { delete(s, p) }
+
+// Clone returns an independent copy of the set.
+func (s CycleSet) Clone() CycleSet {
+	c := make(CycleSet, len(s))
+	for p := range s {
+		c[p] = struct{}{}
+	}
+	return c
+}
+
+// Equal reports whether two sets hold the same pairs.
+func (s CycleSet) Equal(o CycleSet) bool {
+	if len(s) != len(o) {
+		return false
+	}
+	for p := range s {
+		if !o.Has(p) {
+			return false
+		}
+	}
+	return true
+}
+
+// Sorted returns the pairs ordered by (Out, In).
+func (s CycleSet) Sorted() []CyclePair {
+	out := make([]CyclePair, 0, len(s))
+	for p := range s {
+		out = append(out, p)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Out != out[j].Out {
+			return out[i].Out < out[j].Out
+		}
+		return out[i].In < out[j].In
+	})
+	return out
+}
+
+// String renders the set with sorted elements.
+func (s CycleSet) String() string {
+	parts := make([]string, 0, len(s))
+	for _, p := range s.Sorted() {
+		parts = append(parts, p.String())
+	}
+	return "{" + strings.Join(parts, ",") + "}"
+}
+
+// SPath is one simple path <pvar, sel> (Sect. 3): an access path of
+// length at most one from a pointer variable to the node. Sel == "" is
+// the zero-length path (the pvar points directly at the node).
+type SPath struct {
+	Pvar string
+	Sel  string // "" for the zero-length path
+}
+
+// Len returns the path length as the paper defines it: 0 when Sel is
+// empty, 1 otherwise.
+func (p SPath) Len() int {
+	if p.Sel == "" {
+		return 0
+	}
+	return 1
+}
+
+// String renders the path as "<pvar,sel>" or "<pvar,.>" for length 0.
+func (p SPath) String() string {
+	if p.Sel == "" {
+		return "<" + p.Pvar + ",.>"
+	}
+	return "<" + p.Pvar + "," + p.Sel + ">"
+}
+
+// SPathSet is a set of simple paths.
+type SPathSet map[SPath]struct{}
+
+// NewSPathSet builds a simple-path set from the given paths.
+func NewSPathSet(paths ...SPath) SPathSet {
+	s := make(SPathSet, len(paths))
+	for _, p := range paths {
+		s[p] = struct{}{}
+	}
+	return s
+}
+
+// Has reports whether path is in the set.
+func (s SPathSet) Has(p SPath) bool {
+	_, ok := s[p]
+	return ok
+}
+
+// Add inserts path into the set.
+func (s SPathSet) Add(p SPath) { s[p] = struct{}{} }
+
+// Clone returns an independent copy of the set.
+func (s SPathSet) Clone() SPathSet {
+	c := make(SPathSet, len(s))
+	for p := range s {
+		c[p] = struct{}{}
+	}
+	return c
+}
+
+// ZeroLen returns the subset of zero-length paths.
+func (s SPathSet) ZeroLen() SPathSet {
+	c := make(SPathSet)
+	for p := range s {
+		if p.Len() == 0 {
+			c[p] = struct{}{}
+		}
+	}
+	return c
+}
+
+// OneLen returns the subset of one-length paths.
+func (s SPathSet) OneLen() SPathSet {
+	c := make(SPathSet)
+	for p := range s {
+		if p.Len() == 1 {
+			c[p] = struct{}{}
+		}
+	}
+	return c
+}
+
+// Equal reports whether two sets hold the same paths.
+func (s SPathSet) Equal(o SPathSet) bool {
+	if len(s) != len(o) {
+		return false
+	}
+	for p := range s {
+		if !o.Has(p) {
+			return false
+		}
+	}
+	return true
+}
+
+// Intersects reports whether the two sets have a common path.
+func (s SPathSet) Intersects(o SPathSet) bool {
+	for p := range s {
+		if o.Has(p) {
+			return true
+		}
+	}
+	return false
+}
+
+// Sorted returns the paths ordered by (Pvar, Sel).
+func (s SPathSet) Sorted() []SPath {
+	out := make([]SPath, 0, len(s))
+	for p := range s {
+		out = append(out, p)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Pvar != out[j].Pvar {
+			return out[i].Pvar < out[j].Pvar
+		}
+		return out[i].Sel < out[j].Sel
+	})
+	return out
+}
+
+// String renders the set with sorted elements.
+func (s SPathSet) String() string {
+	parts := make([]string, 0, len(s))
+	for _, p := range s.Sorted() {
+		parts = append(parts, p.String())
+	}
+	return "{" + strings.Join(parts, ",") + "}"
+}

@@ -1,0 +1,457 @@
+// Package rsrsg implements the Reduced Set of Reference Shape Graphs
+// (Sect. 4 of the paper): the set of RSGs associated with one program
+// sentence. The set is "reduced" because graphs that satisfy the
+// COMPATIBLE predicate are fused by JOIN, keeping the number of RSGs
+// per sentence bounded and the analysis practicable.
+package rsrsg
+
+import (
+	"sort"
+	"strings"
+
+	"repro/internal/rsg"
+)
+
+// entry caches the derived keys of one member graph. Graphs inside a
+// Set are treated as immutable; every mutation path in the analysis
+// clones first.
+type entry struct {
+	g     *rsg.Graph
+	sig   string
+	alias string
+}
+
+// Set is one RSRSG: a reduced set of RSGs, deduplicated by canonical
+// signature.
+type Set struct {
+	entries []entry
+	bySig   map[string]struct{}
+	// absorbed records every signature ever folded in through
+	// MergeDelta, including graphs that were joined away; it prevents
+	// re-absorbing (and re-joining) recurring contributions during the
+	// fixed point. Lazily initialized by MergeDelta.
+	absorbed map[string]struct{}
+}
+
+// New returns an empty RSRSG.
+func New() *Set {
+	return &Set{bySig: make(map[string]struct{})}
+}
+
+// FromGraphs builds a reduced set from the given graphs at the given
+// level: graphs are deduplicated, then compatible graphs are joined.
+func FromGraphs(lvl rsg.Level, graphs []*rsg.Graph, opts Options) *Set {
+	s := New()
+	for _, g := range graphs {
+		s.Add(g)
+	}
+	s.Reduce(lvl, opts)
+	return s
+}
+
+// Options tunes the reduction. The zero value is the paper's behaviour.
+type Options struct {
+	// DisableJoin keeps every distinct RSG instead of joining compatible
+	// ones; used by the ablation benchmarks.
+	DisableJoin bool
+	// MaxGraphs, when positive, force-joins graphs with equal alias
+	// relations once the set exceeds the bound (a widening safeguard).
+	MaxGraphs int
+}
+
+// Add inserts a graph if no signature-identical graph is present.
+func (s *Set) Add(g *rsg.Graph) bool {
+	sig := rsg.Signature(g)
+	if _, ok := s.bySig[sig]; ok {
+		return false
+	}
+	s.bySig[sig] = struct{}{}
+	s.entries = append(s.entries, entry{g: g, sig: sig, alias: rsg.AliasKey(g)})
+	return true
+}
+
+// ForEachEntry calls f with every member graph and its cached canonical
+// signature, in deterministic (signature) order.
+func (s *Set) ForEachEntry(f func(g *rsg.Graph, sig string)) {
+	idx := make([]int, len(s.entries))
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.Slice(idx, func(a, b int) bool { return s.entries[idx[a]].sig < s.entries[idx[b]].sig })
+	for _, j := range idx {
+		f(s.entries[j].g, s.entries[j].sig)
+	}
+}
+
+// Graphs returns the member RSGs in deterministic (signature) order.
+func (s *Set) Graphs() []*rsg.Graph {
+	idx := make([]int, len(s.entries))
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.Slice(idx, func(a, b int) bool { return s.entries[idx[a]].sig < s.entries[idx[b]].sig })
+	out := make([]*rsg.Graph, len(idx))
+	for i, j := range idx {
+		out[i] = s.entries[j].g
+	}
+	return out
+}
+
+// Len returns the number of RSGs in the set.
+func (s *Set) Len() int { return len(s.entries) }
+
+// NumNodes returns the total node count across all member graphs.
+func (s *Set) NumNodes() int {
+	n := 0
+	for _, e := range s.entries {
+		n += e.g.NumNodes()
+	}
+	return n
+}
+
+// NumLinks returns the total NL entry count across all member graphs.
+func (s *Set) NumLinks() int {
+	n := 0
+	for _, e := range s.entries {
+		n += e.g.NumLinks()
+	}
+	return n
+}
+
+// Reduce joins compatible member graphs until no two members are
+// compatible (the "union of RSGs" of Sect. 4.3), compressing each join
+// result. Only graphs with equal alias relations can be compatible, so
+// the search works per alias bucket. Returns the number of joins.
+func (s *Set) Reduce(lvl rsg.Level, opts Options) int {
+	if opts.DisableJoin || len(s.entries) < 2 {
+		return 0
+	}
+	joins := 0
+
+	buckets := make(map[string][]entry)
+	var order []string
+	for _, e := range s.entries {
+		if _, ok := buckets[e.alias]; !ok {
+			order = append(order, e.alias)
+		}
+		buckets[e.alias] = append(buckets[e.alias], e)
+	}
+	sort.Strings(order)
+
+	var result []entry
+	for _, key := range order {
+		group := buckets[key]
+		sort.Slice(group, func(i, j int) bool { return group[i].sig < group[j].sig })
+		group, j := reduceGroup(lvl, group, false)
+		joins += j
+		if opts.MaxGraphs > 0 && len(group) > opts.MaxGraphs {
+			// Widening: force-join within the alias bucket, ignoring the
+			// node compatibility conditions (JOIN still over-approximates
+			// both operands, so this is sound — just lossier).
+			group, j = forceGroup(lvl, group, opts.MaxGraphs)
+			joins += j
+		}
+		result = append(result, group...)
+	}
+
+	s.entries = nil
+	s.bySig = make(map[string]struct{}, len(result))
+	for _, e := range result {
+		if _, ok := s.bySig[e.sig]; ok {
+			continue
+		}
+		s.bySig[e.sig] = struct{}{}
+		s.entries = append(s.entries, e)
+	}
+	return joins
+}
+
+// reduceGroup joins compatible graphs within one alias bucket until a
+// fixed point. SPATH maps are cached per graph across the pairwise
+// compatibility scan.
+func reduceGroup(lvl rsg.Level, group []entry, force bool) ([]entry, int) {
+	joins := 0
+	spCache := make(map[*rsg.Graph]map[rsg.NodeID]rsg.SPathSet, len(group))
+	spaths := func(g *rsg.Graph) map[rsg.NodeID]rsg.SPathSet {
+		sp, ok := spCache[g]
+		if !ok {
+			sp = g.SPaths()
+			spCache[g] = sp
+		}
+		return sp
+	}
+	for {
+		joined := false
+	scan:
+		for i := 0; i < len(group); i++ {
+			for j := i + 1; j < len(group); j++ {
+				if !force && !rsg.CompatibleSP(lvl, group[i].g, group[j].g,
+					spaths(group[i].g), spaths(group[j].g)) {
+					continue
+				}
+				merged := rsg.Join(lvl, group[i].g, group[j].g)
+				rsg.Compress(merged, lvl)
+				e := entry{g: merged, sig: rsg.Signature(merged), alias: rsg.AliasKey(merged)}
+				ng := make([]entry, 0, len(group)-1)
+				for k := range group {
+					if k != i && k != j {
+						ng = append(ng, group[k])
+					}
+				}
+				group = append(ng, e)
+				joins++
+				joined = true
+				break scan
+			}
+		}
+		if !joined {
+			return dedupe(group), joins
+		}
+	}
+}
+
+// forceGroup widens a bucket down to the bound.
+func forceGroup(lvl rsg.Level, group []entry, max int) ([]entry, int) {
+	joins := 0
+	for len(group) > max {
+		merged := rsg.Join(lvl, group[0].g, group[1].g)
+		rsg.Compress(merged, lvl)
+		e := entry{g: merged, sig: rsg.Signature(merged), alias: rsg.AliasKey(merged)}
+		group = append(group[2:], e)
+		group = dedupe(group)
+		joins++
+	}
+	return group, joins
+}
+
+func dedupe(group []entry) []entry {
+	seen := make(map[string]struct{}, len(group))
+	out := group[:0]
+	for _, e := range group {
+		if _, ok := seen[e.sig]; ok {
+			continue
+		}
+		seen[e.sig] = struct{}{}
+		out = append(out, e)
+	}
+	return out
+}
+
+// MergeDelta inserts the graphs of other that s does not already hold,
+// then incrementally re-reduces: only pairs involving a new (or
+// newly-joined) graph are tested for compatibility, because the
+// existing members are already pairwise incompatible. Returns whether s
+// changed. This is the engine's accumulation primitive: in-states grow
+// monotonically, and each growth step costs O(delta x bucket) instead
+// of O(bucket^2).
+func (s *Set) MergeDelta(lvl rsg.Level, other *Set, opts Options) bool {
+	if other == nil {
+		return false
+	}
+	if s.absorbed == nil {
+		s.absorbed = make(map[string]struct{})
+		for _, e := range s.entries {
+			s.absorbed[e.sig] = struct{}{}
+		}
+	}
+	var delta []entry
+	for _, e := range other.entries {
+		if _, seen := s.absorbed[e.sig]; seen {
+			continue
+		}
+		s.absorbed[e.sig] = struct{}{}
+		delta = append(delta, e)
+	}
+	if len(delta) == 0 {
+		return false
+	}
+	if opts.DisableJoin {
+		changed := false
+		for _, e := range delta {
+			if _, dup := s.bySig[e.sig]; !dup {
+				s.bySig[e.sig] = struct{}{}
+				s.entries = append(s.entries, e)
+				changed = true
+			}
+		}
+		return changed
+	}
+
+	// Bucket the existing entries by alias key.
+	buckets := make(map[string][]entry)
+	for _, e := range s.entries {
+		buckets[e.alias] = append(buckets[e.alias], e)
+	}
+	spCache := make(map[*rsg.Graph]map[rsg.NodeID]rsg.SPathSet)
+	spaths := func(g *rsg.Graph) map[rsg.NodeID]rsg.SPathSet {
+		sp, ok := spCache[g]
+		if !ok {
+			sp = g.SPaths()
+			spCache[g] = sp
+		}
+		return sp
+	}
+
+	changed := false
+	// Process each new entry against its bucket; joins re-enter the
+	// queue as new entries.
+	queue := delta
+	for len(queue) > 0 {
+		e := queue[0]
+		queue = queue[1:]
+		if _, dup := s.bySig[e.sig]; dup {
+			continue // an identical member already exists
+		}
+		bucket := buckets[e.alias]
+		joined := -1
+		for i, old := range bucket {
+			if rsg.CompatibleSP(lvl, old.g, e.g, spaths(old.g), spaths(e.g)) {
+				joined = i
+				break
+			}
+		}
+		if joined < 0 {
+			buckets[e.alias] = append(bucket, e)
+			s.bySig[e.sig] = struct{}{}
+			changed = true
+			continue
+		}
+		old := bucket[joined]
+		merged := rsg.Join(lvl, old.g, e.g)
+		rsg.Compress(merged, lvl)
+		msig := rsg.Signature(merged)
+		if msig == old.sig {
+			continue // absorbing e did not change the member
+		}
+		// Remove the old member and queue the merged graph.
+		buckets[e.alias] = append(append([]entry{}, bucket[:joined]...), bucket[joined+1:]...)
+		delete(s.bySig, old.sig)
+		s.absorbed[msig] = struct{}{}
+		changed = true
+		queue = append(queue, entry{g: merged, sig: msig, alias: rsg.AliasKey(merged)})
+	}
+	if !changed {
+		return false
+	}
+
+	// Rebuild the entry list from the buckets (bySig is already live).
+	s.entries = s.entries[:0]
+	keys := make([]string, 0, len(buckets))
+	for k := range buckets {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	seen := make(map[string]struct{}, len(s.bySig))
+	for _, k := range keys {
+		for _, e := range buckets[k] {
+			if _, dup := seen[e.sig]; dup {
+				continue
+			}
+			seen[e.sig] = struct{}{}
+			s.entries = append(s.entries, e)
+		}
+	}
+	if opts.MaxGraphs > 0 {
+		s.Reduce(lvl, opts) // applies the per-bucket widening bound
+	}
+	return true
+}
+
+// UnionAll returns a new set holding the graphs of all the given sets,
+// reduced. Cached signatures are reused, so no graph is re-canonicalized.
+func UnionAll(lvl rsg.Level, sets []*Set, opts Options) *Set {
+	out := New()
+	for _, s := range sets {
+		if s == nil {
+			continue
+		}
+		for _, e := range s.entries {
+			out.addEntry(e)
+		}
+	}
+	out.Reduce(lvl, opts)
+	return out
+}
+
+// Union returns a new set holding the graphs of both sets, reduced.
+func Union(lvl rsg.Level, a, b *Set, opts Options) *Set {
+	out := New()
+	if a != nil {
+		for _, e := range a.entries {
+			out.addEntry(e)
+		}
+	}
+	if b != nil {
+		for _, e := range b.entries {
+			out.addEntry(e)
+		}
+	}
+	out.Reduce(lvl, opts)
+	return out
+}
+
+func (s *Set) addEntry(e entry) {
+	if _, ok := s.bySig[e.sig]; ok {
+		return
+	}
+	s.bySig[e.sig] = struct{}{}
+	s.entries = append(s.entries, e)
+}
+
+// Signature returns a canonical signature of the whole set, used for
+// fixed-point detection.
+func (s *Set) Signature() string {
+	sigs := make([]string, 0, len(s.entries))
+	for _, e := range s.entries {
+		sigs = append(sigs, e.sig)
+	}
+	sort.Strings(sigs)
+	return strings.Join(sigs, "\x00")
+}
+
+// Equal reports whether two sets have identical canonical signatures.
+func (s *Set) Equal(o *Set) bool {
+	if s == nil || o == nil {
+		return s == o
+	}
+	if len(s.entries) != len(o.entries) {
+		return false
+	}
+	return s.Signature() == o.Signature()
+}
+
+// Clone returns a copy of the set sharing the member graphs. Graphs
+// inside a Set are immutable by convention — every analysis path clones
+// a graph before mutating it — so sharing is safe and avoids the deep
+// copies that would otherwise dominate no-op transfers.
+func (s *Set) Clone() *Set {
+	out := New()
+	for _, e := range s.entries {
+		out.addEntry(e)
+	}
+	return out
+}
+
+// Filter returns a set holding the member graphs satisfying pred,
+// sharing them (and their cached signatures) with the receiver.
+func (s *Set) Filter(pred func(*rsg.Graph) bool) *Set {
+	out := New()
+	for _, e := range s.entries {
+		if pred(e.g) {
+			out.addEntry(e)
+		}
+	}
+	return out
+}
+
+// String renders a compact summary.
+func (s *Set) String() string {
+	var b strings.Builder
+	for i, g := range s.Graphs() {
+		if i > 0 {
+			b.WriteString("\n")
+		}
+		b.WriteString(g.String())
+	}
+	return b.String()
+}

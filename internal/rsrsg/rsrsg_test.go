@@ -1,0 +1,171 @@
+package rsrsg
+
+import (
+	"testing"
+
+	"repro/internal/rsg"
+)
+
+// mkGraph builds a one-node graph with the pvar bindings given.
+func mkGraph(typ string, pvars ...string) *rsg.Graph {
+	g := rsg.NewGraph()
+	n := rsg.NewNode(typ)
+	n.Singleton = true
+	g.AddNode(n)
+	for _, p := range pvars {
+		g.SetPvar(p, n.ID)
+	}
+	return g
+}
+
+func TestAddDeduplicates(t *testing.T) {
+	s := New()
+	if !s.Add(mkGraph("t", "x")) {
+		t.Fatal("first add rejected")
+	}
+	if s.Add(mkGraph("t", "x")) {
+		t.Fatal("identical graph not deduplicated")
+	}
+	if s.Len() != 1 {
+		t.Fatalf("Len = %d", s.Len())
+	}
+	if !s.Add(mkGraph("t", "y")) {
+		t.Fatal("distinct graph rejected")
+	}
+	if s.Len() != 2 {
+		t.Fatalf("Len = %d", s.Len())
+	}
+}
+
+func TestReduceJoinsCompatible(t *testing.T) {
+	// Two compatible graphs (same alias, same node class, different
+	// link structure) must fuse.
+	g1 := mkGraph("t", "x")
+	g2 := mkGraph("t", "x")
+	n2 := rsg.NewNode("t")
+	g2.AddNode(n2)
+	xt := g2.PvarTarget("x")
+	xt.MarkDefiniteOut("s")
+	n2.MarkDefiniteIn("s")
+	g2.AddLink(xt.ID, "s", n2.ID)
+
+	s := FromGraphs(rsg.L1, []*rsg.Graph{g1, g2}, Options{})
+	if s.Len() != 1 {
+		t.Fatalf("Reduce kept %d graphs, want 1 joined:\n%s", s.Len(), s)
+	}
+}
+
+func TestReduceKeepsIncompatible(t *testing.T) {
+	// Different alias relations never join.
+	s := FromGraphs(rsg.L1, []*rsg.Graph{mkGraph("t", "x"), mkGraph("t", "y")}, Options{})
+	if s.Len() != 2 {
+		t.Fatalf("Reduce joined incompatible graphs: %d", s.Len())
+	}
+	// Same alias, different SHARED on the pvar target: kept apart.
+	g1 := mkGraph("t", "x")
+	g2 := mkGraph("t", "x")
+	g2.PvarTarget("x").Shared = true
+	s = FromGraphs(rsg.L1, []*rsg.Graph{g1, g2}, Options{})
+	if s.Len() != 2 {
+		t.Fatalf("Reduce joined graphs with mismatched SHARED: %d", s.Len())
+	}
+}
+
+func TestReduceDisableJoin(t *testing.T) {
+	g1 := mkGraph("t", "x")
+	g2 := mkGraph("t", "x")
+	g2.AddNode(rsg.NewNode("t")) // unreachable, still distinct signature
+	s := FromGraphs(rsg.L1, []*rsg.Graph{g1, g2}, Options{DisableJoin: true})
+	if s.Len() != 2 {
+		t.Fatalf("DisableJoin must keep both graphs, got %d", s.Len())
+	}
+}
+
+func TestForceReduceBounds(t *testing.T) {
+	// Build many same-alias graphs with different SHSEL sets so that
+	// normal reduction cannot join them, then check the widening bound.
+	var graphs []*rsg.Graph
+	sels := []string{"a", "b", "c", "d", "e"}
+	for i := 0; i < 5; i++ {
+		g := mkGraph("t", "x")
+		n := g.PvarTarget("x")
+		n.Shared = true
+		n.ShSel.Add(sels[i])
+		graphs = append(graphs, g)
+	}
+	s := FromGraphs(rsg.L1, graphs, Options{})
+	if s.Len() != 5 {
+		t.Fatalf("expected 5 unjoinable graphs, got %d", s.Len())
+	}
+	s = FromGraphs(rsg.L1, graphs, Options{MaxGraphs: 2})
+	if s.Len() > 2 {
+		t.Fatalf("MaxGraphs=2 not enforced: %d", s.Len())
+	}
+}
+
+func TestUnionAllSharesSignatures(t *testing.T) {
+	a := New()
+	a.Add(mkGraph("t", "x"))
+	b := New()
+	b.Add(mkGraph("t", "x"))
+	b.Add(mkGraph("t", "y"))
+	u := UnionAll(rsg.L1, []*Set{a, b, nil}, Options{})
+	if u.Len() != 2 {
+		t.Fatalf("UnionAll Len = %d, want 2", u.Len())
+	}
+}
+
+func TestSignatureAndEqual(t *testing.T) {
+	a := New()
+	a.Add(mkGraph("t", "x"))
+	a.Add(mkGraph("t", "y"))
+	b := New()
+	b.Add(mkGraph("t", "y"))
+	b.Add(mkGraph("t", "x"))
+	if !a.Equal(b) {
+		t.Error("set equality must ignore insertion order")
+	}
+	b.Add(mkGraph("u", "z"))
+	if a.Equal(b) {
+		t.Error("different sets compare equal")
+	}
+}
+
+func TestCloneSharesButIsIndependent(t *testing.T) {
+	a := New()
+	a.Add(mkGraph("t", "x"))
+	c := a.Clone()
+	c.Add(mkGraph("t", "y"))
+	if a.Len() != 1 || c.Len() != 2 {
+		t.Errorf("clone not independent: a=%d c=%d", a.Len(), c.Len())
+	}
+}
+
+func TestFilter(t *testing.T) {
+	s := New()
+	s.Add(mkGraph("t", "x"))
+	s.Add(mkGraph("t", "x", "y"))
+	f := s.Filter(func(g *rsg.Graph) bool { return g.PvarTarget("y") != nil })
+	if f.Len() != 1 {
+		t.Fatalf("Filter kept %d graphs", f.Len())
+	}
+	if f.Graphs()[0].PvarTarget("y") == nil {
+		t.Error("wrong graph kept")
+	}
+}
+
+func TestCountsAggregation(t *testing.T) {
+	s := New()
+	g := mkGraph("t", "x")
+	n2 := rsg.NewNode("t")
+	g.AddNode(n2)
+	g.AddLink(g.PvarTarget("x").ID, "s", n2.ID)
+	s.Add(g)
+	s.Add(mkGraph("t", "y"))
+	if s.NumNodes() != 3 {
+		t.Errorf("NumNodes = %d, want 3", s.NumNodes())
+	}
+	if s.NumLinks() != 1 {
+		t.Errorf("NumLinks = %d, want 1", s.NumLinks())
+	}
+}

@@ -1,0 +1,138 @@
+// Package repro is a Go reproduction of "Progressive Shape Analysis for
+// Real C Codes" (F. Corbera, R. Asenjo, E.L. Zapata — ICPP 2001): a
+// shape-analysis compiler that assigns to every statement of a C
+// program a Reduced Set of Reference Shape Graphs (RSRSG)
+// over-approximating the heap after the statement, and that analyzes
+// progressively — escalating from the cheap L1 configuration to the
+// precise L3 one only when the client's accuracy goals demand it.
+//
+// Quick start:
+//
+//	res, err := repro.Analyze(src, repro.Options{Level: repro.L1})
+//	report := repro.Report(res)          // per-struct share summary
+//
+//	prog := repro.MustKernel("barneshut") // a paper benchmark kernel
+//	pres := repro.AnalyzeProgressive(prog, prog.Goals, repro.Options{})
+//
+// The heavy lifting lives in the internal packages: internal/cminic
+// (the C-subset frontend), internal/ir (normalization to the paper's
+// six simple pointer statements and the CFG), internal/rsg (reference
+// shape graphs and the DIVIDE/PRUNE/COMPRESS/JOIN operations),
+// internal/rsrsg (the reduced sets), internal/absem (abstract
+// semantics), internal/analysis (fixed-point engine and progressive
+// driver) and internal/checker (client queries).
+package repro
+
+import (
+	"fmt"
+
+	"repro/internal/analysis"
+	"repro/internal/benchprog"
+	"repro/internal/checker"
+	"repro/internal/cminic"
+	"repro/internal/ir"
+	"repro/internal/rsg"
+)
+
+// Level re-exports the progressive analysis levels.
+type Level = rsg.Level
+
+// The three analysis levels of the paper (Sect. 5).
+const (
+	L1 = rsg.L1
+	L2 = rsg.L2
+	L3 = rsg.L3
+)
+
+// Options re-exports the analysis options.
+type Options = analysis.Options
+
+// Result re-exports the per-run analysis result.
+type Result = analysis.Result
+
+// Goal re-exports the accuracy-goal interface consumed by the
+// progressive driver.
+type Goal = analysis.Goal
+
+// ProgressiveResult re-exports the progressive driver's outcome.
+type ProgressiveResult = analysis.ProgressiveResult
+
+// Kernel re-exports the benchmark kernel bundle.
+type Kernel = benchprog.Kernel
+
+// TypeSummary re-exports the checker's per-struct summary.
+type TypeSummary = checker.TypeSummary
+
+// Program re-exports the lowered IR program.
+type Program = ir.Program
+
+// Compile parses mini-C source and lowers its main function to the
+// six-statement IR.
+func Compile(src string) (*Program, error) {
+	file, err := cminic.Parse(src)
+	if err != nil {
+		return nil, err
+	}
+	return ir.LowerMain(file)
+}
+
+// Analyze compiles and analyzes mini-C source at the level selected in
+// opts (L1 by default).
+func Analyze(src string, opts Options) (*Result, error) {
+	prog, err := Compile(src)
+	if err != nil {
+		return nil, err
+	}
+	return analysis.Run(prog, opts)
+}
+
+// AnalyzeProgram runs the analysis over an already-lowered program.
+func AnalyzeProgram(prog *Program, opts Options) (*Result, error) {
+	return analysis.Run(prog, opts)
+}
+
+// AnalyzeProgressive runs the progressive L1 -> L2 -> L3 analysis,
+// stopping at the first level whose result meets every goal.
+func AnalyzeProgressive(prog *Program, goals []Goal, opts Options) *ProgressiveResult {
+	return analysis.Progressive(prog, goals, opts)
+}
+
+// Report summarizes the exit RSRSG of a result per struct type.
+func Report(res *Result) []TypeSummary { return checker.Report(res) }
+
+// FormatReport renders the summaries as an aligned table.
+func FormatReport(s []TypeSummary) string { return checker.FormatReport(s) }
+
+// LoopReport re-exports the per-loop dependence summary.
+type LoopReport = checker.LoopReport
+
+// AnalyzeLoops produces the per-loop dependence report — the judgement
+// the paper's envisioned parallelizing pass would consume: which loops
+// traverse recursive structures, whether they store pointers, and
+// whether their iterations provably access independent regions.
+func AnalyzeLoops(res *Result) []LoopReport { return checker.AnalyzeLoops(res) }
+
+// FormatLoopReports renders the loop reports as an aligned table.
+func FormatLoopReports(r []LoopReport) string { return checker.FormatLoopReports(r) }
+
+// Kernels returns the paper's four benchmark kernels (Table 1 order).
+func Kernels() []*Kernel { return benchprog.Kernels() }
+
+// KernelByName returns a kernel (benchmark or teaching) by name, or nil.
+// Valid names: matvec, matmat, lu, barneshut, slist, dlist, btree.
+func KernelByName(name string) *Kernel { return benchprog.ByName(name) }
+
+// MustKernel returns the named kernel's lowered program and the kernel,
+// panicking on unknown names or lowering errors — for examples and
+// benchmarks where the kernels are known-good.
+func MustKernel(name string) (*Program, *Kernel) {
+	k := benchprog.ByName(name)
+	if k == nil {
+		panic(fmt.Sprintf("repro: unknown kernel %q (have %v)", name, benchprog.Names()))
+	}
+	prog, err := k.Compile()
+	if err != nil {
+		panic(fmt.Sprintf("repro: kernel %s does not compile: %v", name, err))
+	}
+	return prog, k
+}

@@ -1,0 +1,130 @@
+package repro_test
+
+import (
+	"strings"
+	"testing"
+
+	"repro"
+)
+
+const apiListSrc = `
+struct node { int v; struct node *nxt; };
+void main(void) {
+    struct node *h;
+    struct node *p;
+    h = malloc(sizeof(struct node));
+    h->nxt = NULL;
+    p = h;
+    while (c) {
+        p->nxt = malloc(sizeof(struct node));
+        p = p->nxt;
+        p->nxt = NULL;
+    }
+}`
+
+func TestAnalyzeAPI(t *testing.T) {
+	res, err := repro.Analyze(apiListSrc, repro.Options{Level: repro.L1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.ExitSet().Len() == 0 {
+		t.Fatal("empty exit state")
+	}
+	report := repro.Report(res)
+	if len(report) != 1 || report[0].Struct != "node" {
+		t.Fatalf("report = %+v", report)
+	}
+	if report[0].Shared != 0 {
+		t.Error("list nodes must be unshared")
+	}
+	if txt := repro.FormatReport(report); !strings.Contains(txt, "node") {
+		t.Errorf("formatted report:\n%s", txt)
+	}
+}
+
+func TestAnalyzeParseError(t *testing.T) {
+	_, err := repro.Analyze("void main(void) { struct missing *p; }", repro.Options{})
+	if err == nil {
+		t.Fatal("expected error for undeclared struct")
+	}
+}
+
+func TestCompileAndAnalyzeProgram(t *testing.T) {
+	prog, err := repro.Compile(apiListSrc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(prog.Stmts) == 0 || len(prog.Loops) != 1 {
+		t.Fatalf("unexpected program shape: %d stmts %d loops", len(prog.Stmts), len(prog.Loops))
+	}
+	for _, lvl := range []repro.Level{repro.L1, repro.L2, repro.L3} {
+		res, err := repro.AnalyzeProgram(prog, repro.Options{Level: lvl})
+		if err != nil {
+			t.Fatalf("%s: %v", lvl, err)
+		}
+		if res.Level != lvl {
+			t.Errorf("result level = %s, want %s", res.Level, lvl)
+		}
+	}
+}
+
+func TestKernelRegistry(t *testing.T) {
+	names := []string{"matvec", "matmat", "lu", "barneshut", "slist", "dlist", "btree"}
+	for _, n := range names {
+		k := repro.KernelByName(n)
+		if k == nil {
+			t.Errorf("kernel %s missing", n)
+			continue
+		}
+		if k.Name != n || k.Title == "" || len(k.Goals) == 0 {
+			t.Errorf("kernel %s incomplete: %+v", n, k)
+		}
+	}
+	if repro.KernelByName("nope") != nil {
+		t.Error("unknown kernel must return nil")
+	}
+	if got := len(repro.Kernels()); got != 4 {
+		t.Errorf("Kernels() = %d entries, want the 4 Table 1 codes", got)
+	}
+}
+
+func TestMustKernelPanicsOnUnknown(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("MustKernel must panic on unknown names")
+		}
+	}()
+	repro.MustKernel("does-not-exist")
+}
+
+func TestAnalyzeLoopsAPI(t *testing.T) {
+	res, err := repro.Analyze(apiListSrc, repro.Options{Level: repro.L1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	reports := repro.AnalyzeLoops(res)
+	if len(reports) != 1 {
+		t.Fatalf("got %d loop reports", len(reports))
+	}
+	if reports[0].Parallelizable {
+		t.Error("the build loop stores pointers; not parallelizable")
+	}
+	if txt := repro.FormatLoopReports(reports); !strings.Contains(txt, "loop") {
+		t.Errorf("rendering:\n%s", txt)
+	}
+}
+
+func TestProgressiveOnTeachingKernel(t *testing.T) {
+	prog, k := repro.MustKernel("slist")
+	pres := repro.AnalyzeProgressive(prog, k.Goals, repro.Options{})
+	if pres.AchievedLevel() != repro.L1 {
+		t.Errorf("slist should be accurate at L1, achieved %s\n%s",
+			pres.AchievedLevel(), pres.Summary())
+	}
+	if len(pres.Levels) != 1 {
+		t.Errorf("progressive driver ran %d levels, want 1", len(pres.Levels))
+	}
+	if !strings.Contains(pres.Summary(), "L1") {
+		t.Error("summary must mention the level")
+	}
+}
