@@ -1,0 +1,26 @@
+# Developer entry points. `make ci` is the gate every change must pass:
+# vet + build + full test suite + a one-iteration benchmark smoke to
+# catch bit-rot in the bench harness without paying full bench time.
+
+GO ?= go
+
+.PHONY: ci vet build test bench-smoke bench tidy
+
+ci: vet build test bench-smoke
+
+vet:
+	$(GO) vet ./...
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+bench-smoke:
+	$(GO) test -run xxx -bench 'BenchmarkSignature|BenchmarkDigest' -benchtime=1x ./internal/rsg/
+
+# Full micro+macro benchmarks (minutes); REPRO_FULL_BENCH=1 for the
+# unbounded Table 1 cells.
+bench:
+	$(GO) test -run xxx -bench . -benchtime=1x ./...

@@ -24,6 +24,7 @@ package repro_test
 import (
 	"errors"
 	"os"
+	"strings"
 	"testing"
 
 	"repro"
@@ -222,4 +223,95 @@ func BenchmarkAblationTouchAllPvars(b *testing.B) {
 
 func BenchmarkAblationTouchInductionOnly(b *testing.B) {
 	benchKernel(b, "slist", rsg.L3, analysis.Options{MaxVisits: benchVisits})
+}
+
+// ---- Digest-core regression checks -------------------------------------
+
+// TestTransferMemoHitRateBarnesHut asserts the transfer memoization
+// floor: within the bounded Barnes-Hut L1 run the same RSGs flow
+// through the same statements often enough that at least half of the
+// per-graph transfers must be served from the digest-keyed memo.
+// (Measured: ~57% at 3000 visits, ~65% at the full fixed point.)
+func TestTransferMemoHitRateBarnesHut(t *testing.T) {
+	prog, _ := repro.MustKernel("barneshut")
+	res, err := analysis.Run(prog, analysis.Options{Level: rsg.L1, MaxVisits: 3000})
+	if err != nil && !errors.Is(err, analysis.ErrNoConvergence) {
+		t.Fatal(err)
+	}
+	rate := res.Stats.MemoHitRate()
+	t.Logf("memo hits=%d misses=%d rate=%.1f%%", res.Stats.MemoHits, res.Stats.MemoMisses, 100*rate)
+	if rate < 0.50 {
+		t.Errorf("transfer-memo hit rate %.1f%% below the 50%% floor", 100*rate)
+	}
+	if res.Stats.Cache.GraphsFrozen == 0 || res.Stats.Cache.DigestsComputed == 0 {
+		t.Error("cache counters not populated")
+	}
+}
+
+// TestFigurePipelinesUnderFreezeGuard runs the figure workloads with
+// the freeze guard armed (every graph entering an RSRSG is frozen, so
+// any transfer that mutated its input in place would panic).
+func TestFigurePipelinesUnderFreezeGuard(t *testing.T) {
+	prog, err := repro.Compile(fig1Source)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, lvl := range []rsg.Level{rsg.L1, rsg.L2, rsg.L3} {
+		res, err := analysis.Run(prog, analysis.Options{Level: lvl})
+		if err != nil {
+			t.Fatalf("%v: %v", lvl, err)
+		}
+		in := res.ExitSet()
+		before := in.Digest()
+		if out := analysis.PipelineStep(lvl, in, "first", "nxt"); out.Len() == 0 {
+			t.Fatalf("%v: pipeline produced no graphs", lvl)
+		}
+		if in.Digest() != before {
+			t.Fatalf("%v: pipeline step mutated its input set", lvl)
+		}
+	}
+}
+
+// ---- Worklist micro-benchmark ------------------------------------------
+
+// deepLoopSource builds a mini-C program with a deep while-nest: the
+// worst case for the former O(S) worklist pop, which re-scanned the RPO
+// slice from the top on every iteration of every loop level.
+func deepLoopSource(depth int) string {
+	var b strings.Builder
+	b.WriteString("struct node { int v; struct node *nxt; };\n")
+	b.WriteString("void main(void) {\n")
+	b.WriteString("    struct node *h;\n    struct node *p;\n")
+	b.WriteString("    h = malloc(sizeof(struct node));\n")
+	b.WriteString("    h->nxt = NULL;\n")
+	for i := 0; i < depth; i++ {
+		b.WriteString("    while (more) {\n")
+		b.WriteString("        p = h;\n")
+		b.WriteString("        p->nxt = NULL;\n")
+	}
+	b.WriteString("        p = h;\n")
+	for i := 0; i < depth; i++ {
+		b.WriteString("    }\n")
+	}
+	b.WriteString("}\n")
+	return b.String()
+}
+
+// BenchmarkDeepLoopNestWorklist measures fixed-point scheduling cost on
+// a 24-deep loop nest; transfer work is trivial (every body statement
+// is a memo hit after round one), so worklist overhead dominates.
+func BenchmarkDeepLoopNestWorklist(b *testing.B) {
+	prog, err := repro.Compile(deepLoopSource(24))
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := analysis.Run(prog, analysis.Options{Level: rsg.L1})
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(float64(res.Stats.Visits), "visits")
+	}
 }

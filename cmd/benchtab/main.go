@@ -35,8 +35,8 @@ func main() {
 	timeout := flag.Duration("timeout", 30*time.Minute, "per-cell wall-clock guard")
 	flag.Parse()
 
-	fmt.Printf("%-10s %-4s %-12s %-12s %-12s %-26s %s\n",
-		"code", "lvl", "time", "peak-heap", "alloc", "peak(nodes/links/graphs)", "outcome")
+	fmt.Printf("%-10s %-4s %-12s %-12s %-12s %-26s %-9s %s\n",
+		"code", "lvl", "time", "peak-heap", "alloc", "peak(nodes/links/graphs)", "memo-hit", "outcome")
 
 	for _, name := range strings.Split(*kernels, ",") {
 		k := benchprog.ByName(strings.TrimSpace(name))
@@ -72,16 +72,18 @@ func main() {
 				outcome = rep.Err.Error()
 			}
 			peak := "-"
+			memoHit := "-"
 			if rep.Result != nil {
 				peak = fmt.Sprintf("%d/%d/%d", rep.Result.Stats.PeakNodes,
 					rep.Result.Stats.PeakLinks, rep.Result.Stats.PeakGraphs)
+				memoHit = fmt.Sprintf("%.1f%%", 100*rep.Result.Stats.MemoHitRate())
 			}
-			fmt.Printf("%-10s %-4s %-12s %-12s %-12s %-26s %s\n",
+			fmt.Printf("%-10s %-4s %-12s %-12s %-12s %-26s %-9s %s\n",
 				k.Name, lvl,
 				rep.Duration.Round(10*time.Millisecond),
 				fmt.Sprintf("%.1f MB", float64(rep.PeakHeapBytes)/(1<<20)),
 				fmt.Sprintf("%.1f MB", float64(rep.AllocBytes)/(1<<20)),
-				peak, outcome)
+				peak, memoHit, outcome)
 		}
 	}
 }

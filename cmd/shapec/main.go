@@ -13,6 +13,9 @@
 //	-ir             print the lowered IR and CFG
 //	-stmt N         also dump the RSRSG after statement N
 //	-budget N       abort when the abstraction exceeds N live nodes
+//	-stats          print memoization counters (transfer-memo hit rate,
+//	                graphs frozen, digest cache hits, interning); with
+//	                -progressive, one line per level
 //
 // Built-in kernel names: matvec, matmat, lu, barneshut, slist, dlist,
 // btree.
@@ -40,6 +43,7 @@ func main() {
 	dumpIR := flag.Bool("ir", false, "print the lowered IR")
 	stmt := flag.Int("stmt", -1, "dump the RSRSG after this statement id")
 	budget := flag.Int("budget", 0, "node budget (0 = unlimited)")
+	stats := flag.Bool("stats", false, "print memoization/digest-cache counters")
 	flag.Parse()
 
 	if flag.NArg() != 1 {
@@ -85,6 +89,13 @@ func main() {
 	if *progressive {
 		pres := analysis.Progressive(prog, goals, opts)
 		fmt.Print(pres.Summary())
+		if *stats {
+			for _, rep := range pres.Levels {
+				if rep.Result != nil {
+					fmt.Printf("stats %s: %s\n", rep.Level, rep.Result.Stats.CacheSummary())
+				}
+			}
+		}
 		if res := pres.Final.Result; res != nil {
 			printResult(res, *dot, *stmt)
 			if *loops {
@@ -107,6 +118,9 @@ func main() {
 	fmt.Printf("%s: %v, %d visits, peak %d nodes / %d links / %d graphs\n",
 		opts.Level, time.Since(start).Round(time.Millisecond), res.Stats.Visits,
 		res.Stats.PeakNodes, res.Stats.PeakLinks, res.Stats.PeakGraphs)
+	if *stats {
+		fmt.Printf("stats %s: %s\n", opts.Level, res.Stats.CacheSummary())
+	}
 	for _, g := range goals {
 		ok, detail := g.Met(res)
 		fmt.Printf("goal %-35s %-5v %s\n", g.Name(), ok, detail)

@@ -72,6 +72,34 @@ type Stats struct {
 	FinalNodes  int
 	FinalLinks  int
 	FinalGraphs int
+	// MemoHits/MemoMisses count per-graph transfer-memo lookups: a hit
+	// means the statement's abstract semantics were skipped because the
+	// input graph's digest was seen at this statement before.
+	MemoHits   int
+	MemoMisses int
+	// Cache is the delta of the rsg package's digest/intern counters
+	// over this run (graphs frozen, digests computed vs served from the
+	// freeze-time cache, interning hits/misses).
+	Cache rsg.CacheStats
+}
+
+// MemoHitRate returns the fraction of per-graph transfers served from
+// the memo, or 0 when no memoizable transfer ran.
+func (s *Stats) MemoHitRate() float64 {
+	total := s.MemoHits + s.MemoMisses
+	if total == 0 {
+		return 0
+	}
+	return float64(s.MemoHits) / float64(total)
+}
+
+// CacheSummary renders the memoization counters in one line.
+func (s *Stats) CacheSummary() string {
+	return fmt.Sprintf(
+		"memo(hits=%d misses=%d rate=%.1f%%) frozen=%d digests(computed=%d cached=%d) intern(hits=%d misses=%d)",
+		s.MemoHits, s.MemoMisses, 100*s.MemoHitRate(),
+		s.Cache.GraphsFrozen, s.Cache.DigestsComputed, s.Cache.DigestCacheHits,
+		s.Cache.InternHits, s.Cache.InternMisses)
 }
 
 // Result is the outcome of one analysis run.
@@ -107,7 +135,11 @@ func Run(prog *ir.Program, opts Options) (*Result, error) {
 		Out:     make(map[int]*rsrsg.Set, len(prog.Stmts)),
 	}
 	start := time.Now()
-	defer func() { res.Stats.Duration = time.Since(start) }()
+	cacheBase := rsg.ReadCacheStats()
+	defer func() {
+		res.Stats.Duration = time.Since(start)
+		res.Stats.Cache = rsg.ReadCacheStats().Sub(cacheBase)
+	}()
 
 	reduceOpts := rsrsg.Options{
 		DisableJoin: opts.DisableJoin,
@@ -125,14 +157,22 @@ func Run(prog *ir.Program, opts Options) (*Result, error) {
 	const widenAfter = 1000
 	memo := make(transferMemo)
 	rpo := reversePostOrder(prog)
+	rpoIndex := make([]int, len(prog.Stmts))
+	for i, id := range rpo {
+		rpoIndex[id] = i
+	}
 	visits := make(map[int]int, len(prog.Stmts))
 	inState := make(map[int]*rsrsg.Set, len(prog.Stmts))
+	// The worklist is a min-heap over RPO positions with a pending
+	// bitmap for dedup: pop is O(log S) instead of the O(S) scan of the
+	// rpo slice it replaces, which dominated deep loop nests where most
+	// pops pick a statement late in the order.
 	pending := make([]bool, len(prog.Stmts))
-	nPending := 0
+	var wl rpoHeap
 	push := func(id int) {
 		if !pending[id] {
 			pending[id] = true
-			nPending++
+			wl.push(rpoIndex[id])
 		}
 	}
 	pushSuccs := func(id int) {
@@ -143,7 +183,7 @@ func Run(prog *ir.Program, opts Options) (*Result, error) {
 	pushSuccs(prog.Entry)
 
 	debug := os.Getenv("REPRO_DEBUG") != ""
-	for nPending > 0 {
+	for wl.len() > 0 {
 		if res.Stats.Visits >= opts.MaxVisits {
 			return res, ErrNoConvergence
 		}
@@ -151,18 +191,8 @@ func Run(prog *ir.Program, opts Options) (*Result, error) {
 			return res, fmt.Errorf("%w after %v (%d visits)", ErrTimeout,
 				time.Since(start).Round(time.Millisecond), res.Stats.Visits)
 		}
-		id := -1
-		for _, cand := range rpo {
-			if pending[cand] {
-				id = cand
-				break
-			}
-		}
-		if id < 0 {
-			break
-		}
+		id := rpo[wl.pop()]
 		pending[id] = false
-		nPending--
 		res.Stats.Visits++
 		if debug && res.Stats.Visits%50 == 0 {
 			nodes, graphs := 0, 0
@@ -229,7 +259,7 @@ func Run(prog *ir.Program, opts Options) (*Result, error) {
 			continue
 		}
 
-		out := memo.transfer(ctx, opts, stmt, in)
+		out := memo.transfer(ctx, opts, stmt, in, &res.Stats)
 
 		// Standard dataflow: out = F(in). If a statement is revisited
 		// pathologically often (transfer non-monotonicity making the
@@ -307,18 +337,20 @@ func exitedInduction(prog *ir.Program, pred, id int, all bool) rsg.PvarSet {
 }
 
 // transferMemo caches the per-graph transfer results of every
-// statement, keyed by the input graph's canonical signature. During the
-// fixed point the same graphs flow through a statement many times; only
-// the delta of each round is computed afresh. The per-statement context
-// (level, induction sets, ablation flags) is constant within one run,
-// so the signature fully determines the result.
-type transferMemo map[int]map[string]*rsrsg.Set
+// statement, keyed by the input graph's canonical digest (graphs inside
+// an RSRSG are frozen, so the digest is memoized and the lookup is a
+// 16-byte comparison — no signature strings are built or hashed).
+// During the fixed point the same graphs flow through a statement many
+// times; only the delta of each round is computed afresh. The
+// per-statement context (level, induction sets, ablation flags) is
+// constant within one run, so the digest fully determines the result.
+type transferMemo map[int]map[rsg.Digest]*rsrsg.Set
 
 // memoCap bounds the cached input graphs per statement (a runaway
 // safety net; the benchmark kernels stay far below it).
 const memoCap = 8192
 
-func (m transferMemo) transfer(ctx *absem.Context, opts Options, s *ir.Stmt, in *rsrsg.Set) *rsrsg.Set {
+func (m transferMemo) transfer(ctx *absem.Context, opts Options, s *ir.Stmt, in *rsrsg.Set, st *Stats) *rsrsg.Set {
 	switch s.Op {
 	case ir.OpAssumeNull:
 		return absem.AssumeNull(ctx, in, s.X)
@@ -327,19 +359,22 @@ func (m transferMemo) transfer(ctx *absem.Context, opts Options, s *ir.Stmt, in 
 	case ir.OpNil, ir.OpMalloc, ir.OpCopy, ir.OpSelNil, ir.OpSelCopy, ir.OpLoad:
 		cache := m[s.ID]
 		if cache == nil {
-			cache = make(map[string]*rsrsg.Set)
+			cache = make(map[rsg.Digest]*rsrsg.Set)
 			m[s.ID] = cache
 		}
 		var parts []*rsrsg.Set
-		in.ForEachEntry(func(g *rsg.Graph, sig string) {
-			part, ok := cache[sig]
-			if !ok {
+		in.ForEachEntry(func(g *rsg.Graph, dig rsg.Digest) {
+			part, ok := cache[dig]
+			if ok {
+				st.MemoHits++
+			} else {
+				st.MemoMisses++
 				part = rsrsg.New()
 				for _, og := range stepGraph(ctx, s, g) {
 					part.Add(og)
 				}
 				if len(cache) < memoCap {
-					cache[sig] = part
+					cache[dig] = part
 				}
 			}
 			parts = append(parts, part)
@@ -352,6 +387,49 @@ func (m transferMemo) transfer(ctx *absem.Context, opts Options, s *ir.Stmt, in 
 	default: // OpNoop, OpEntry, OpExit
 		return in.Clone()
 	}
+}
+
+// rpoHeap is a binary min-heap of RPO positions. A hand-rolled int heap
+// (rather than container/heap) keeps pushes and pops allocation-free.
+type rpoHeap struct{ a []int }
+
+func (h *rpoHeap) len() int { return len(h.a) }
+
+func (h *rpoHeap) push(x int) {
+	h.a = append(h.a, x)
+	i := len(h.a) - 1
+	for i > 0 {
+		p := (i - 1) / 2
+		if h.a[p] <= h.a[i] {
+			break
+		}
+		h.a[p], h.a[i] = h.a[i], h.a[p]
+		i = p
+	}
+}
+
+func (h *rpoHeap) pop() int {
+	top := h.a[0]
+	last := len(h.a) - 1
+	h.a[0] = h.a[last]
+	h.a = h.a[:last]
+	i := 0
+	for {
+		l, r := 2*i+1, 2*i+2
+		if l >= last {
+			break
+		}
+		c := l
+		if r < last && h.a[r] < h.a[l] {
+			c = r
+		}
+		if h.a[i] <= h.a[c] {
+			break
+		}
+		h.a[i], h.a[c] = h.a[c], h.a[i]
+		i = c
+	}
+	return top
 }
 
 // stepGraph dispatches one graph through a statement's per-graph

@@ -159,6 +159,7 @@ func (p *ProgressiveResult) Summary() string {
 			fmt.Fprintf(&b, " visits=%d peak(nodes=%d links=%d graphs=%d)",
 				rep.Result.Stats.Visits, rep.Result.Stats.PeakNodes,
 				rep.Result.Stats.PeakLinks, rep.Result.Stats.PeakGraphs)
+			fmt.Fprintf(&b, " %s", rep.Result.Stats.CacheSummary())
 		}
 		if rep.Err != nil {
 			fmt.Fprintf(&b, " ERROR: %v", rep.Err)

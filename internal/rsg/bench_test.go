@@ -13,6 +13,27 @@ func BenchmarkSignature(b *testing.B) {
 	}
 }
 
+// BenchmarkDigest measures computing the binary digest of a mutable
+// graph (hashes the signature bytes on every call, no string built).
+func BenchmarkDigest(b *testing.B) {
+	g, _, _, _ := dlist(true)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		_ = g.Digest()
+	}
+}
+
+// BenchmarkDigestFrozen measures the frozen fast path: the digest is
+// memoized at freeze time, so this is a field read.
+func BenchmarkDigestFrozen(b *testing.B) {
+	g, _, _, _ := dlist(true)
+	g.Freeze()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		_ = g.Digest()
+	}
+}
+
 func BenchmarkClone(b *testing.B) {
 	g, _, _, _ := dlist(true)
 	b.ReportAllocs()

@@ -3,9 +3,8 @@ package rsg
 import (
 	"crypto/sha256"
 	"encoding/hex"
-	"fmt"
 	"sort"
-	"strings"
+	"strconv"
 )
 
 // Signature returns a canonical textual form of the graph, independent
@@ -22,75 +21,133 @@ import (
 // RSG in the set (a precision/space issue, never a soundness issue),
 // and cannot prevent fixed-point detection because the transfer
 // functions themselves are deterministic.
+//
+// Hot paths should prefer the fixed-size binary Digest over the full
+// string: the two agree (Digest is a hash of exactly these bytes), and
+// frozen graphs memoize the digest.
 func Signature(g *Graph) string {
+	return string(appendSignature(g, make([]byte, 0, 512)))
+}
+
+// Digest is a fixed-size binary summary of a graph's Signature. Two
+// graphs have equal digests iff they have equal signatures (up to a
+// 2^-128 collision chance). Digest is a comparable value type, so it can
+// key maps directly without the allocation and comparison cost of the
+// multi-kilobyte signature strings it replaces.
+type Digest [16]byte
+
+// String renders the digest in hex.
+func (d Digest) String() string { return hex.EncodeToString(d[:]) }
+
+// Less orders digests lexicographically; used to keep RSRSG entries in
+// a deterministic order.
+func (d Digest) Less(o Digest) bool {
+	for i := range d {
+		if d[i] != o[i] {
+			return d[i] < o[i]
+		}
+	}
+	return false
+}
+
+// computeDigest hashes the signature bytes without materializing the
+// string.
+func computeDigest(g *Graph) Digest {
+	sum := sha256.Sum256(appendSignature(g, make([]byte, 0, 512)))
+	var d Digest
+	copy(d[:], sum[:16])
+	return d
+}
+
+// Hash returns the hex form of the graph's digest (memoized on frozen
+// graphs); kept for textual call sites like trace output.
+func Hash(g *Graph) string {
+	d := g.Digest()
+	return d.String()
+}
+
+// appendSignature appends the canonical encoding of g to buf. The
+// encoding is built with byte appends instead of fmt so the dedup and
+// equality paths of the analysis do not allocate per emitted line.
+func appendSignature(g *Graph, buf []byte) []byte {
 	order := canonicalOrder(g)
 	index := make(map[NodeID]int, len(order))
 	for i, id := range order {
 		index[id] = i
 	}
 
-	var b strings.Builder
 	for _, p := range g.Pvars() {
-		fmt.Fprintf(&b, "P %s %d\n", p, index[g.PvarTarget(p).ID])
+		buf = append(buf, 'P', ' ')
+		buf = append(buf, p...)
+		buf = append(buf, ' ')
+		buf = strconv.AppendInt(buf, int64(index[g.PvarTarget(p).ID]), 10)
+		buf = append(buf, '\n')
 	}
 	for i, id := range order {
-		n := g.Node(id)
-		fmt.Fprintf(&b, "N %d %s\n", i, nodeDescriptor(n))
+		buf = append(buf, 'N', ' ')
+		buf = strconv.AppendInt(buf, int64(i), 10)
+		buf = append(buf, ' ')
+		buf = appendNodeDescriptor(buf, g.Node(id))
+		buf = append(buf, '\n')
 	}
 	// Emit edges grouped by canonical source index and selector; only
 	// the destination indices of each small group need sorting.
+	var dsts []int
 	for _, id := range order {
 		srcIdx := index[id]
 		for _, sel := range g.OutSelectors(id) {
 			targets := g.Targets(id, sel)
-			dsts := make([]int, len(targets))
-			for i, t := range targets {
-				dsts[i] = index[t]
+			dsts = dsts[:0]
+			for _, t := range targets {
+				dsts = append(dsts, index[t])
 			}
 			sort.Ints(dsts)
 			for _, d := range dsts {
-				fmt.Fprintf(&b, "L %d %s %d\n", srcIdx, sel, d)
+				buf = append(buf, 'L', ' ')
+				buf = strconv.AppendInt(buf, int64(srcIdx), 10)
+				buf = append(buf, ' ')
+				buf = append(buf, sel...)
+				buf = append(buf, ' ')
+				buf = strconv.AppendInt(buf, int64(d), 10)
+				buf = append(buf, '\n')
 			}
 		}
 	}
-	return b.String()
-}
-
-// Hash returns a fixed-size digest of Signature(g).
-func Hash(g *Graph) string {
-	sum := sha256.Sum256([]byte(Signature(g)))
-	return hex.EncodeToString(sum[:16])
+	return buf
 }
 
 // nodeDescriptor encodes every intrinsic property of a node (ID
 // excluded) for use in signatures and tie-breaking.
 func nodeDescriptor(n *Node) string {
-	var b strings.Builder
-	b.WriteString(n.Type)
+	return string(appendNodeDescriptor(make([]byte, 0, 64), n))
+}
+
+func appendNodeDescriptor(buf []byte, n *Node) []byte {
+	buf = append(buf, n.Type...)
 	if n.Singleton {
-		b.WriteString("|1|")
+		buf = append(buf, '|', '1', '|')
 	} else {
-		b.WriteString("|*|")
+		buf = append(buf, '|', '*', '|')
 	}
 	if n.Shared {
-		b.WriteString("S|")
+		buf = append(buf, 'S', '|')
 	} else {
-		b.WriteString("s|")
+		buf = append(buf, 's', '|')
 	}
-	b.WriteString(n.ShSel.String())
-	b.WriteByte('|')
-	b.WriteString(n.SelIn.String())
-	b.WriteByte('|')
-	b.WriteString(n.SelOut.String())
-	b.WriteByte('|')
-	b.WriteString(n.PosSelIn.String())
-	b.WriteByte('|')
-	b.WriteString(n.PosSelOut.String())
-	b.WriteByte('|')
-	b.WriteString(n.Cycle.String())
-	b.WriteByte('|')
-	b.WriteString(n.Touch.String())
-	return b.String()
+	buf = n.ShSel.appendTo(buf)
+	buf = append(buf, '|')
+	buf = n.SelIn.appendTo(buf)
+	buf = append(buf, '|')
+	buf = n.SelOut.appendTo(buf)
+	buf = append(buf, '|')
+	buf = n.PosSelIn.appendTo(buf)
+	buf = append(buf, '|')
+	buf = n.PosSelOut.appendTo(buf)
+	buf = append(buf, '|')
+	buf = n.Cycle.appendTo(buf)
+	buf = append(buf, '|')
+	buf = n.Touch.appendTo(buf)
+	return buf
 }
 
 // canonicalOrder returns the node IDs in BFS order from the sorted
@@ -99,8 +156,12 @@ func nodeDescriptor(n *Node) string {
 func canonicalOrder(g *Graph) []NodeID {
 	spaths := g.SPaths()
 	local := make(map[NodeID]string, g.NumNodes())
+	var scratch []byte
 	for _, id := range g.NodeIDs() {
-		local[id] = nodeDescriptor(g.Node(id)) + "@" + spaths[id].String()
+		scratch = appendNodeDescriptor(scratch[:0], g.Node(id))
+		scratch = append(scratch, '@')
+		scratch = append(scratch, spaths[id].String()...)
+		local[id] = string(scratch)
 	}
 
 	var order []NodeID
@@ -119,11 +180,14 @@ func canonicalOrder(g *Graph) []NodeID {
 			queue = append(queue, t)
 		}
 	}
+	var targets []NodeID
 	for len(queue) > 0 {
 		id := queue[0]
 		queue = queue[1:]
 		for _, sel := range g.OutSelectors(id) {
-			targets := g.Targets(id, sel)
+			// Copy before sorting: on frozen graphs Targets returns a
+			// shared cached slice that must not be reordered.
+			targets = append(targets[:0], g.Targets(id, sel)...)
 			sort.Slice(targets, func(i, j int) bool {
 				a, b := targets[i], targets[j]
 				_, sa := seen[a]

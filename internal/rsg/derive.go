@@ -29,8 +29,13 @@ func (g *Graph) SPathOf(id NodeID) SPathSet {
 	return s
 }
 
-// SPaths computes SPATH for every node at once.
+// SPaths computes SPATH for every node at once. On a frozen graph the
+// map is computed once at freeze time and shared; callers must not
+// modify it or the sets it holds.
 func (g *Graph) SPaths() map[NodeID]SPathSet {
+	if g.frozen {
+		return g.cSPaths
+	}
 	out := make(map[NodeID]SPathSet, len(g.nodes))
 	for id := range g.nodes {
 		out[id] = NewSPathSet()

@@ -1,0 +1,195 @@
+package rsg
+
+import (
+	"sort"
+	"sync"
+	"sync/atomic"
+)
+
+// This file implements the freeze contract: a Graph can be frozen into
+// an immutable handle, after which every mutating method panics, the
+// sorted adjacency/pvar views are served from caches built once, and the
+// canonical binary digest is memoized. Frozen graphs are safely
+// shareable — between RSRSGs, across cache layers, and (in a future
+// sharded engine) across goroutines, because no code path may write to
+// them. The only way to derive a new graph from a frozen one is Clone,
+// which returns an unfrozen deep copy.
+
+// Freeze makes the graph immutable, builds the cached sorted views
+// (NodeIDs, Pvars, OutSelectors, Targets, AliasKey) and computes the
+// canonical digest. Freezing is idempotent; it returns the receiver for
+// chaining.
+func (g *Graph) Freeze() *Graph {
+	if g.frozen {
+		return g
+	}
+	cacheStats.digestsComputed.Add(1)
+	return g.freezeWithDigest(computeDigest(g))
+}
+
+// freezeWithDigest freezes g reusing an already-computed digest (Intern
+// probes the digest before deciding whether the freeze is needed).
+func (g *Graph) freezeWithDigest(d Digest) *Graph {
+	g.cIDs = g.NodeIDs()
+	g.cPvars = g.Pvars()
+	g.cOutSels = make(map[NodeID][]string, len(g.out))
+	g.cTargets = make(map[NodeID]map[string][]NodeID, len(g.out))
+	for src, bySel := range g.out {
+		sels := make([]string, 0, len(bySel))
+		byTarget := make(map[string][]NodeID, len(bySel))
+		for sel, dsts := range bySel {
+			sels = append(sels, sel)
+			ts := make([]NodeID, 0, len(dsts))
+			for id := range dsts {
+				ts = append(ts, id)
+			}
+			sort.Slice(ts, func(i, j int) bool { return ts[i] < ts[j] })
+			byTarget[sel] = ts
+		}
+		sort.Strings(sels)
+		g.cOutSels[src] = sels
+		g.cTargets[src] = byTarget
+	}
+	g.cAlias = aliasKey(g)
+	g.cLinks = g.Links()
+	g.cSPaths = g.SPaths()
+	g.frozen = true
+	g.digest = d
+	cacheStats.graphsFrozen.Add(1)
+	return g
+}
+
+// Frozen reports whether the graph has been frozen.
+func (g *Graph) Frozen() bool { return g.frozen }
+
+// mustMutate panics when the graph is frozen. Every mutating Graph
+// method calls it, enforcing the "graphs inside a Set are immutable"
+// contract with the type system instead of convention.
+func (g *Graph) mustMutate(op string) {
+	if g.frozen {
+		panic("rsg: " + op + " on frozen graph (Clone before mutating)")
+	}
+}
+
+// Digest returns the 128-bit canonical digest of the graph: two graphs
+// have equal digests iff their Signatures are equal (up to hash
+// collision, negligible at 128 bits). On a frozen graph the digest was
+// memoized at freeze time and this is a field read; on a mutable graph
+// it is recomputed from scratch on every call.
+func (g *Graph) Digest() Digest {
+	if g.frozen {
+		cacheStats.digestHits.Add(1)
+		return g.digest
+	}
+	cacheStats.digestsComputed.Add(1)
+	return computeDigest(g)
+}
+
+// DigestEqual reports whether two graphs have the same canonical form,
+// i.e. Signature(a) == Signature(b).
+func DigestEqual(a, b *Graph) bool { return a.Digest() == b.Digest() }
+
+// ---- interning ---------------------------------------------------------
+
+// internCap bounds the global intern table; when full, the table is
+// reset wholesale (an epoch flip) so memory stays bounded while the
+// steady-state working set of a fixed point keeps hitting.
+const internCap = 1 << 15
+
+var (
+	internMu  sync.Mutex
+	internTab = make(map[Digest]*Graph, 1024)
+)
+
+// Intern freezes g and returns the canonical instance for its digest:
+// the first graph interned with a given canonical form is returned for
+// every later structurally-identical graph, so signature-identical
+// graphs created independently (e.g. by transfers at different program
+// points) collapse to one shared immutable object.
+//
+// The digest is probed before freezing: a duplicate is discarded
+// immediately, so only graphs that become the canonical instance pay
+// for the freeze-time view construction.
+func Intern(g *Graph) *Graph {
+	if g.frozen {
+		internMu.Lock()
+		defer internMu.Unlock()
+		return internLocked(g, g.digest)
+	}
+	d := g.Digest()
+	internMu.Lock()
+	defer internMu.Unlock()
+	if old, ok := internTab[d]; ok {
+		cacheStats.internHits.Add(1)
+		return old
+	}
+	g.freezeWithDigest(d)
+	return internLocked(g, d)
+}
+
+// internLocked inserts or retrieves the canonical instance for a frozen
+// graph; internMu must be held.
+func internLocked(g *Graph, d Digest) *Graph {
+	if old, ok := internTab[d]; ok {
+		if old == g {
+			return g
+		}
+		cacheStats.internHits.Add(1)
+		return old
+	}
+	if len(internTab) >= internCap {
+		internTab = make(map[Digest]*Graph, 1024)
+	}
+	internTab[d] = g
+	cacheStats.internMisses.Add(1)
+	return g
+}
+
+// ---- observability counters -------------------------------------------
+
+// CacheStats is a snapshot of the package-global digest/freeze/intern
+// counters. The counters only ever grow; subtract two snapshots (Sub)
+// to attribute activity to one analysis run.
+type CacheStats struct {
+	// GraphsFrozen counts Graph.Freeze calls that froze a graph.
+	GraphsFrozen uint64
+	// DigestsComputed counts full digest computations (one per freeze,
+	// plus any Digest call on an unfrozen graph).
+	DigestsComputed uint64
+	// DigestCacheHits counts Digest calls served from the frozen cache.
+	DigestCacheHits uint64
+	// InternHits counts Intern calls that returned an existing canonical
+	// instance; InternMisses counts first-time interns.
+	InternHits   uint64
+	InternMisses uint64
+}
+
+var cacheStats struct {
+	graphsFrozen    atomic.Uint64
+	digestsComputed atomic.Uint64
+	digestHits      atomic.Uint64
+	internHits      atomic.Uint64
+	internMisses    atomic.Uint64
+}
+
+// ReadCacheStats returns the current counter values.
+func ReadCacheStats() CacheStats {
+	return CacheStats{
+		GraphsFrozen:    cacheStats.graphsFrozen.Load(),
+		DigestsComputed: cacheStats.digestsComputed.Load(),
+		DigestCacheHits: cacheStats.digestHits.Load(),
+		InternHits:      cacheStats.internHits.Load(),
+		InternMisses:    cacheStats.internMisses.Load(),
+	}
+}
+
+// Sub returns the counter-wise difference s - base.
+func (s CacheStats) Sub(base CacheStats) CacheStats {
+	return CacheStats{
+		GraphsFrozen:    s.GraphsFrozen - base.GraphsFrozen,
+		DigestsComputed: s.DigestsComputed - base.DigestsComputed,
+		DigestCacheHits: s.DigestCacheHits - base.DigestCacheHits,
+		InternHits:      s.InternHits - base.InternHits,
+		InternMisses:    s.InternMisses - base.InternMisses,
+	}
+}

@@ -33,6 +33,20 @@ type Graph struct {
 	in     map[NodeID]map[string]map[NodeID]struct{} // dst -> sel -> srcs
 	nextID NodeID
 	nLinks int
+
+	// Freeze contract (see freeze.go): once frozen, every mutating
+	// method panics, the sorted views below are served from the caches
+	// built at freeze time, and the canonical digest is memoized.
+	// Callers must treat slices returned by a frozen graph as read-only.
+	frozen   bool
+	digest   Digest
+	cIDs     []NodeID
+	cPvars   []string
+	cAlias   string
+	cOutSels map[NodeID][]string
+	cTargets map[NodeID]map[string][]NodeID
+	cLinks   []Link
+	cSPaths  map[NodeID]SPathSet
 }
 
 // NewGraph returns an empty RSG (no nodes; every pvar NULL).
@@ -45,7 +59,9 @@ func NewGraph() *Graph {
 	}
 }
 
-// Clone returns a deep copy of the graph. Node IDs are preserved.
+// Clone returns a deep copy of the graph. Node IDs are preserved. The
+// clone is always mutable, even when the receiver is frozen: cloning is
+// the one sanctioned way to derive a new graph from a frozen handle.
 func (g *Graph) Clone() *Graph {
 	c := NewGraph()
 	c.nextID = g.nextID
@@ -62,6 +78,7 @@ func (g *Graph) Clone() *Graph {
 // AddNode inserts n into the graph, assigning it a fresh ID, and
 // returns the node.
 func (g *Graph) AddNode(n *Node) *Node {
+	g.mustMutate("AddNode")
 	g.nextID++
 	n.ID = g.nextID
 	g.nodes[n.ID] = n
@@ -71,6 +88,7 @@ func (g *Graph) AddNode(n *Node) *Node {
 // adoptNode inserts a node preserving its ID; used by clone-like
 // operations that rebuild a graph from pieces of others.
 func (g *Graph) adoptNode(n *Node) {
+	g.mustMutate("adoptNode")
 	g.nodes[n.ID] = n
 	if n.ID > g.nextID {
 		g.nextID = n.ID
@@ -86,8 +104,12 @@ func (g *Graph) NumNodes() int { return len(g.nodes) }
 // NumLinks returns the number of NL entries.
 func (g *Graph) NumLinks() int { return g.nLinks }
 
-// NodeIDs returns all node IDs in ascending order.
+// NodeIDs returns all node IDs in ascending order. On a frozen graph
+// the cached slice is returned; callers must not modify it.
 func (g *Graph) NodeIDs() []NodeID {
+	if g.frozen {
+		return g.cIDs
+	}
 	ids := make([]int, 0, len(g.nodes))
 	for id := range g.nodes {
 		ids = append(ids, int(id))
@@ -111,6 +133,7 @@ func (g *Graph) Nodes() []*Node {
 
 // SetPvar makes pvar reference the node with the given ID.
 func (g *Graph) SetPvar(pvar string, id NodeID) {
+	g.mustMutate("SetPvar")
 	if _, ok := g.nodes[id]; !ok {
 		panic(fmt.Sprintf("rsg: SetPvar(%s, n%d): no such node", pvar, id))
 	}
@@ -118,7 +141,10 @@ func (g *Graph) SetPvar(pvar string, id NodeID) {
 }
 
 // ClearPvar makes pvar NULL.
-func (g *Graph) ClearPvar(pvar string) { delete(g.pl, pvar) }
+func (g *Graph) ClearPvar(pvar string) {
+	g.mustMutate("ClearPvar")
+	delete(g.pl, pvar)
+}
 
 // PvarTarget returns the node a pvar references, or nil when the pvar
 // is NULL.
@@ -130,8 +156,12 @@ func (g *Graph) PvarTarget(pvar string) *Node {
 	return g.nodes[id]
 }
 
-// Pvars returns the pvars with a non-NULL reference, sorted.
+// Pvars returns the pvars with a non-NULL reference, sorted. On a
+// frozen graph the cached slice is returned; callers must not modify it.
 func (g *Graph) Pvars() []string {
+	if g.frozen {
+		return g.cPvars
+	}
 	out := make([]string, 0, len(g.pl))
 	for p := range g.pl {
 		out = append(out, p)
@@ -154,6 +184,7 @@ func (g *Graph) PvarsOf(id NodeID) []string {
 
 // AddLink inserts the NL entry <src, sel, dst>. It is idempotent.
 func (g *Graph) AddLink(src NodeID, sel string, dst NodeID) {
+	g.mustMutate("AddLink")
 	if _, ok := g.nodes[src]; !ok {
 		panic(fmt.Sprintf("rsg: AddLink: no src node n%d", src))
 	}
@@ -194,6 +225,7 @@ func (g *Graph) addLinkRaw(l Link) {
 
 // RemoveLink deletes the NL entry <src, sel, dst> if present.
 func (g *Graph) RemoveLink(src NodeID, sel string, dst NodeID) {
+	g.mustMutate("RemoveLink")
 	if bySel := g.out[src]; bySel != nil {
 		if dsts := bySel[sel]; dsts != nil {
 			if _, had := dsts[dst]; had {
@@ -232,8 +264,12 @@ func (g *Graph) HasLink(src NodeID, sel string, dst NodeID) bool {
 	return false
 }
 
-// Targets returns the sorted destinations of src through sel.
+// Targets returns the sorted destinations of src through sel. On a
+// frozen graph the cached slice is returned; callers must not modify it.
 func (g *Graph) Targets(src NodeID, sel string) []NodeID {
+	if g.frozen {
+		return g.cTargets[src][sel]
+	}
 	bySel := g.out[src]
 	if bySel == nil {
 		return nil
@@ -263,8 +299,12 @@ func (g *Graph) Sources(dst NodeID, sel string) []NodeID {
 }
 
 // OutSelectors returns the sorted selectors with at least one outgoing
-// link from src.
+// link from src. On a frozen graph the cached slice is returned;
+// callers must not modify it.
 func (g *Graph) OutSelectors(src NodeID) []string {
+	if g.frozen {
+		return g.cOutSels[src]
+	}
 	bySel := g.out[src]
 	out := make([]string, 0, len(bySel))
 	for sel := range bySel {
@@ -313,8 +353,12 @@ func (g *Graph) OutLinks(src NodeID) []Link {
 // Links returns every NL entry, sorted by (Src, Sel, Dst). The order is
 // produced structurally (sorted nodes, then sorted selectors, then
 // sorted targets) instead of one big comparison sort, because this is
-// the hottest function of the analysis.
+// the hottest function of the analysis. On a frozen graph the cached
+// slice is returned; callers must not modify it.
 func (g *Graph) Links() []Link {
+	if g.frozen {
+		return g.cLinks
+	}
 	links := make([]Link, 0, 16)
 	for _, src := range g.NodeIDs() {
 		bySel := g.out[src]
@@ -357,6 +401,7 @@ func sortLinks(links []Link) {
 
 // RemoveNode deletes a node, all its links and any pvar references to it.
 func (g *Graph) RemoveNode(id NodeID) {
+	g.mustMutate("RemoveNode")
 	for _, l := range g.InLinks(id) {
 		g.RemoveLink(l.Src, l.Sel, l.Dst)
 	}

@@ -8,7 +8,15 @@ import (
 // AliasKey returns a canonical encoding of the paper's ALIAS(rsg)
 // relation: the partition of the non-NULL pvars by referenced node.
 // Two graphs have the same alias relation iff their keys are equal.
+// Frozen graphs serve the key from the cache built at freeze time.
 func AliasKey(g *Graph) string {
+	if g.frozen {
+		return g.cAlias
+	}
+	return aliasKey(g)
+}
+
+func aliasKey(g *Graph) string {
 	groups := make(map[NodeID][]string)
 	for _, p := range g.Pvars() {
 		t := g.PvarTarget(p)

@@ -111,6 +111,21 @@ func (s SelSet) String() string {
 	return "{" + strings.Join(s.Sorted(), ",") + "}"
 }
 
+// appendTo appends the String form to buf without intermediate strings;
+// used by the signature/digest encoder.
+func (s SelSet) appendTo(buf []byte) []byte {
+	buf = append(buf, '{')
+	if len(s) > 0 {
+		for i, sel := range s.Sorted() {
+			if i > 0 {
+				buf = append(buf, ',')
+			}
+			buf = append(buf, sel...)
+		}
+	}
+	return append(buf, '}')
+}
+
 // PvarSet is a set of pointer-variable names. It is used for TOUCH sets
 // and for alias groups.
 type PvarSet map[string]struct{}
@@ -171,6 +186,20 @@ func (s PvarSet) Sorted() []string {
 // String renders the set as "{p,q}" with sorted elements.
 func (s PvarSet) String() string {
 	return "{" + strings.Join(s.Sorted(), ",") + "}"
+}
+
+// appendTo appends the String form to buf without intermediate strings.
+func (s PvarSet) appendTo(buf []byte) []byte {
+	buf = append(buf, '{')
+	if len(s) > 0 {
+		for i, p := range s.Sorted() {
+			if i > 0 {
+				buf = append(buf, ',')
+			}
+			buf = append(buf, p...)
+		}
+	}
+	return append(buf, '}')
 }
 
 // CyclePair is one CYCLELINKS entry <Out, In>: every location represented
@@ -252,6 +281,24 @@ func (s CycleSet) String() string {
 		parts = append(parts, p.String())
 	}
 	return "{" + strings.Join(parts, ",") + "}"
+}
+
+// appendTo appends the String form to buf without intermediate strings.
+func (s CycleSet) appendTo(buf []byte) []byte {
+	buf = append(buf, '{')
+	if len(s) > 0 {
+		for i, p := range s.Sorted() {
+			if i > 0 {
+				buf = append(buf, ',')
+			}
+			buf = append(buf, '<')
+			buf = append(buf, p.Out...)
+			buf = append(buf, ',')
+			buf = append(buf, p.In...)
+			buf = append(buf, '>')
+		}
+	}
+	return append(buf, '}')
 }
 
 // SPath is one simple path <pvar, sel> (Sect. 3): an access path of

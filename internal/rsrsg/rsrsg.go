@@ -13,29 +13,43 @@ import (
 )
 
 // entry caches the derived keys of one member graph. Graphs inside a
-// Set are treated as immutable; every mutation path in the analysis
-// clones first.
+// Set are frozen (rsg.Graph.Freeze) on insertion: any mutation panics,
+// so the immutability the analysis relies on is enforced by the type
+// system, not convention. Member graphs are interned, so
+// structurally-identical graphs share one instance across sets.
 type entry struct {
 	g     *rsg.Graph
-	sig   string
+	dig   rsg.Digest
 	alias string
 }
 
+// newEntry freezes and interns g and caches its derived keys.
+func newEntry(g *rsg.Graph) entry {
+	g = rsg.Intern(g)
+	return entry{g: g, dig: g.Digest(), alias: rsg.AliasKey(g)}
+}
+
 // Set is one RSRSG: a reduced set of RSGs, deduplicated by canonical
-// signature.
+// digest. Entries are kept sorted by digest, so iteration order is
+// deterministic without per-call sorting, and the set-level digest is
+// maintained incrementally so Equal is O(1).
 type Set struct {
-	entries []entry
-	bySig   map[string]struct{}
-	// absorbed records every signature ever folded in through
-	// MergeDelta, including graphs that were joined away; it prevents
-	// re-absorbing (and re-joining) recurring contributions during the
-	// fixed point. Lazily initialized by MergeDelta.
-	absorbed map[string]struct{}
+	entries []entry // sorted ascending by dig
+	byDig   map[rsg.Digest]struct{}
+	// absorbed records every digest ever folded in through MergeDelta,
+	// including graphs that were joined away; it prevents re-absorbing
+	// (and re-joining) recurring contributions during the fixed point.
+	// Lazily initialized by MergeDelta.
+	absorbed map[rsg.Digest]struct{}
+	// setDig is the XOR of the member digests: order-independent,
+	// updated in O(1) per insertion/removal. Two sets with equal length
+	// and equal setDig hold the same members (up to hash collision).
+	setDig rsg.Digest
 }
 
 // New returns an empty RSRSG.
 func New() *Set {
-	return &Set{bySig: make(map[string]struct{})}
+	return &Set{byDig: make(map[rsg.Digest]struct{})}
 }
 
 // FromGraphs builds a reduced set from the given graphs at the given
@@ -59,40 +73,65 @@ type Options struct {
 	MaxGraphs int
 }
 
-// Add inserts a graph if no signature-identical graph is present.
+// Add freezes g and inserts it if no digest-identical graph is present.
 func (s *Set) Add(g *rsg.Graph) bool {
-	sig := rsg.Signature(g)
-	if _, ok := s.bySig[sig]; ok {
+	return s.addEntry(newEntry(g))
+}
+
+// addEntry inserts e at its sorted position unless a digest-identical
+// member exists, keeping byDig and the set digest in sync.
+func (s *Set) addEntry(e entry) bool {
+	if _, dup := s.byDig[e.dig]; dup {
 		return false
 	}
-	s.bySig[sig] = struct{}{}
-	s.entries = append(s.entries, entry{g: g, sig: sig, alias: rsg.AliasKey(g)})
+	s.byDig[e.dig] = struct{}{}
+	i := sort.Search(len(s.entries), func(i int) bool { return !s.entries[i].dig.Less(e.dig) })
+	s.entries = append(s.entries, entry{})
+	copy(s.entries[i+1:], s.entries[i:])
+	s.entries[i] = e
+	xorDigest(&s.setDig, e.dig)
 	return true
 }
 
-// ForEachEntry calls f with every member graph and its cached canonical
-// signature, in deterministic (signature) order.
-func (s *Set) ForEachEntry(f func(g *rsg.Graph, sig string)) {
-	idx := make([]int, len(s.entries))
-	for i := range idx {
-		idx[i] = i
+// removeEntry deletes the member with the given digest, if present.
+func (s *Set) removeEntry(dig rsg.Digest) bool {
+	if _, ok := s.byDig[dig]; !ok {
+		return false
 	}
-	sort.Slice(idx, func(a, b int) bool { return s.entries[idx[a]].sig < s.entries[idx[b]].sig })
-	for _, j := range idx {
-		f(s.entries[j].g, s.entries[j].sig)
+	delete(s.byDig, dig)
+	i := sort.Search(len(s.entries), func(i int) bool { return !s.entries[i].dig.Less(dig) })
+	s.entries = append(s.entries[:i], s.entries[i+1:]...)
+	xorDigest(&s.setDig, dig)
+	return true
+}
+
+// reset clears the member state (absorbed history is kept).
+func (s *Set) reset(capacity int) {
+	s.entries = s.entries[:0]
+	s.byDig = make(map[rsg.Digest]struct{}, capacity)
+	s.setDig = rsg.Digest{}
+}
+
+func xorDigest(dst *rsg.Digest, d rsg.Digest) {
+	for i := range dst {
+		dst[i] ^= d[i]
 	}
 }
 
-// Graphs returns the member RSGs in deterministic (signature) order.
-func (s *Set) Graphs() []*rsg.Graph {
-	idx := make([]int, len(s.entries))
-	for i := range idx {
-		idx[i] = i
+// ForEachEntry calls f with every member graph and its cached canonical
+// digest, in deterministic (digest) order. Entries are kept sorted on
+// insertion, so this is a plain scan.
+func (s *Set) ForEachEntry(f func(g *rsg.Graph, dig rsg.Digest)) {
+	for _, e := range s.entries {
+		f(e.g, e.dig)
 	}
-	sort.Slice(idx, func(a, b int) bool { return s.entries[idx[a]].sig < s.entries[idx[b]].sig })
-	out := make([]*rsg.Graph, len(idx))
-	for i, j := range idx {
-		out[i] = s.entries[j].g
+}
+
+// Graphs returns the member RSGs in deterministic (digest) order.
+func (s *Set) Graphs() []*rsg.Graph {
+	out := make([]*rsg.Graph, len(s.entries))
+	for i, e := range s.entries {
+		out[i] = e.g
 	}
 	return out
 }
@@ -141,7 +180,7 @@ func (s *Set) Reduce(lvl rsg.Level, opts Options) int {
 	var result []entry
 	for _, key := range order {
 		group := buckets[key]
-		sort.Slice(group, func(i, j int) bool { return group[i].sig < group[j].sig })
+		sort.Slice(group, func(i, j int) bool { return group[i].dig.Less(group[j].dig) })
 		group, j := reduceGroup(lvl, group, false)
 		joins += j
 		if opts.MaxGraphs > 0 && len(group) > opts.MaxGraphs {
@@ -154,14 +193,9 @@ func (s *Set) Reduce(lvl rsg.Level, opts Options) int {
 		result = append(result, group...)
 	}
 
-	s.entries = nil
-	s.bySig = make(map[string]struct{}, len(result))
+	s.reset(len(result))
 	for _, e := range result {
-		if _, ok := s.bySig[e.sig]; ok {
-			continue
-		}
-		s.bySig[e.sig] = struct{}{}
-		s.entries = append(s.entries, e)
+		s.addEntry(e)
 	}
 	return joins
 }
@@ -191,7 +225,7 @@ func reduceGroup(lvl rsg.Level, group []entry, force bool) ([]entry, int) {
 				}
 				merged := rsg.Join(lvl, group[i].g, group[j].g)
 				rsg.Compress(merged, lvl)
-				e := entry{g: merged, sig: rsg.Signature(merged), alias: rsg.AliasKey(merged)}
+				e := newEntry(merged)
 				ng := make([]entry, 0, len(group)-1)
 				for k := range group {
 					if k != i && k != j {
@@ -216,7 +250,7 @@ func forceGroup(lvl rsg.Level, group []entry, max int) ([]entry, int) {
 	for len(group) > max {
 		merged := rsg.Join(lvl, group[0].g, group[1].g)
 		rsg.Compress(merged, lvl)
-		e := entry{g: merged, sig: rsg.Signature(merged), alias: rsg.AliasKey(merged)}
+		e := newEntry(merged)
 		group = append(group[2:], e)
 		group = dedupe(group)
 		joins++
@@ -225,13 +259,13 @@ func forceGroup(lvl rsg.Level, group []entry, max int) ([]entry, int) {
 }
 
 func dedupe(group []entry) []entry {
-	seen := make(map[string]struct{}, len(group))
+	seen := make(map[rsg.Digest]struct{}, len(group))
 	out := group[:0]
 	for _, e := range group {
-		if _, ok := seen[e.sig]; ok {
+		if _, ok := seen[e.dig]; ok {
 			continue
 		}
-		seen[e.sig] = struct{}{}
+		seen[e.dig] = struct{}{}
 		out = append(out, e)
 	}
 	return out
@@ -249,17 +283,17 @@ func (s *Set) MergeDelta(lvl rsg.Level, other *Set, opts Options) bool {
 		return false
 	}
 	if s.absorbed == nil {
-		s.absorbed = make(map[string]struct{})
+		s.absorbed = make(map[rsg.Digest]struct{}, len(s.entries))
 		for _, e := range s.entries {
-			s.absorbed[e.sig] = struct{}{}
+			s.absorbed[e.dig] = struct{}{}
 		}
 	}
 	var delta []entry
 	for _, e := range other.entries {
-		if _, seen := s.absorbed[e.sig]; seen {
+		if _, seen := s.absorbed[e.dig]; seen {
 			continue
 		}
-		s.absorbed[e.sig] = struct{}{}
+		s.absorbed[e.dig] = struct{}{}
 		delta = append(delta, e)
 	}
 	if len(delta) == 0 {
@@ -268,9 +302,7 @@ func (s *Set) MergeDelta(lvl rsg.Level, other *Set, opts Options) bool {
 	if opts.DisableJoin {
 		changed := false
 		for _, e := range delta {
-			if _, dup := s.bySig[e.sig]; !dup {
-				s.bySig[e.sig] = struct{}{}
-				s.entries = append(s.entries, e)
+			if s.addEntry(e) {
 				changed = true
 			}
 		}
@@ -299,7 +331,7 @@ func (s *Set) MergeDelta(lvl rsg.Level, other *Set, opts Options) bool {
 	for len(queue) > 0 {
 		e := queue[0]
 		queue = queue[1:]
-		if _, dup := s.bySig[e.sig]; dup {
+		if _, dup := s.byDig[e.dig]; dup {
 			continue // an identical member already exists
 		}
 		bucket := buckets[e.alias]
@@ -312,44 +344,26 @@ func (s *Set) MergeDelta(lvl rsg.Level, other *Set, opts Options) bool {
 		}
 		if joined < 0 {
 			buckets[e.alias] = append(bucket, e)
-			s.bySig[e.sig] = struct{}{}
+			s.addEntry(e)
 			changed = true
 			continue
 		}
 		old := bucket[joined]
 		merged := rsg.Join(lvl, old.g, e.g)
 		rsg.Compress(merged, lvl)
-		msig := rsg.Signature(merged)
-		if msig == old.sig {
+		me := newEntry(merged)
+		if me.dig == old.dig {
 			continue // absorbing e did not change the member
 		}
 		// Remove the old member and queue the merged graph.
 		buckets[e.alias] = append(append([]entry{}, bucket[:joined]...), bucket[joined+1:]...)
-		delete(s.bySig, old.sig)
-		s.absorbed[msig] = struct{}{}
+		s.removeEntry(old.dig)
+		s.absorbed[me.dig] = struct{}{}
 		changed = true
-		queue = append(queue, entry{g: merged, sig: msig, alias: rsg.AliasKey(merged)})
+		queue = append(queue, me)
 	}
 	if !changed {
 		return false
-	}
-
-	// Rebuild the entry list from the buckets (bySig is already live).
-	s.entries = s.entries[:0]
-	keys := make([]string, 0, len(buckets))
-	for k := range buckets {
-		keys = append(keys, k)
-	}
-	sort.Strings(keys)
-	seen := make(map[string]struct{}, len(s.bySig))
-	for _, k := range keys {
-		for _, e := range buckets[k] {
-			if _, dup := seen[e.sig]; dup {
-				continue
-			}
-			seen[e.sig] = struct{}{}
-			s.entries = append(s.entries, e)
-		}
 	}
 	if opts.MaxGraphs > 0 {
 		s.Reduce(lvl, opts) // applies the per-bucket widening bound
@@ -358,7 +372,7 @@ func (s *Set) MergeDelta(lvl rsg.Level, other *Set, opts Options) bool {
 }
 
 // UnionAll returns a new set holding the graphs of all the given sets,
-// reduced. Cached signatures are reused, so no graph is re-canonicalized.
+// reduced. Cached digests are reused, so no graph is re-canonicalized.
 func UnionAll(lvl rsg.Level, sets []*Set, opts Options) *Set {
 	out := New()
 	for _, s := range sets {
@@ -390,39 +404,39 @@ func Union(lvl rsg.Level, a, b *Set, opts Options) *Set {
 	return out
 }
 
-func (s *Set) addEntry(e entry) {
-	if _, ok := s.bySig[e.sig]; ok {
-		return
-	}
-	s.bySig[e.sig] = struct{}{}
-	s.entries = append(s.entries, e)
-}
+// Digest returns the order-independent set-level digest: the XOR of the
+// member digests, maintained incrementally. Equal sets have equal
+// digests; two different sets of the same size collide only with hash
+// probability (~2^-128).
+func (s *Set) Digest() rsg.Digest { return s.setDig }
 
-// Signature returns a canonical signature of the whole set, used for
-// fixed-point detection.
+// Signature returns a canonical textual form of the whole set (the hex
+// member digests in sorted order); kept for traces and debugging —
+// fixed-point detection uses the O(1) Digest/Equal instead.
 func (s *Set) Signature() string {
-	sigs := make([]string, 0, len(s.entries))
-	for _, e := range s.entries {
-		sigs = append(sigs, e.sig)
+	var b strings.Builder
+	b.Grow(len(s.entries) * 33)
+	for i, e := range s.entries {
+		if i > 0 {
+			b.WriteByte(0)
+		}
+		b.WriteString(e.dig.String())
 	}
-	sort.Strings(sigs)
-	return strings.Join(sigs, "\x00")
+	return b.String()
 }
 
-// Equal reports whether two sets have identical canonical signatures.
+// Equal reports whether two sets hold the same member graphs. Thanks to
+// the incrementally-maintained set digest this is O(1): no signature
+// strings are rebuilt or compared.
 func (s *Set) Equal(o *Set) bool {
 	if s == nil || o == nil {
 		return s == o
 	}
-	if len(s.entries) != len(o.entries) {
-		return false
-	}
-	return s.Signature() == o.Signature()
+	return len(s.entries) == len(o.entries) && s.setDig == o.setDig
 }
 
 // Clone returns a copy of the set sharing the member graphs. Graphs
-// inside a Set are immutable by convention — every analysis path clones
-// a graph before mutating it — so sharing is safe and avoids the deep
+// inside a Set are frozen, so sharing is safe and avoids the deep
 // copies that would otherwise dominate no-op transfers.
 func (s *Set) Clone() *Set {
 	out := New()
@@ -433,7 +447,7 @@ func (s *Set) Clone() *Set {
 }
 
 // Filter returns a set holding the member graphs satisfying pred,
-// sharing them (and their cached signatures) with the receiver.
+// sharing them (and their cached digests) with the receiver.
 func (s *Set) Filter(pred func(*rsg.Graph) bool) *Set {
 	out := New()
 	for _, e := range s.entries {

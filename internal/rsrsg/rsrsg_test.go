@@ -169,3 +169,98 @@ func TestCountsAggregation(t *testing.T) {
 		t.Errorf("NumLinks = %d, want 1", s.NumLinks())
 	}
 }
+
+func TestEntriesSortedByDigest(t *testing.T) {
+	s := New()
+	s.Add(mkGraph("t", "x"))
+	s.Add(mkGraph("u", "y"))
+	s.Add(mkGraph("t", "x", "y"))
+	s.Add(mkGraph("v", "z"))
+	var prev rsg.Digest
+	first := true
+	s.ForEachEntry(func(g *rsg.Graph, dig rsg.Digest) {
+		if !first && !prev.Less(dig) {
+			t.Errorf("entries not strictly sorted: %s before %s", prev, dig)
+		}
+		prev, first = dig, false
+	})
+	// Graphs() must agree with the iteration order.
+	gs := s.Graphs()
+	i := 0
+	s.ForEachEntry(func(g *rsg.Graph, dig rsg.Digest) {
+		if gs[i] != g {
+			t.Errorf("Graphs()[%d] disagrees with ForEachEntry order", i)
+		}
+		i++
+	})
+}
+
+func TestSetDigestIncremental(t *testing.T) {
+	// The incrementally-maintained set digest must equal the XOR of the
+	// member digests recomputed from scratch, across adds and merges.
+	s := New()
+	graphs := []*rsg.Graph{mkGraph("t", "x"), mkGraph("u", "y"), mkGraph("t", "x", "y")}
+	for _, g := range graphs {
+		s.Add(g)
+		var want rsg.Digest
+		s.ForEachEntry(func(_ *rsg.Graph, dig rsg.Digest) {
+			for i := range want {
+				want[i] ^= dig[i]
+			}
+		})
+		if s.Digest() != want {
+			t.Fatalf("incremental digest %s != recomputed %s", s.Digest(), want)
+		}
+	}
+	// Order independence.
+	r := New()
+	r.Add(graphs[2])
+	r.Add(graphs[0])
+	r.Add(graphs[1])
+	if r.Digest() != s.Digest() {
+		t.Fatal("set digest must be insertion-order independent")
+	}
+	if !r.Equal(s) {
+		t.Fatal("Equal must hold for same members in different insertion order")
+	}
+}
+
+func TestAddFreezesGraphs(t *testing.T) {
+	s := New()
+	g := mkGraph("t", "x")
+	s.Add(g)
+	for _, m := range s.Graphs() {
+		if !m.Frozen() {
+			t.Fatal("graphs inside a Set must be frozen")
+		}
+	}
+	// The caller's instance is frozen too (or substituted by an interned
+	// twin); either way the original must no longer be silently mutable
+	// if it IS the stored instance.
+	if s.Graphs()[0] == g && !g.Frozen() {
+		t.Fatal("stored caller instance left mutable")
+	}
+}
+
+func TestMergeDeltaMaintainsDigest(t *testing.T) {
+	a := New()
+	a.Add(mkGraph("t", "x"))
+	b := New()
+	b.Add(mkGraph("u", "y"))
+	b.Add(mkGraph("t", "x"))
+	if !a.MergeDelta(rsg.L1, b, Options{}) {
+		t.Fatal("MergeDelta must report change")
+	}
+	var want rsg.Digest
+	a.ForEachEntry(func(_ *rsg.Graph, dig rsg.Digest) {
+		for i := range want {
+			want[i] ^= dig[i]
+		}
+	})
+	if a.Digest() != want {
+		t.Fatalf("digest drifted after MergeDelta: %s != %s", a.Digest(), want)
+	}
+	if a.MergeDelta(rsg.L1, b, Options{}) {
+		t.Fatal("re-merging the same set must be a no-op")
+	}
+}
