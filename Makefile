@@ -1,12 +1,13 @@
 # Developer entry points. `make ci` is the gate every change must pass:
-# vet + build + full test suite + a one-iteration benchmark smoke to
-# catch bit-rot in the bench harness without paying full bench time.
+# vet + build + full test suite + race detector over the concurrent
+# packages + a one-iteration benchmark smoke to catch bit-rot in the
+# bench harness without paying full bench time.
 
 GO ?= go
 
-.PHONY: ci vet build test bench-smoke bench tidy
+.PHONY: ci vet build test test-race bench-smoke bench tidy
 
-ci: vet build test bench-smoke
+ci: vet build test test-race bench-smoke
 
 vet:
 	$(GO) vet ./...
@@ -16,6 +17,13 @@ build:
 
 test:
 	$(GO) test ./...
+
+# The packages the parallel fixpoint engine touches: the sharded
+# interner (rsg), the Exec-driven bucket reductions (rsrsg), and the
+# worker fan-out itself (analysis). -short keeps the heavyweight
+# kernels out of the instrumented run.
+test-race:
+	$(GO) test -race -short ./internal/rsg/ ./internal/rsrsg/ ./internal/analysis/
 
 bench-smoke:
 	$(GO) test -run xxx -bench 'BenchmarkSignature|BenchmarkDigest' -benchtime=1x ./internal/rsg/

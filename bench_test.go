@@ -225,6 +225,23 @@ func BenchmarkAblationTouchInductionOnly(b *testing.B) {
 	benchKernel(b, "slist", rsg.L3, analysis.Options{MaxVisits: benchVisits})
 }
 
+// ---- Parallel engine scaling -------------------------------------------
+
+// The parallel engine fans per-graph transfers and per-alias-bucket
+// reductions over Options.Workers goroutines; output digests are
+// bit-identical at every worker count (see internal/analysis
+// TestParallelDeterminism), so these benchmarks measure pure speedup.
+// Measured numbers are recorded in CHANGES.md.
+
+func benchParallelBarnesHut(b *testing.B, workers int) {
+	benchKernel(b, "barneshut", rsg.L1, analysis.Options{Workers: workers, MaxVisits: benchVisits})
+}
+
+func BenchmarkParallelBarnesHutL1_Workers1(b *testing.B) { benchParallelBarnesHut(b, 1) }
+func BenchmarkParallelBarnesHutL1_Workers2(b *testing.B) { benchParallelBarnesHut(b, 2) }
+func BenchmarkParallelBarnesHutL1_Workers4(b *testing.B) { benchParallelBarnesHut(b, 4) }
+func BenchmarkParallelBarnesHutL1_Workers8(b *testing.B) { benchParallelBarnesHut(b, 8) }
+
 // ---- Digest-core regression checks -------------------------------------
 
 // TestTransferMemoHitRateBarnesHut asserts the transfer memoization

@@ -13,7 +13,7 @@
 // Usage:
 //
 //	benchtab [-kernels matvec,matmat,lu,barneshut] [-levels 1,2,3]
-//	         [-lubudget N] [-timeout d]
+//	         [-lubudget N] [-timeout d] [-workers N]
 package main
 
 import (
@@ -33,6 +33,7 @@ func main() {
 	levels := flag.String("levels", "1,2,3", "comma-separated levels")
 	luBudget := flag.Int("lubudget", 60000, "node budget for the LU kernel at L2/L3 (models the paper's 128 MB machine; 0 = unlimited)")
 	timeout := flag.Duration("timeout", 30*time.Minute, "per-cell wall-clock guard")
+	workers := flag.Int("workers", 0, "worker goroutines per cell (0 = GOMAXPROCS, 1 = sequential)")
 	flag.Parse()
 
 	fmt.Printf("%-10s %-4s %-12s %-12s %-12s %-26s %-9s %s\n",
@@ -62,7 +63,7 @@ func main() {
 				fmt.Fprintf(os.Stderr, "benchtab: bad level %q\n", ls)
 				os.Exit(2)
 			}
-			opts := analysis.Options{Timeout: *timeout}
+			opts := analysis.Options{Timeout: *timeout, Workers: *workers}
 			if k.Name == "lu" && lvl > rsg.L1 {
 				opts.NodeBudget = *luBudget
 			}

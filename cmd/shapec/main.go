@@ -16,6 +16,9 @@
 //	-stats          print memoization counters (transfer-memo hit rate,
 //	                graphs frozen, digest cache hits, interning); with
 //	                -progressive, one line per level
+//	-workers N      goroutines for per-graph transfers and bucket
+//	                reductions (0 = GOMAXPROCS, 1 = sequential; results
+//	                are identical at any value)
 //
 // Built-in kernel names: matvec, matmat, lu, barneshut, slist, dlist,
 // btree.
@@ -44,6 +47,7 @@ func main() {
 	stmt := flag.Int("stmt", -1, "dump the RSRSG after this statement id")
 	budget := flag.Int("budget", 0, "node budget (0 = unlimited)")
 	stats := flag.Bool("stats", false, "print memoization/digest-cache counters")
+	workers := flag.Int("workers", 0, "worker goroutines (0 = GOMAXPROCS, 1 = sequential)")
 	flag.Parse()
 
 	if flag.NArg() != 1 {
@@ -84,7 +88,7 @@ func main() {
 		fmt.Println(prog)
 	}
 
-	opts := analysis.Options{NodeBudget: *budget}
+	opts := analysis.Options{NodeBudget: *budget, Workers: *workers}
 
 	if *progressive {
 		pres := analysis.Progressive(prog, goals, opts)

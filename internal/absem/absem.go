@@ -63,6 +63,17 @@ type Diagnostics struct {
 	Compressions int
 }
 
+// Add accumulates o's counters into d. The parallel engine gives each
+// transfer worker a private Diagnostics and folds them back through
+// Add in job order, so the totals match a sequential run.
+func (d *Diagnostics) Add(o Diagnostics) {
+	d.NullDerefs += o.NullDerefs
+	d.InfeasibleBranches += o.InfeasibleBranches
+	d.Materializations += o.Materializations
+	d.Joins += o.Joins
+	d.Compressions += o.Compressions
+}
+
 func (c *Context) touchEligible(x string) bool {
 	return c.Level.UseTouch() && c.InLoop && c.Induction.Has(x)
 }

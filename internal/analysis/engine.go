@@ -10,6 +10,7 @@ import (
 	"errors"
 	"fmt"
 	"os"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/absem"
@@ -45,6 +46,13 @@ type Options struct {
 	// Timeout aborts the run with ErrTimeout when the fixed point takes
 	// longer than this wall-clock duration. 0 = no limit.
 	Timeout time.Duration
+	// Workers is the number of goroutines used for the per-graph
+	// abstract transfers and the per-alias-bucket RSRSG reductions.
+	// 0 means GOMAXPROCS; 1 forces a fully sequential run. Any value
+	// produces bit-identical per-statement digests: inputs are frozen,
+	// each unit of parallel work is independent, and results are joined
+	// in canonical digest order (see DESIGN.md §7).
+	Workers int
 }
 
 // ErrBudgetExceeded reports that the abstraction outgrew NodeBudget.
@@ -77,10 +85,23 @@ type Stats struct {
 	// input graph's digest was seen at this statement before.
 	MemoHits   int
 	MemoMisses int
+	// Workers is the resolved worker count of the run (Options.Workers
+	// after defaulting 0 to GOMAXPROCS).
+	Workers int
+	// ParallelTransfers counts statement transfers whose memo misses
+	// were fanned out over the worker pool; ParallelJobs counts the
+	// per-graph jobs those fan-outs dispatched.
+	ParallelTransfers int
+	ParallelJobs      int
 	// Cache is the delta of the rsg package's digest/intern counters
 	// over this run (graphs frozen, digests computed vs served from the
-	// freeze-time cache, interning hits/misses).
+	// freeze-time cache, interning hits/misses). The counters are
+	// process-global: when CacheShared is set, another Run overlapped
+	// this one and the delta includes that run's activity too.
 	Cache rsg.CacheStats
+	// CacheShared reports that at least one other Run was active at some
+	// point during this run, so Cache over-counts (see Cache).
+	CacheShared bool
 }
 
 // MemoHitRate returns the fraction of per-graph transfers served from
@@ -95,11 +116,15 @@ func (s *Stats) MemoHitRate() float64 {
 
 // CacheSummary renders the memoization counters in one line.
 func (s *Stats) CacheSummary() string {
+	shared := ""
+	if s.CacheShared {
+		shared = " [shared: concurrent runs, rsg counters over-count]"
+	}
 	return fmt.Sprintf(
-		"memo(hits=%d misses=%d rate=%.1f%%) frozen=%d digests(computed=%d cached=%d) intern(hits=%d misses=%d)",
+		"memo(hits=%d misses=%d rate=%.1f%%) frozen=%d digests(computed=%d cached=%d) intern(hits=%d misses=%d)%s",
 		s.MemoHits, s.MemoMisses, 100*s.MemoHitRate(),
 		s.Cache.GraphsFrozen, s.Cache.DigestsComputed, s.Cache.DigestCacheHits,
-		s.Cache.InternHits, s.Cache.InternMisses)
+		s.Cache.InternHits, s.Cache.InternMisses, shared)
 }
 
 // Result is the outcome of one analysis run.
@@ -135,16 +160,31 @@ func Run(prog *ir.Program, opts Options) (*Result, error) {
 		Out:     make(map[int]*rsrsg.Set, len(prog.Stmts)),
 	}
 	start := time.Now()
+	// The rsg cache counters are process-global; detect overlapping runs
+	// so Stats.Cache can be flagged as shared rather than silently
+	// double-counted (each overlapping run sees the other's activity in
+	// its delta).
+	myEpoch := runEpoch.Add(1)
+	shared := activeRuns.Add(1) > 1
 	cacheBase := rsg.ReadCacheStats()
+	eng := newEngineRun(opts, start)
+	defer eng.cancel(nil)
 	defer func() {
 		res.Stats.Duration = time.Since(start)
 		res.Stats.Cache = rsg.ReadCacheStats().Sub(cacheBase)
+		if runEpoch.Load() != myEpoch {
+			shared = true
+		}
+		activeRuns.Add(-1)
+		res.Stats.CacheShared = shared
+		res.Stats.Workers = eng.workers
+		res.Stats.MemoHits = int(eng.memoHits.Load())
+		res.Stats.MemoMisses = int(eng.memoMisses.Load())
+		res.Stats.ParallelTransfers = int(eng.parallelTransfers.Load())
+		res.Stats.ParallelJobs = int(eng.parallelJobs.Load())
 	}()
 
-	reduceOpts := rsrsg.Options{
-		DisableJoin: opts.DisableJoin,
-		MaxGraphs:   opts.MaxGraphsPerStmt,
-	}
+	reduceOpts := eng.reduceOpts
 
 	// Entry state: one empty RSG (all pvars NULL, empty heap).
 	entrySet := rsrsg.New()
@@ -155,7 +195,6 @@ func Run(prog *ir.Program, opts Options) (*Result, error) {
 	// CFG before loops re-fire, which keeps the visit count near
 	// (loop-nest depth) x (statement count) instead of thrashing.
 	const widenAfter = 1000
-	memo := make(transferMemo)
 	rpo := reversePostOrder(prog)
 	rpoIndex := make([]int, len(prog.Stmts))
 	for i, id := range rpo {
@@ -259,7 +298,14 @@ func Run(prog *ir.Program, opts Options) (*Result, error) {
 			continue
 		}
 
-		out := memo.transfer(ctx, opts, stmt, in, &res.Stats)
+		out, err := eng.transfer(ctx, stmt, in)
+		if err != nil {
+			if errors.Is(err, ErrTimeout) {
+				err = fmt.Errorf("%w after %v (%d visits)", ErrTimeout,
+					time.Since(start).Round(time.Millisecond), res.Stats.Visits)
+			}
+			return res, err
+		}
 
 		// Standard dataflow: out = F(in). If a statement is revisited
 		// pathologically often (transfer non-monotonicity making the
@@ -350,44 +396,15 @@ type transferMemo map[int]map[rsg.Digest]*rsrsg.Set
 // safety net; the benchmark kernels stay far below it).
 const memoCap = 8192
 
-func (m transferMemo) transfer(ctx *absem.Context, opts Options, s *ir.Stmt, in *rsrsg.Set, st *Stats) *rsrsg.Set {
-	switch s.Op {
-	case ir.OpAssumeNull:
-		return absem.AssumeNull(ctx, in, s.X)
-	case ir.OpAssumeNonNull:
-		return absem.AssumeNonNull(ctx, in, s.X)
-	case ir.OpNil, ir.OpMalloc, ir.OpCopy, ir.OpSelNil, ir.OpSelCopy, ir.OpLoad:
-		cache := m[s.ID]
-		if cache == nil {
-			cache = make(map[rsg.Digest]*rsrsg.Set)
-			m[s.ID] = cache
-		}
-		var parts []*rsrsg.Set
-		in.ForEachEntry(func(g *rsg.Graph, dig rsg.Digest) {
-			part, ok := cache[dig]
-			if ok {
-				st.MemoHits++
-			} else {
-				st.MemoMisses++
-				part = rsrsg.New()
-				for _, og := range stepGraph(ctx, s, g) {
-					part.Add(og)
-				}
-				if len(cache) < memoCap {
-					cache[dig] = part
-				}
-			}
-			parts = append(parts, part)
-		})
-		out := rsrsg.UnionAll(opts.Level, parts, rsrsg.Options{
-			DisableJoin: opts.DisableJoin,
-			MaxGraphs:   opts.MaxGraphsPerStmt,
-		})
-		return out
-	default: // OpNoop, OpEntry, OpExit
-		return in.Clone()
-	}
-}
+// activeRuns/runEpoch let Run detect overlapping analyses for the
+// Stats.CacheShared flag: activeRuns counts runs currently inside Run,
+// and runEpoch increments on every Run start so a run that begins and
+// ends entirely inside another one is still observed (the enclosing
+// run sees the epoch move).
+var (
+	activeRuns atomic.Int64
+	runEpoch   atomic.Uint64
+)
 
 // rpoHeap is a binary min-heap of RPO positions. A hand-rolled int heap
 // (rather than container/heap) keeps pushes and pops allocation-free.

@@ -1,0 +1,234 @@
+package analysis
+
+import (
+	"context"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/absem"
+	"repro/internal/ir"
+	"repro/internal/rsg"
+	"repro/internal/rsrsg"
+)
+
+// This file implements the parallel evaluation layer of the engine
+// (DESIGN.md §7). The fixed-point loop itself stays sequential — the
+// per-statement worklist order is load-bearing for convergence speed —
+// but the two hot inner loops fan out over a worker pool:
+//
+//   1. per-graph abstract transfers: the graphs of a statement's
+//      incoming RSRSG are independent frozen inputs, so their memo
+//      misses are dispatched as parallel jobs;
+//   2. per-alias-bucket reductions inside rsrsg (Reduce/MergeDelta/
+//      UnionAll), reached through the rsrsg.Options.Exec hook.
+//
+// Determinism is by construction, not by luck: every parallel unit
+// writes to a pre-assigned slot, results are joined in the same
+// canonical order the sequential engine uses (input-entry order for
+// transfers, sorted alias-key order for buckets), and per-worker
+// diagnostics are folded back in job-index order. Workers=1 and
+// Workers=N therefore produce bit-identical per-statement digests.
+
+// parallelFanoutMin is the minimum number of memo misses at one
+// statement before the engine pays the goroutine fan-out cost; below
+// it the misses run inline on the coordinator.
+const parallelFanoutMin = 2
+
+// engineRun is the per-Run mutable state shared between the worklist
+// coordinator and the transfer workers. The memo is only touched by
+// the coordinator (probes before fan-out, inserts after join); the
+// counters are atomics because rsrsg bucket tasks also run on workers.
+type engineRun struct {
+	opts       Options
+	reduceOpts rsrsg.Options
+	workers    int
+	ctx        context.Context
+	cancel     context.CancelCauseFunc
+	memo       transferMemo
+
+	memoHits          atomic.Int64
+	memoMisses        atomic.Int64
+	parallelTransfers atomic.Int64
+	parallelJobs      atomic.Int64
+}
+
+// newEngineRun resolves the worker count, arms the cancellation
+// context (deadline when Options.Timeout is set) and builds the
+// reduction options, wiring the executor hook in when parallel.
+func newEngineRun(opts Options, start time.Time) *engineRun {
+	workers := opts.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	e := &engineRun{
+		opts:    opts,
+		workers: workers,
+		memo:    make(transferMemo),
+	}
+	ctx, cancel := context.WithCancelCause(context.Background())
+	e.ctx, e.cancel = ctx, cancel
+	if opts.Timeout > 0 {
+		// The deadline reaches into in-flight workers: a long transfer
+		// fan-out stops at the next job boundary instead of running to
+		// completion after the budget is gone. Run cancels the cause-
+		// carrying parent on every return, so workers never outlive it.
+		dctx, dcancel := context.WithDeadlineCause(ctx, start.Add(opts.Timeout), ErrTimeout)
+		e.ctx = dctx
+		parent := cancel
+		e.cancel = func(cause error) {
+			dcancel()
+			parent(cause)
+		}
+	}
+	e.reduceOpts = rsrsg.Options{
+		DisableJoin: opts.DisableJoin,
+		MaxGraphs:   opts.MaxGraphsPerStmt,
+	}
+	if workers > 1 {
+		e.reduceOpts.Exec = e.exec
+	}
+	return e
+}
+
+// cancelErr maps the context's cancellation cause onto the engine's
+// sentinel errors (the deadline carries ErrTimeout as its cause).
+func (e *engineRun) cancelErr() error {
+	if cause := context.Cause(e.ctx); cause != nil {
+		return cause
+	}
+	return e.ctx.Err()
+}
+
+// exec is the rsrsg.Options.Exec hook: it runs the bucket tasks of one
+// reduction over the worker pool. Tasks always run to completion —
+// a reduction must not observe partially-written buckets — so
+// cancellation is handled at the coordinator's granularity, not here.
+func (e *engineRun) exec(tasks []func()) {
+	e.runParallel(len(tasks), func(i int) { tasks[i]() })
+}
+
+// runParallel executes f(0..n-1) on up to e.workers goroutines and
+// returns once every call has completed. Goroutines are spawned per
+// call and pull indices from a shared atomic counter: no persistent
+// pool means nested fan-outs cannot deadlock and a finished call
+// provably leaks nothing.
+func (e *engineRun) runParallel(n int, f func(int)) {
+	workers := e.workers
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			f(i)
+		}
+		return
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				f(i)
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+// transfer computes out = F(in) for one statement. Memoizable ops
+// probe the per-statement digest cache on the coordinator; the misses
+// are dispatched over the worker pool when there are enough of them.
+// Each job steps one frozen graph through the abstract semantics into
+// its pre-assigned slot with a private diagnostics block and no nested
+// executor; the coordinator then folds diagnostics and memo inserts
+// back in input-entry order and joins the parts exactly as the
+// sequential engine would, so the result digest is worker-count
+// independent.
+func (e *engineRun) transfer(ctx *absem.Context, s *ir.Stmt, in *rsrsg.Set) (*rsrsg.Set, error) {
+	switch s.Op {
+	case ir.OpAssumeNull:
+		return absem.AssumeNull(ctx, in, s.X), nil
+	case ir.OpAssumeNonNull:
+		return absem.AssumeNonNull(ctx, in, s.X), nil
+	case ir.OpNil, ir.OpMalloc, ir.OpCopy, ir.OpSelNil, ir.OpSelCopy, ir.OpLoad:
+		cache := e.memo[s.ID]
+		if cache == nil {
+			cache = make(map[rsg.Digest]*rsrsg.Set)
+			e.memo[s.ID] = cache
+		}
+		type job struct {
+			g    *rsg.Graph
+			dig  rsg.Digest
+			slot int
+		}
+		var parts []*rsrsg.Set
+		var jobs []job
+		in.ForEachEntry(func(g *rsg.Graph, dig rsg.Digest) {
+			if part, ok := cache[dig]; ok {
+				e.memoHits.Add(1)
+				parts = append(parts, part)
+				return
+			}
+			e.memoMisses.Add(1)
+			jobs = append(jobs, job{g: g, dig: dig, slot: len(parts)})
+			parts = append(parts, nil)
+		})
+		if e.workers > 1 && len(jobs) >= parallelFanoutMin {
+			e.parallelTransfers.Add(1)
+			e.parallelJobs.Add(int64(len(jobs)))
+			diags := make([]absem.Diagnostics, len(jobs))
+			e.runParallel(len(jobs), func(i int) {
+				if e.ctx.Err() != nil {
+					return
+				}
+				// Each worker gets a private shallow copy of the
+				// context: its own diagnostics block (folded back in
+				// index order below) and no executor, so workers never
+				// nest parallelism. Everything else in the context is
+				// read-only during a transfer.
+				jctx := *ctx
+				jctx.Diags = &diags[i]
+				jctx.Opts.Exec = nil
+				parts[jobs[i].slot] = stepGraphSet(&jctx, s, jobs[i].g)
+			})
+			if e.ctx.Err() != nil {
+				return nil, e.cancelErr()
+			}
+			if ctx.Diags != nil {
+				for i := range diags {
+					ctx.Diags.Add(diags[i])
+				}
+			}
+		} else {
+			for _, j := range jobs {
+				parts[j.slot] = stepGraphSet(ctx, s, j.g)
+			}
+		}
+		for _, j := range jobs {
+			if len(cache) < memoCap {
+				cache[j.dig] = parts[j.slot]
+			}
+		}
+		return rsrsg.UnionAll(e.opts.Level, parts, e.reduceOpts), nil
+	default: // OpNoop, OpEntry, OpExit
+		return in.Clone(), nil
+	}
+}
+
+// stepGraphSet steps one graph through a statement's abstract
+// semantics and collects the outputs into a fresh set.
+func stepGraphSet(ctx *absem.Context, s *ir.Stmt, g *rsg.Graph) *rsrsg.Set {
+	part := rsrsg.New()
+	for _, og := range stepGraph(ctx, s, g) {
+		part.Add(og)
+	}
+	return part
+}

@@ -1,0 +1,303 @@
+package analysis_test
+
+// Tests for the parallel fixpoint engine (DESIGN.md §7): the
+// determinism property (any worker count produces bit-identical
+// per-statement digests), prompt cancellation of in-flight workers on
+// Timeout/NodeBudget, goroutine hygiene, and the CacheShared overlap
+// flag on the process-global rsg counters.
+
+import (
+	"errors"
+	"fmt"
+	"runtime"
+	"sort"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/analysis"
+	"repro/internal/ir"
+	"repro/internal/rsg"
+)
+
+// fig1PipelineSource is the Fig. 1(a) working example: build a doubly
+// linked list, then traverse it with a second pointer.
+const fig1PipelineSource = `
+struct elem { int val; struct elem *nxt; struct elem *prv; };
+void main(void) {
+    struct elem *list;
+    struct elem *p;
+    struct elem *e;
+    list = malloc(sizeof(struct elem));
+    list->nxt = NULL;
+    list->prv = NULL;
+    p = list;
+    while (more) {
+        e = malloc(sizeof(struct elem));
+        e->nxt = NULL;
+        e->prv = p;
+        p->nxt = e;
+        p = e;
+    }
+    p = list;
+    while (go) {
+        p = p->nxt;
+    }
+}
+`
+
+// fingerprint renders the per-statement RSRSG membership as sorted
+// canonical digests — the object the determinism property quantifies
+// over. Digests are sorted so the fingerprint is independent of the
+// sets' internal entry order.
+func fingerprint(res *analysis.Result) string {
+	ids := make([]int, 0, len(res.Out))
+	for id := range res.Out {
+		ids = append(ids, id)
+	}
+	sort.Ints(ids)
+	var b strings.Builder
+	for _, id := range ids {
+		var digs []string
+		res.Out[id].ForEachEntry(func(g *rsg.Graph, dig rsg.Digest) {
+			digs = append(digs, fmt.Sprintf("%x", dig))
+		})
+		sort.Strings(digs)
+		fmt.Fprintf(&b, "%d: %s\n", id, strings.Join(digs, " "))
+	}
+	return b.String()
+}
+
+// TestParallelDeterminism runs the determinism property over the three
+// fixture programs x levels L1-L3 x Workers in {1,2,4,8}: every
+// configuration must produce identical per-statement digest sets, and
+// a repeated 8-worker run must agree with the first (no hidden
+// schedule dependence). The heavy kernels run under a visit bound —
+// partial fixed points exercise the same code paths and must be just
+// as deterministic.
+func TestParallelDeterminism(t *testing.T) {
+	fixtures := []struct {
+		name      string
+		prog      func(t *testing.T) *ir.Program
+		maxVisits int
+	}{
+		{"fig1", func(t *testing.T) *ir.Program { return compileSrc(t, fig1PipelineSource) }, 0},
+		{"barneshut", func(t *testing.T) *ir.Program { p, _ := compileKernel(t, "barneshut"); return p }, 300},
+		{"lu", func(t *testing.T) *ir.Program { p, _ := compileKernel(t, "lu"); return p }, 300},
+	}
+	workerCounts := []int{1, 2, 4, 8}
+	if testing.Short() {
+		workerCounts = []int{1, 4}
+	}
+	for _, fx := range fixtures {
+		t.Run(fx.name, func(t *testing.T) {
+			prog := fx.prog(t)
+			for _, lvl := range []rsg.Level{rsg.L1, rsg.L2, rsg.L3} {
+				var want string
+				var wantErr error
+				for _, w := range workerCounts {
+					res, err := analysis.Run(prog, analysis.Options{
+						Level: lvl, MaxVisits: fx.maxVisits, Workers: w,
+					})
+					if fx.maxVisits > 0 && errors.Is(err, analysis.ErrNoConvergence) {
+						err = nil // bounded run: the partial state is the fixture
+					}
+					if w == workerCounts[0] {
+						wantErr = err
+					} else if (err == nil) != (wantErr == nil) {
+						t.Fatalf("%s %v: workers=%d error %v, workers=%d error %v",
+							fx.name, lvl, workerCounts[0], wantErr, w, err)
+					}
+					if err != nil {
+						t.Fatalf("%s %v workers=%d: %v", fx.name, lvl, w, err)
+					}
+					got := fingerprint(res)
+					if w == workerCounts[0] {
+						want = got
+						continue
+					}
+					if got != want {
+						t.Fatalf("%s %v: workers=%d diverged from workers=%d:\n--- want\n%s\n--- got\n%s",
+							fx.name, lvl, w, workerCounts[0], want, got)
+					}
+				}
+				// Schedule independence: a second 8-worker run must
+				// reproduce the first bit for bit.
+				last := workerCounts[len(workerCounts)-1]
+				res, err := analysis.Run(prog, analysis.Options{
+					Level: lvl, MaxVisits: fx.maxVisits, Workers: last,
+				})
+				if err != nil && !(fx.maxVisits > 0 && errors.Is(err, analysis.ErrNoConvergence)) {
+					t.Fatalf("%s %v repeat workers=%d: %v", fx.name, lvl, last, err)
+				}
+				if got := fingerprint(res); got != want {
+					t.Fatalf("%s %v: repeated workers=%d run disagrees with itself", fx.name, lvl, last)
+				}
+			}
+		})
+	}
+}
+
+// TestParallelFanoutHappens guards the harness against vacuity: the
+// bounded Barnes-Hut run must actually dispatch parallel transfer jobs
+// (otherwise the determinism test would only ever compare sequential
+// runs with themselves).
+func TestParallelFanoutHappens(t *testing.T) {
+	prog, _ := compileKernel(t, "barneshut")
+	res, err := analysis.Run(prog, analysis.Options{Level: rsg.L1, MaxVisits: 1500, Workers: 4})
+	if err != nil && !errors.Is(err, analysis.ErrNoConvergence) {
+		t.Fatal(err)
+	}
+	if res.Stats.Workers != 4 {
+		t.Fatalf("resolved workers = %d, want 4", res.Stats.Workers)
+	}
+	if res.Stats.ParallelTransfers == 0 || res.Stats.ParallelJobs == 0 {
+		t.Fatalf("no parallel fan-out happened (transfers=%d jobs=%d); determinism tests would be vacuous",
+			res.Stats.ParallelTransfers, res.Stats.ParallelJobs)
+	}
+}
+
+// deepLoopSrc emits a depth-deep nest of list-building loops — the
+// visit count explodes with depth, making the program a reliable way
+// to keep the engine busy long enough for cancellation to land
+// mid-run.
+func deepLoopSrc(depth int) string {
+	var b strings.Builder
+	b.WriteString("struct elem { int v; struct elem *nxt; struct elem *prv; };\n")
+	b.WriteString("void main(void) {\n    struct elem *l;\n    struct elem *t;\n    l = NULL;\n")
+	for i := 0; i < depth; i++ {
+		b.WriteString(strings.Repeat("    ", i+1) + "while (c) {\n")
+	}
+	pad := strings.Repeat("    ", depth+1)
+	b.WriteString(pad + "t = malloc(sizeof(struct elem));\n")
+	b.WriteString(pad + "t->nxt = l;\n")
+	b.WriteString(pad + "l = t;\n")
+	for i := depth - 1; i >= 0; i-- {
+		b.WriteString(strings.Repeat("    ", i+1) + "}\n")
+	}
+	b.WriteString("}\n")
+	return b.String()
+}
+
+// expectNoGoroutineLeak fails the test if the goroutine count does not
+// return to its pre-run baseline shortly after the engine returns (the
+// worker pool is per-call, so any survivor is a leak).
+func expectNoGoroutineLeak(t *testing.T, base int) {
+	t.Helper()
+	deadline := time.Now().Add(2 * time.Second)
+	for time.Now().Before(deadline) {
+		if runtime.NumGoroutine() <= base {
+			return
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	t.Fatalf("goroutine leak: %d before run, %d two seconds after", base, runtime.NumGoroutine())
+}
+
+// TestTimeoutCancelsWorkersPromptly runs the deep loop nest with a
+// ~1ms budget: the run must fail with ErrTimeout well before the
+// program converges, and every worker goroutine must be gone right
+// after the return.
+func TestTimeoutCancelsWorkersPromptly(t *testing.T) {
+	prog := compileSrc(t, deepLoopSrc(6))
+	base := runtime.NumGoroutine()
+	begin := time.Now()
+	_, err := analysis.Run(prog, analysis.Options{
+		Level: rsg.L3, Timeout: time.Millisecond, Workers: 4,
+	})
+	elapsed := time.Since(begin)
+	if !errors.Is(err, analysis.ErrTimeout) {
+		t.Fatalf("want ErrTimeout, got %v", err)
+	}
+	if elapsed > 2*time.Second {
+		t.Fatalf("1ms timeout honoured only after %v", elapsed)
+	}
+	expectNoGoroutineLeak(t, base)
+}
+
+// TestNodeBudgetCancelsWorkers aborts the same nest on a tiny node
+// budget: ErrBudgetExceeded, promptly, and no goroutines left behind.
+func TestNodeBudgetCancelsWorkers(t *testing.T) {
+	prog := compileSrc(t, deepLoopSrc(6))
+	base := runtime.NumGoroutine()
+	begin := time.Now()
+	_, err := analysis.Run(prog, analysis.Options{
+		Level: rsg.L3, NodeBudget: 4, Workers: 4,
+	})
+	elapsed := time.Since(begin)
+	if !errors.Is(err, analysis.ErrBudgetExceeded) {
+		t.Fatalf("want ErrBudgetExceeded, got %v", err)
+	}
+	if elapsed > 5*time.Second {
+		t.Fatalf("budget of 4 nodes honoured only after %v", elapsed)
+	}
+	expectNoGoroutineLeak(t, base)
+}
+
+// TestVisitBudgetWithWorkers checks the third cancellation source
+// under a parallel run: MaxVisits still yields ErrNoConvergence and a
+// clean pool.
+func TestVisitBudgetWithWorkers(t *testing.T) {
+	prog := compileSrc(t, deepLoopSrc(6))
+	base := runtime.NumGoroutine()
+	_, err := analysis.Run(prog, analysis.Options{
+		Level: rsg.L3, MaxVisits: 25, Workers: 4,
+	})
+	if !errors.Is(err, analysis.ErrNoConvergence) {
+		t.Fatalf("want ErrNoConvergence, got %v", err)
+	}
+	expectNoGoroutineLeak(t, base)
+}
+
+// TestCacheSharedFlag pins the Stats.Cache contract: a solo run keeps
+// CacheShared false, and two runs racing each other both see the flag
+// (the rsg counters are process-global, so each delta includes the
+// other run's traffic).
+func TestCacheSharedFlag(t *testing.T) {
+	prog, _ := compileKernel(t, "barneshut")
+	solo, err := analysis.Run(prog, analysis.Options{Level: rsg.L1, MaxVisits: 100, Workers: 1})
+	if err != nil && !errors.Is(err, analysis.ErrNoConvergence) {
+		t.Fatal(err)
+	}
+	if solo.Stats.CacheShared {
+		t.Fatal("solo run reports CacheShared")
+	}
+	if strings.Contains(solo.Stats.CacheSummary(), "shared") {
+		t.Fatal("solo CacheSummary carries the shared marker")
+	}
+
+	progA, _ := compileKernel(t, "barneshut")
+	progB, _ := compileKernel(t, "barneshut")
+	var ready, done sync.WaitGroup
+	start := make(chan struct{})
+	results := make([]*analysis.Result, 2)
+	for i, p := range []*ir.Program{progA, progB} {
+		ready.Add(1)
+		done.Add(1)
+		go func(i int, p *ir.Program) {
+			defer done.Done()
+			ready.Done()
+			<-start
+			res, err := analysis.Run(p, analysis.Options{Level: rsg.L1, MaxVisits: 300, Workers: 2})
+			if err != nil && !errors.Is(err, analysis.ErrNoConvergence) {
+				t.Errorf("concurrent run %d: %v", i, err)
+			}
+			results[i] = res
+		}(i, p)
+	}
+	ready.Wait()
+	close(start)
+	done.Wait()
+	if t.Failed() {
+		return
+	}
+	if !results[0].Stats.CacheShared && !results[1].Stats.CacheShared {
+		t.Fatal("two overlapping runs and neither reports CacheShared")
+	}
+	for i, res := range results {
+		if res.Stats.CacheShared && !strings.Contains(res.Stats.CacheSummary(), "shared") {
+			t.Fatalf("run %d: CacheShared set but CacheSummary lacks the marker", i)
+		}
+	}
+}

@@ -3,6 +3,8 @@ package concrete
 import (
 	"fmt"
 	"math/rand"
+	"os"
+	"path/filepath"
 	"strings"
 	"testing"
 
@@ -63,6 +65,11 @@ func genProgram(r *rand.Rand) string {
 // TestFuzzSoundness cross-validates the analysis against the concrete
 // interpreter on randomly generated programs: every reachable concrete
 // heap must be covered by the RSRSG of its statement, at every level.
+// The abstract side runs with Workers: 4 so the fuzzer also sweeps the
+// parallel engine — soundness must hold on the parallel results too
+// (they are digest-identical to sequential by the determinism
+// property, so a divergence here is a determinism bug as much as a
+// soundness one).
 func TestFuzzSoundness(t *testing.T) {
 	programs := 30
 	traces := 10
@@ -74,7 +81,7 @@ func TestFuzzSoundness(t *testing.T) {
 		src := genProgram(rand.New(rand.NewSource(seedRng.Int63())))
 		prog := compile(t, src)
 		for _, lvl := range []rsg.Level{rsg.L1, rsg.L3} {
-			res, err := analysis.Run(prog, analysis.Options{Level: lvl, MaxVisits: 50000})
+			res, err := analysis.Run(prog, analysis.Options{Level: lvl, MaxVisits: 50000, Workers: 4})
 			if err != nil {
 				t.Fatalf("program %d at %s: %v\n%s", i, lvl, err, src)
 			}
@@ -87,5 +94,36 @@ func TestFuzzSoundness(t *testing.T) {
 				CheckTraces(t, prog, res, traces, int64(1000+i))
 			}()
 		}
+	}
+}
+
+// TestCorpusSoundness replays the regression corpus under testdata/:
+// programs distilled from past fuzzer finds and hand-written stress
+// shapes (cycles, sharing, NULL-deref branch drops). Unlike the fuzz
+// sweep, the corpus is stable across seed-RNG changes, so a regression
+// on a previously-found case cannot hide behind a reshuffled sweep.
+func TestCorpusSoundness(t *testing.T) {
+	files, err := filepath.Glob(filepath.Join("testdata", "*.c"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(files) == 0 {
+		t.Fatal("empty regression corpus: no testdata/*.c files")
+	}
+	for _, file := range files {
+		src, err := os.ReadFile(file)
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Run(filepath.Base(file), func(t *testing.T) {
+			prog := compile(t, string(src))
+			for _, lvl := range []rsg.Level{rsg.L1, rsg.L3} {
+				res, err := analysis.Run(prog, analysis.Options{Level: lvl, MaxVisits: 50000, Workers: 4})
+				if err != nil {
+					t.Fatalf("%s at %s: %v", file, lvl, err)
+				}
+				CheckTraces(t, prog, res, 10, 42)
+			}
+		})
 	}
 }

@@ -1,0 +1,20 @@
+struct node { int v; struct node *nxt; struct node *prv; };
+void main(void) {
+    struct node *h;
+    struct node *p;
+    struct node *q;
+    h = malloc(sizeof(struct node));
+    h->nxt = h;
+    h->prv = h;
+    p = h;
+    while (grow) {
+        q = malloc(sizeof(struct node));
+        q->nxt = h;
+        q->prv = p;
+        p->nxt = q;
+        h->prv = q;
+        p = q;
+    }
+    h->prv = NULL;
+    p->nxt = NULL;
+}

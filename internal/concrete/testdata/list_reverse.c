@@ -1,0 +1,19 @@
+struct node { int v; struct node *nxt; struct node *prv; };
+void main(void) {
+    struct node *p;
+    struct node *q;
+    struct node *r;
+    p = NULL;
+    while (build) {
+        q = malloc(sizeof(struct node));
+        q->nxt = p;
+        p = q;
+    }
+    q = NULL;
+    while (p != NULL) {
+        r = p->nxt;
+        p->nxt = q;
+        q = p;
+        p = r;
+    }
+}

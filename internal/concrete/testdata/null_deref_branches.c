@@ -1,0 +1,16 @@
+struct node { int v; struct node *nxt; struct node *prv; };
+void main(void) {
+    struct node *p;
+    struct node *q;
+    struct node *r;
+    p = NULL;
+    q = malloc(sizeof(struct node));
+    q->nxt = NULL;
+    if (pick) { p = q; }
+    p->nxt = q;
+    r = p->nxt;
+    while (step) {
+        if (r != NULL) { r = r->nxt; }
+        r->prv = q;
+    }
+}

@@ -1,0 +1,17 @@
+struct node { int v; struct node *nxt; struct node *prv; };
+void main(void) {
+    struct node *p;
+    struct node *q;
+    p = malloc(sizeof(struct node));
+    p->nxt = p;
+    p->prv = p;
+    q = p;
+    while (spin) {
+        q = q->nxt;
+        q->prv = p;
+        p->nxt = q;
+        p = p->prv;
+    }
+    p->nxt = NULL;
+    q->prv = NULL;
+}

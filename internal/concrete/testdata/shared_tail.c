@@ -1,0 +1,17 @@
+struct node { int v; struct node *nxt; struct node *prv; };
+void main(void) {
+    struct node *p;
+    struct node *q;
+    struct node *r;
+    p = malloc(sizeof(struct node));
+    p->nxt = NULL;
+    q = malloc(sizeof(struct node));
+    q->nxt = p;
+    r = malloc(sizeof(struct node));
+    r->nxt = p;
+    while (cond) {
+        if (q != NULL) { q = q->nxt; }
+        if (r != NULL) { r = r->nxt; }
+    }
+    p->nxt = q;
+}

@@ -91,15 +91,35 @@ func DigestEqual(a, b *Graph) bool { return a.Digest() == b.Digest() }
 
 // ---- interning ---------------------------------------------------------
 
-// internCap bounds the global intern table; when full, the table is
-// reset wholesale (an epoch flip) so memory stays bounded while the
-// steady-state working set of a fixed point keeps hitting.
+// internCap bounds the global intern table; when a shard fills its
+// share, that shard is reset wholesale (an epoch flip) so memory stays
+// bounded while the steady-state working set of a fixed point keeps
+// hitting.
 const internCap = 1 << 15
 
-var (
-	internMu  sync.Mutex
-	internTab = make(map[Digest]*Graph, 1024)
-)
+// internShards splits the intern table by digest prefix so concurrent
+// workers interning unrelated graphs do not serialize on one mutex.
+// Structurally identical graphs always hash to the same shard (same
+// digest), so the one-canonical-instance guarantee is per-digest and
+// therefore global. Must be a power of two.
+const internShards = 64
+
+const internShardCap = internCap / internShards
+
+// shard is one lock-striped slice of the intern table. The padding
+// keeps neighbouring shard locks on distinct cache lines so they do not
+// false-share under contention.
+type shard struct {
+	mu  sync.Mutex
+	tab map[Digest]*Graph
+	_   [40]byte
+}
+
+var internTab [internShards]shard
+
+func internShard(d Digest) *shard {
+	return &internTab[int(d[0])&(internShards-1)]
+}
 
 // Intern freezes g and returns the canonical instance for its digest:
 // the first graph interned with a given canonical form is returned for
@@ -110,37 +130,44 @@ var (
 // The digest is probed before freezing: a duplicate is discarded
 // immediately, so only graphs that become the canonical instance pay
 // for the freeze-time view construction.
+//
+// Intern is safe for concurrent use. The concurrency contract of the
+// package is: frozen graphs are immutable and freely shareable across
+// goroutines; an *unfrozen* graph (including the g passed here) must be
+// owned by a single goroutine until it is frozen or interned.
 func Intern(g *Graph) *Graph {
 	if g.frozen {
-		internMu.Lock()
-		defer internMu.Unlock()
-		return internLocked(g, g.digest)
+		s := internShard(g.digest)
+		s.mu.Lock()
+		defer s.mu.Unlock()
+		return s.internLocked(g, g.digest)
 	}
 	d := g.Digest()
-	internMu.Lock()
-	defer internMu.Unlock()
-	if old, ok := internTab[d]; ok {
+	s := internShard(d)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if old, ok := s.tab[d]; ok {
 		cacheStats.internHits.Add(1)
 		return old
 	}
 	g.freezeWithDigest(d)
-	return internLocked(g, d)
+	return s.internLocked(g, d)
 }
 
 // internLocked inserts or retrieves the canonical instance for a frozen
-// graph; internMu must be held.
-func internLocked(g *Graph, d Digest) *Graph {
-	if old, ok := internTab[d]; ok {
+// graph; the shard mutex must be held.
+func (s *shard) internLocked(g *Graph, d Digest) *Graph {
+	if old, ok := s.tab[d]; ok {
 		if old == g {
 			return g
 		}
 		cacheStats.internHits.Add(1)
 		return old
 	}
-	if len(internTab) >= internCap {
-		internTab = make(map[Digest]*Graph, 1024)
+	if s.tab == nil || len(s.tab) >= internShardCap {
+		s.tab = make(map[Digest]*Graph, 64)
 	}
-	internTab[d] = g
+	s.tab[d] = g
 	cacheStats.internMisses.Add(1)
 	return g
 }

@@ -63,6 +63,13 @@ func FromGraphs(lvl rsg.Level, graphs []*rsg.Graph, opts Options) *Set {
 	return s
 }
 
+// Exec runs a batch of independent tasks and returns when all have
+// completed. Implementations may run the tasks concurrently (the
+// analysis engine supplies a worker-pool executor); a nil Exec runs
+// them sequentially in order. Tasks handed to an Exec never share
+// mutable state, so any schedule produces the same result.
+type Exec func(tasks []func())
+
 // Options tunes the reduction. The zero value is the paper's behaviour.
 type Options struct {
 	// DisableJoin keeps every distinct RSG instead of joining compatible
@@ -71,6 +78,27 @@ type Options struct {
 	// MaxGraphs, when positive, force-joins graphs with equal alias
 	// relations once the set exceeds the bound (a widening safeguard).
 	MaxGraphs int
+	// Exec, when non-nil, runs the per-alias-bucket reduction tasks of
+	// Reduce and MergeDelta concurrently. Buckets are independent —
+	// compatibility requires equal alias keys, digest-equal graphs have
+	// equal alias keys, and JOIN/COMPRESS preserve the alias relation
+	// (C_SPATH demands equal zero-length paths, so nodes referenced by
+	// different pvars never merge) — and results are recombined in
+	// sorted bucket-key order, so the outcome is bit-identical to a
+	// sequential run.
+	Exec Exec
+}
+
+// run executes tasks through opts.Exec, falling back to a sequential
+// loop when no executor is configured or the batch is trivial.
+func (o Options) run(tasks []func()) {
+	if o.Exec == nil || len(tasks) < 2 {
+		for _, t := range tasks {
+			t()
+		}
+		return
+	}
+	o.Exec(tasks)
 }
 
 // Add freezes g and inserts it if no digest-identical graph is present.
@@ -160,12 +188,14 @@ func (s *Set) NumLinks() int {
 // Reduce joins compatible member graphs until no two members are
 // compatible (the "union of RSGs" of Sect. 4.3), compressing each join
 // result. Only graphs with equal alias relations can be compatible, so
-// the search works per alias bucket. Returns the number of joins.
+// the search works per alias bucket; buckets are independent and run
+// through opts.Exec (concurrently when the engine provides a pool),
+// with the results recombined in sorted bucket-key order so the final
+// set is identical regardless of schedule. Returns the number of joins.
 func (s *Set) Reduce(lvl rsg.Level, opts Options) int {
 	if opts.DisableJoin || len(s.entries) < 2 {
 		return 0
 	}
-	joins := 0
 
 	buckets := make(map[string][]entry)
 	var order []string
@@ -177,25 +207,43 @@ func (s *Set) Reduce(lvl rsg.Level, opts Options) int {
 	}
 	sort.Strings(order)
 
-	var result []entry
-	for _, key := range order {
+	results := make([][]entry, len(order))
+	bucketJoins := make([]int, len(order))
+	var tasks []func()
+	for i, key := range order {
 		group := buckets[key]
-		sort.Slice(group, func(i, j int) bool { return group[i].dig.Less(group[j].dig) })
-		group, j := reduceGroup(lvl, group, false)
-		joins += j
-		if opts.MaxGraphs > 0 && len(group) > opts.MaxGraphs {
-			// Widening: force-join within the alias bucket, ignoring the
-			// node compatibility conditions (JOIN still over-approximates
-			// both operands, so this is sound — just lossier).
-			group, j = forceGroup(lvl, group, opts.MaxGraphs)
-			joins += j
+		if len(group) < 2 {
+			results[i] = group
+			continue
 		}
-		result = append(result, group...)
+		i, group := i, group
+		tasks = append(tasks, func() {
+			sort.Slice(group, func(a, b int) bool { return group[a].dig.Less(group[b].dig) })
+			group, j := reduceGroup(lvl, group, false)
+			if opts.MaxGraphs > 0 && len(group) > opts.MaxGraphs {
+				// Widening: force-join within the alias bucket, ignoring
+				// the node compatibility conditions (JOIN still
+				// over-approximates both operands, so this is sound —
+				// just lossier).
+				var fj int
+				group, fj = forceGroup(lvl, group, opts.MaxGraphs)
+				j += fj
+			}
+			results[i], bucketJoins[i] = group, j
+		})
 	}
+	opts.run(tasks)
 
-	s.reset(len(result))
-	for _, e := range result {
-		s.addEntry(e)
+	joins, total := 0, 0
+	for i := range results {
+		joins += bucketJoins[i]
+		total += len(results[i])
+	}
+	s.reset(total)
+	for _, group := range results {
+		for _, e := range group {
+			s.addEntry(e)
+		}
 	}
 	return joins
 }
@@ -309,12 +357,104 @@ func (s *Set) MergeDelta(lvl rsg.Level, other *Set, opts Options) bool {
 		return changed
 	}
 
-	// Bucket the existing entries by alias key.
-	buckets := make(map[string][]entry)
-	for _, e := range s.entries {
-		buckets[e.alias] = append(buckets[e.alias], e)
+	changed := false
+	// Process the delta per alias bucket: a new entry can only
+	// deduplicate against or join with members of its own bucket
+	// (digest-equal graphs have equal alias keys, and compatibility
+	// requires them), so buckets are independent tasks run through
+	// opts.Exec and their outcomes applied in sorted-key order —
+	// bit-identical to sequential processing. Merged graphs whose alias
+	// key left the bucket (not possible for the current JOIN/COMPRESS,
+	// which preserve the alias relation; handled defensively) are
+	// re-queued into follow-up sequential rounds.
+	queue := delta
+	for len(queue) > 0 {
+		keyed := make(map[string][]entry)
+		var order []string
+		for _, e := range queue {
+			if _, ok := keyed[e.alias]; !ok {
+				order = append(order, e.alias)
+			}
+			keyed[e.alias] = append(keyed[e.alias], e)
+		}
+		sort.Strings(order)
+
+		// Snapshot each touched bucket from the current members.
+		buckets := make(map[string][]entry, len(order))
+		for _, e := range s.entries {
+			if _, ok := keyed[e.alias]; ok {
+				buckets[e.alias] = append(buckets[e.alias], e)
+			}
+		}
+
+		results := make([]bucketDelta, len(order))
+		tasks := make([]func(), len(order))
+		for i, key := range order {
+			i, key := i, key
+			tasks[i] = func() {
+				results[i] = mergeBucket(lvl, key, buckets[key], keyed[key])
+			}
+		}
+		opts.run(tasks)
+
+		queue = queue[:0:0]
+		for i, key := range order {
+			d := &results[i]
+			before := buckets[key]
+			inFinal := make(map[rsg.Digest]struct{}, len(d.final))
+			for _, e := range d.final {
+				inFinal[e.dig] = struct{}{}
+			}
+			for _, e := range before {
+				if _, keep := inFinal[e.dig]; !keep {
+					s.removeEntry(e.dig)
+					changed = true
+				}
+			}
+			for _, e := range d.final {
+				if s.addEntry(e) {
+					changed = true
+				}
+			}
+			for _, dig := range d.absorbed {
+				s.absorbed[dig] = struct{}{}
+			}
+			queue = append(queue, d.deferred...)
+		}
 	}
-	spCache := make(map[*rsg.Graph]map[rsg.NodeID]rsg.SPathSet)
+	if !changed {
+		return false
+	}
+	if opts.MaxGraphs > 0 {
+		s.Reduce(lvl, opts) // applies the per-bucket widening bound
+	}
+	return true
+}
+
+// bucketDelta is the outcome of merging one alias bucket's queue.
+type bucketDelta struct {
+	// final is the bucket's complete membership after the merge round.
+	final []entry
+	// absorbed lists the digests of intermediate join results, which
+	// must be recorded so recurring contributions are not re-joined.
+	absorbed []rsg.Digest
+	// deferred holds merged entries whose alias key differs from the
+	// bucket's (defensive; unreachable for the current operators).
+	deferred []entry
+}
+
+// mergeBucket folds queue into bucket — the sequential inner loop of
+// the RSRSG accumulation — touching no shared state, so buckets can run
+// concurrently. Entries already present (by digest) are dropped; an
+// entry compatible with a member is joined, compressed, and re-queued;
+// anything else becomes a new member.
+func mergeBucket(lvl rsg.Level, key string, bucket, queue []entry) bucketDelta {
+	var d bucketDelta
+	have := make(map[rsg.Digest]struct{}, len(bucket)+len(queue))
+	for _, e := range bucket {
+		have[e.dig] = struct{}{}
+	}
+	spCache := make(map[*rsg.Graph]map[rsg.NodeID]rsg.SPathSet, len(bucket)+len(queue))
 	spaths := func(g *rsg.Graph) map[rsg.NodeID]rsg.SPathSet {
 		sp, ok := spCache[g]
 		if !ok {
@@ -323,18 +463,12 @@ func (s *Set) MergeDelta(lvl rsg.Level, other *Set, opts Options) bool {
 		}
 		return sp
 	}
-
-	changed := false
-	// Process each new entry against its bucket; joins re-enter the
-	// queue as new entries.
-	queue := delta
 	for len(queue) > 0 {
 		e := queue[0]
 		queue = queue[1:]
-		if _, dup := s.byDig[e.dig]; dup {
+		if _, dup := have[e.dig]; dup {
 			continue // an identical member already exists
 		}
-		bucket := buckets[e.alias]
 		joined := -1
 		for i, old := range bucket {
 			if rsg.CompatibleSP(lvl, old.g, e.g, spaths(old.g), spaths(e.g)) {
@@ -343,9 +477,8 @@ func (s *Set) MergeDelta(lvl rsg.Level, other *Set, opts Options) bool {
 			}
 		}
 		if joined < 0 {
-			buckets[e.alias] = append(bucket, e)
-			s.addEntry(e)
-			changed = true
+			bucket = append(bucket, e)
+			have[e.dig] = struct{}{}
 			continue
 		}
 		old := bucket[joined]
@@ -355,20 +488,17 @@ func (s *Set) MergeDelta(lvl rsg.Level, other *Set, opts Options) bool {
 		if me.dig == old.dig {
 			continue // absorbing e did not change the member
 		}
-		// Remove the old member and queue the merged graph.
-		buckets[e.alias] = append(append([]entry{}, bucket[:joined]...), bucket[joined+1:]...)
-		s.removeEntry(old.dig)
-		s.absorbed[me.dig] = struct{}{}
-		changed = true
+		bucket = append(append([]entry{}, bucket[:joined]...), bucket[joined+1:]...)
+		delete(have, old.dig)
+		d.absorbed = append(d.absorbed, me.dig)
+		if me.alias != key {
+			d.deferred = append(d.deferred, me)
+			continue
+		}
 		queue = append(queue, me)
 	}
-	if !changed {
-		return false
-	}
-	if opts.MaxGraphs > 0 {
-		s.Reduce(lvl, opts) // applies the per-bucket widening bound
-	}
-	return true
+	d.final = bucket
+	return d
 }
 
 // UnionAll returns a new set holding the graphs of all the given sets,
