@@ -25,8 +25,15 @@ test:
 test-race:
 	$(GO) test -race -short ./internal/rsg/ ./internal/rsrsg/ ./internal/analysis/
 
+# One iteration over the benchmark surfaces a change is most likely to
+# rot: the digest-core micro-benches, the Figure-1 pipeline, the
+# Barnes-Hut L1 macro cell, and the semi-naïve delta on/off A/B pair,
+# plus a short run of the determinism suite (worker count x delta mode
+# must stay bit-identical).
 bench-smoke:
 	$(GO) test -run xxx -bench 'BenchmarkSignature|BenchmarkDigest' -benchtime=1x ./internal/rsg/
+	$(GO) test -run xxx -bench 'BenchmarkFigure1Pipeline|BenchmarkParallelBarnesHutL1_Workers1$$|BenchmarkDeltaBarnesHutL1_' -benchtime=1x .
+	$(GO) test -run TestParallelDeterminism -short -count=1 ./internal/analysis/
 
 # Full micro+macro benchmarks (minutes); REPRO_FULL_BENCH=1 for the
 # unbounded Table 1 cells.

@@ -10,16 +10,26 @@
 // paper reports for Sparse LU at L2/L3 is reproduced with a node
 // budget (-lubudget) that aborts the run the same way.
 //
+// With -reps N every cell is measured N times in rep-major order (rep 1
+// of every cell, then rep 2, ...), so slow environmental drift hits all
+// cells alike — the interleaving that makes delta on/off medians
+// comparable — and the table reports per-cell medians. -json FILE
+// additionally writes the full machine-readable results.
+//
 // Usage:
 //
 //	benchtab [-kernels matvec,matmat,lu,barneshut] [-levels 1,2,3]
-//	         [-lubudget N] [-timeout d] [-workers N]
+//	         [-lubudget N] [-timeout d] [-workers N] [-visits N]
+//	         [-deltamodes on|on,off] [-reps N] [-json out.json]
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"sort"
 	"strings"
 	"time"
 
@@ -28,25 +38,89 @@ import (
 	"repro/internal/rsg"
 )
 
+// cell is one benchmark configuration: kernel x level x delta mode.
+type cell struct {
+	kernel *benchprog.Kernel
+	lvl    rsg.Level
+	delta  bool
+	opts   analysis.Options
+
+	reps []repMeasurement
+}
+
+// repMeasurement is one rep's outcome for one cell.
+type repMeasurement struct {
+	ns         int64
+	allocBytes uint64
+	allocObjs  uint64
+	rep        analysis.LevelReport
+}
+
+// cellResult is the JSON form of one cell's aggregated result.
+type cellResult struct {
+	Bench            string  `json:"bench"`
+	Level            string  `json:"level"`
+	Workers          int     `json:"workers"`
+	Delta            bool    `json:"delta"`
+	Visits           int     `json:"visits"`
+	Reps             int     `json:"reps"`
+	MedianNs         int64   `json:"median_ns"`
+	MedianAllocBytes uint64  `json:"median_alloc_bytes"`
+	MedianAllocs     uint64  `json:"median_allocs"`
+	MemoHitRate      float64 `json:"memo_hit_rate"`
+	DeltaTransfers   int     `json:"delta_transfers"`
+	FullRecomputes   int     `json:"full_recomputes"`
+	DirtyBuckets     int     `json:"dirty_buckets"`
+	MemoFull         int     `json:"memo_full"`
+	VisitsRun        int     `json:"visits_run"`
+	PeakNodes        int     `json:"peak_nodes"`
+	PeakGraphs       int     `json:"peak_graphs"`
+	Outcome          string  `json:"outcome"`
+}
+
+// jsonDoc is the top-level -json document.
+type jsonDoc struct {
+	Generated  string       `json:"generated"`
+	GoMaxProcs int          `json:"gomaxprocs"`
+	Results    []cellResult `json:"results"`
+}
+
 func main() {
 	kernels := flag.String("kernels", "matvec,matmat,lu,barneshut", "comma-separated kernel names")
 	levels := flag.String("levels", "1,2,3", "comma-separated levels")
 	luBudget := flag.Int("lubudget", 60000, "node budget for the LU kernel at L2/L3 (models the paper's 128 MB machine; 0 = unlimited)")
 	timeout := flag.Duration("timeout", 30*time.Minute, "per-cell wall-clock guard")
 	workers := flag.Int("workers", 0, "worker goroutines per cell (0 = GOMAXPROCS, 1 = sequential)")
+	visits := flag.Int("visits", 0, "visit bound per cell (0 = run to the fixed point)")
+	deltaModes := flag.String("deltamodes", "on", "delta propagation modes to measure: on, off, or on,off")
+	reps := flag.Int("reps", 1, "interleaved repetitions per cell; the table reports medians")
+	jsonOut := flag.String("json", "", "write machine-readable results to this file")
 	flag.Parse()
 
-	fmt.Printf("%-10s %-4s %-12s %-12s %-12s %-26s %-9s %s\n",
-		"code", "lvl", "time", "peak-heap", "alloc", "peak(nodes/links/graphs)", "memo-hit", "outcome")
+	if *reps < 1 {
+		*reps = 1
+	}
+	var modes []bool
+	for _, m := range strings.Split(*deltaModes, ",") {
+		switch strings.TrimSpace(m) {
+		case "on":
+			modes = append(modes, true)
+		case "off":
+			modes = append(modes, false)
+		default:
+			fmt.Fprintf(os.Stderr, "benchtab: bad -deltamodes entry %q (want on/off)\n", m)
+			os.Exit(2)
+		}
+	}
 
+	var cells []*cell
 	for _, name := range strings.Split(*kernels, ",") {
 		k := benchprog.ByName(strings.TrimSpace(name))
 		if k == nil {
 			fmt.Fprintf(os.Stderr, "benchtab: unknown kernel %q\n", name)
 			os.Exit(2)
 		}
-		prog, err := k.Compile()
-		if err != nil {
+		if _, err := k.Compile(); err != nil {
 			fmt.Fprintf(os.Stderr, "benchtab: %v\n", err)
 			os.Exit(1)
 		}
@@ -63,28 +137,135 @@ func main() {
 				fmt.Fprintf(os.Stderr, "benchtab: bad level %q\n", ls)
 				os.Exit(2)
 			}
-			opts := analysis.Options{Timeout: *timeout, Workers: *workers}
-			if k.Name == "lu" && lvl > rsg.L1 {
-				opts.NodeBudget = *luBudget
+			for _, delta := range modes {
+				opts := analysis.Options{
+					Timeout:   *timeout,
+					Workers:   *workers,
+					MaxVisits: *visits,
+					NoDelta:   !delta,
+				}
+				if k.Name == "lu" && lvl > rsg.L1 {
+					opts.NodeBudget = *luBudget
+				}
+				cells = append(cells, &cell{kernel: k, lvl: lvl, delta: delta, opts: opts})
 			}
-			rep := analysis.RunLevel(prog, lvl, nil, opts)
-			outcome := "ok"
-			if rep.Err != nil {
-				outcome = rep.Err.Error()
-			}
-			peak := "-"
-			memoHit := "-"
-			if rep.Result != nil {
-				peak = fmt.Sprintf("%d/%d/%d", rep.Result.Stats.PeakNodes,
-					rep.Result.Stats.PeakLinks, rep.Result.Stats.PeakGraphs)
-				memoHit = fmt.Sprintf("%.1f%%", 100*rep.Result.Stats.MemoHitRate())
-			}
-			fmt.Printf("%-10s %-4s %-12s %-12s %-12s %-26s %-9s %s\n",
-				k.Name, lvl,
-				rep.Duration.Round(10*time.Millisecond),
-				fmt.Sprintf("%.1f MB", float64(rep.PeakHeapBytes)/(1<<20)),
-				fmt.Sprintf("%.1f MB", float64(rep.AllocBytes)/(1<<20)),
-				peak, memoHit, outcome)
 		}
 	}
+
+	// Rep-major measurement order: every cell's rep r runs before any
+	// cell's rep r+1, so environmental drift is shared across cells.
+	for r := 0; r < *reps; r++ {
+		for _, c := range cells {
+			prog, err := c.kernel.Compile()
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "benchtab: %v\n", err)
+				os.Exit(1)
+			}
+			rep := analysis.RunLevel(prog, c.lvl, nil, c.opts)
+			c.reps = append(c.reps, repMeasurement{
+				ns:         rep.Duration.Nanoseconds(),
+				allocBytes: rep.AllocBytes,
+				allocObjs:  rep.AllocObjects,
+				rep:        rep,
+			})
+		}
+	}
+
+	head := "time"
+	if *reps > 1 {
+		head = fmt.Sprintf("time(med/%d)", *reps)
+	}
+	fmt.Printf("%-10s %-4s %-6s %-13s %-12s %-12s %-26s %-9s %s\n",
+		"code", "lvl", "delta", head, "peak-heap", "alloc", "peak(nodes/links/graphs)", "memo-hit", "outcome")
+
+	doc := jsonDoc{
+		Generated:  time.Now().UTC().Format(time.RFC3339),
+		GoMaxProcs: runtime.GOMAXPROCS(0),
+	}
+	for _, c := range cells {
+		cr := c.aggregate(*workers, *visits)
+		doc.Results = append(doc.Results, cr)
+		last := c.reps[len(c.reps)-1].rep
+		peak := "-"
+		memoHit := "-"
+		if last.Result != nil {
+			peak = fmt.Sprintf("%d/%d/%d", last.Result.Stats.PeakNodes,
+				last.Result.Stats.PeakLinks, last.Result.Stats.PeakGraphs)
+			memoHit = fmt.Sprintf("%.1f%%", 100*cr.MemoHitRate)
+		}
+		mode := "on"
+		if !c.delta {
+			mode = "off"
+		}
+		fmt.Printf("%-10s %-4s %-6s %-13s %-12s %-12s %-26s %-9s %s\n",
+			c.kernel.Name, c.lvl, mode,
+			time.Duration(cr.MedianNs).Round(10*time.Millisecond),
+			fmt.Sprintf("%.1f MB", float64(last.PeakHeapBytes)/(1<<20)),
+			fmt.Sprintf("%.1f MB", float64(cr.MedianAllocBytes)/(1<<20)),
+			peak, memoHit, cr.Outcome)
+	}
+
+	if *jsonOut != "" {
+		data, err := json.MarshalIndent(doc, "", "  ")
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "benchtab: %v\n", err)
+			os.Exit(1)
+		}
+		data = append(data, '\n')
+		if err := os.WriteFile(*jsonOut, data, 0o644); err != nil {
+			fmt.Fprintf(os.Stderr, "benchtab: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("wrote %s (%d results)\n", *jsonOut, len(doc.Results))
+	}
+}
+
+// aggregate folds a cell's reps into its JSON result: time and
+// allocation are per-rep medians; the engine counters are taken from
+// the last rep (they are deterministic per configuration).
+func (c *cell) aggregate(workers, visits int) cellResult {
+	ns := make([]int64, len(c.reps))
+	ab := make([]uint64, len(c.reps))
+	ao := make([]uint64, len(c.reps))
+	for i, m := range c.reps {
+		ns[i], ab[i], ao[i] = m.ns, m.allocBytes, m.allocObjs
+	}
+	last := c.reps[len(c.reps)-1].rep
+	cr := cellResult{
+		Bench:            c.kernel.Name,
+		Level:            c.lvl.String(),
+		Workers:          workers,
+		Delta:            c.delta,
+		Visits:           visits,
+		Reps:             len(c.reps),
+		MedianNs:         medianI64(ns),
+		MedianAllocBytes: medianU64(ab),
+		MedianAllocs:     medianU64(ao),
+		Outcome:          "ok",
+	}
+	if last.Err != nil {
+		cr.Outcome = last.Err.Error()
+	}
+	if last.Result != nil {
+		st := last.Result.Stats
+		cr.MemoHitRate = st.MemoHitRate()
+		cr.DeltaTransfers = st.DeltaTransfers
+		cr.FullRecomputes = st.FullRecomputes
+		cr.DirtyBuckets = st.DirtyBuckets
+		cr.MemoFull = st.MemoFull
+		cr.VisitsRun = st.Visits
+		cr.PeakNodes = st.PeakNodes
+		cr.PeakGraphs = st.PeakGraphs
+	}
+	return cr
+}
+
+func medianI64(v []int64) int64 {
+	sort.Slice(v, func(i, j int) bool { return v[i] < v[j] })
+	return v[len(v)/2]
+}
+
+func medianU64(v []uint64) uint64 {
+	sort.Slice(v, func(i, j int) bool { return v[i] < v[j] })
+	return v[len(v)/2]
 }

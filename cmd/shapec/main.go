@@ -19,6 +19,9 @@
 //	-workers N      goroutines for per-graph transfers and bucket
 //	                reductions (0 = GOMAXPROCS, 1 = sequential; results
 //	                are identical at any value)
+//	-nodelta        disable the semi-naïve delta engine and recompute
+//	                every statement transfer from the full in-state
+//	                (results are identical; A/B escape hatch)
 //
 // Built-in kernel names: matvec, matmat, lu, barneshut, slist, dlist,
 // btree.
@@ -48,6 +51,7 @@ func main() {
 	budget := flag.Int("budget", 0, "node budget (0 = unlimited)")
 	stats := flag.Bool("stats", false, "print memoization/digest-cache counters")
 	workers := flag.Int("workers", 0, "worker goroutines (0 = GOMAXPROCS, 1 = sequential)")
+	noDelta := flag.Bool("nodelta", false, "disable semi-naïve delta propagation (full recompute per visit)")
 	flag.Parse()
 
 	if flag.NArg() != 1 {
@@ -88,7 +92,7 @@ func main() {
 		fmt.Println(prog)
 	}
 
-	opts := analysis.Options{NodeBudget: *budget, Workers: *workers}
+	opts := analysis.Options{NodeBudget: *budget, Workers: *workers, NoDelta: *noDelta}
 
 	if *progressive {
 		pres := analysis.Progressive(prog, goals, opts)

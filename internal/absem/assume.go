@@ -19,3 +19,59 @@ func AssumeNull(ctx *Context, in *rsrsg.Set, x string) *rsrsg.Set {
 func AssumeNonNull(ctx *Context, in *rsrsg.Set, x string) *rsrsg.Set {
 	return in.Filter(func(g *rsg.Graph) bool { return g.PvarTarget(x) != nil })
 }
+
+// AssumeNullDelta is the semi-naïve variant of AssumeNull: instead of
+// re-filtering the whole in-state, it folds an in-state membership
+// delta into the cached filter result. Because the filter is a plain
+// per-graph predicate, applying the delta yields exactly the set a full
+// AssumeNull over the new in-state would build.
+func AssumeNullDelta(ctx *Context, cached *rsrsg.Set, added []*rsg.Graph, removed []rsg.Digest, x string) {
+	assumeDelta(cached, added, removed, func(g *rsg.Graph) bool { return g.PvarTarget(x) == nil })
+}
+
+// AssumeNonNullDelta is the semi-naïve variant of AssumeNonNull.
+func AssumeNonNullDelta(ctx *Context, cached *rsrsg.Set, added []*rsg.Graph, removed []rsg.Digest, x string) {
+	assumeDelta(cached, added, removed, func(g *rsg.Graph) bool { return g.PvarTarget(x) != nil })
+}
+
+func assumeDelta(cached *rsrsg.Set, added []*rsg.Graph, removed []rsg.Digest, pred func(*rsg.Graph) bool) {
+	for _, dig := range removed {
+		cached.Remove(dig)
+	}
+	for _, g := range added {
+		if pred(g) {
+			cached.Add(g)
+		}
+	}
+}
+
+// EraseMemo caches EraseTouch results per loop-exit edge. The erased
+// ipvar set of an edge is static, so the result is fully determined by
+// the input RSRSG; during the fixed point the same predecessor
+// out-state crosses the same edge many times, and the memo skips the
+// per-graph re-stepping and re-reduction on every repeat. The cached
+// set is returned as-is — callers (the engine's in-state accumulation)
+// only read it.
+type EraseMemo struct {
+	m map[uint64]eraseMemoEntry
+}
+
+type eraseMemoEntry struct {
+	n   int
+	dig rsg.Digest
+	out *rsrsg.Set
+}
+
+// Apply returns EraseTouch(ctx, in, ipvars), served from the memo when
+// the edge's input set is unchanged since the last visit.
+func (em *EraseMemo) Apply(ctx *Context, edge uint64, in *rsrsg.Set, ipvars rsg.PvarSet) *rsrsg.Set {
+	if e, ok := em.m[edge]; ok && e.n == in.Len() && e.dig == in.Digest() {
+		return e.out
+	}
+	out := EraseTouch(ctx, in, ipvars)
+	if em.m == nil {
+		em.m = make(map[uint64]eraseMemoEntry)
+	}
+	em.m[edge] = eraseMemoEntry{n: in.Len(), dig: in.Digest(), out: out}
+	return out
+}

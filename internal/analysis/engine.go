@@ -53,6 +53,12 @@ type Options struct {
 	// each unit of parallel work is independent, and results are joined
 	// in canonical digest order (see DESIGN.md §7).
 	Workers int
+	// NoDelta disables the semi-naïve delta transfer (DESIGN.md §8):
+	// every visit recomputes out = F(in) from the full in-state instead
+	// of folding F(Δin) into the statement's cached out-state. Results
+	// are bit-identical either way; the flag exists for A/B benchmarking
+	// and as an escape hatch.
+	NoDelta bool
 }
 
 // ErrBudgetExceeded reports that the abstraction outgrew NodeBudget.
@@ -93,6 +99,18 @@ type Stats struct {
 	// per-graph jobs those fan-outs dispatched.
 	ParallelTransfers int
 	ParallelJobs      int
+	// DeltaTransfers counts statement visits served by the semi-naïve
+	// delta path (only new in-graphs stepped, only dirty alias buckets
+	// re-reduced); FullRecomputes counts visits of delta-eligible ops
+	// that recomputed F(in) from scratch (NoDelta runs, the widening
+	// fallback, TOUCH-erasure fallback). DirtyBuckets totals the alias
+	// buckets re-reduced across all delta visits.
+	DeltaTransfers int
+	FullRecomputes int
+	DirtyBuckets   int
+	// MemoFull counts transfer-memo insertions that evicted another
+	// entry because the statement's cache was at capacity.
+	MemoFull int
 	// Cache is the delta of the rsg package's digest/intern counters
 	// over this run (graphs frozen, digests computed vs served from the
 	// freeze-time cache, interning hits/misses). The counters are
@@ -121,8 +139,9 @@ func (s *Stats) CacheSummary() string {
 		shared = " [shared: concurrent runs, rsg counters over-count]"
 	}
 	return fmt.Sprintf(
-		"memo(hits=%d misses=%d rate=%.1f%%) frozen=%d digests(computed=%d cached=%d) intern(hits=%d misses=%d)%s",
+		"memo(hits=%d misses=%d rate=%.1f%%) delta(transfers=%d full=%d dirty=%d memo-full=%d) frozen=%d digests(computed=%d cached=%d) intern(hits=%d misses=%d)%s",
 		s.MemoHits, s.MemoMisses, 100*s.MemoHitRate(),
+		s.DeltaTransfers, s.FullRecomputes, s.DirtyBuckets, s.MemoFull,
 		s.Cache.GraphsFrozen, s.Cache.DigestsComputed, s.Cache.DigestCacheHits,
 		s.Cache.InternHits, s.Cache.InternMisses, shared)
 }
@@ -182,6 +201,10 @@ func Run(prog *ir.Program, opts Options) (*Result, error) {
 		res.Stats.MemoMisses = int(eng.memoMisses.Load())
 		res.Stats.ParallelTransfers = int(eng.parallelTransfers.Load())
 		res.Stats.ParallelJobs = int(eng.parallelJobs.Load())
+		res.Stats.DeltaTransfers = eng.deltaTransfers
+		res.Stats.FullRecomputes = eng.fullRecomputes
+		res.Stats.DirtyBuckets = eng.dirtyBuckets
+		res.Stats.MemoFull = eng.memoFull
 	}()
 
 	reduceOpts := eng.reduceOpts
@@ -190,6 +213,10 @@ func Run(prog *ir.Program, opts Options) (*Result, error) {
 	entrySet := rsrsg.New()
 	entrySet.Add(rsg.NewGraph())
 	res.Out[prog.Entry] = entrySet
+	// Running abstraction-size totals, updated whenever an out-state is
+	// replaced, so the per-visit peak/budget accounting is O(1) instead
+	// of rescanning every out-set.
+	curNodes, curLinks, curGraphs := entrySet.NumNodes(), entrySet.NumLinks(), entrySet.Len()
 
 	// Worklist in reverse-post-order: changes ripple forward through the
 	// CFG before loops re-fire, which keeps the visit count near
@@ -234,18 +261,17 @@ func Run(prog *ir.Program, opts Options) (*Result, error) {
 		pending[id] = false
 		res.Stats.Visits++
 		if debug && res.Stats.Visits%50 == 0 {
-			nodes, graphs := 0, 0
+			// Totals come from the running counters; only the
+			// biggest-statement probe still scans, and only here.
 			big, bigID := 0, -1
 			for sid, s := range res.Out {
-				nodes += s.NumNodes()
-				graphs += s.Len()
 				if s.Len() > big {
 					big, bigID = s.Len(), sid
 				}
 			}
 			fmt.Printf("[debug] visit=%d t=%v stmt=%d (%s) total nodes=%d graphs=%d biggest stmt=%d with %d graphs\n",
 				res.Stats.Visits, time.Since(start).Round(time.Millisecond),
-				id, prog.Stmt(id), nodes, graphs, bigID, big)
+				id, prog.Stmt(id), curNodes, curGraphs, bigID, big)
 		}
 
 		stmt := prog.Stmt(id)
@@ -272,13 +298,14 @@ func Run(prog *ir.Program, opts Options) (*Result, error) {
 		// graphs are processed), with TOUCH erasure applied on
 		// loop-exit edges. The accumulation makes the dataflow monotone
 		// regardless of transfer non-monotonicities, guaranteeing the
-		// fixed point terminates.
+		// fixed point terminates. The net membership delta across all
+		// predecessor merges feeds the semi-naïve transfer below.
 		in := inState[id]
 		if in == nil {
 			in = rsrsg.New()
 			inState[id] = in
 		}
-		changed := false
+		var delta rsrsg.Delta
 		for _, pred := range stmt.Preds {
 			po := res.Out[pred]
 			if po == nil {
@@ -287,18 +314,41 @@ func Run(prog *ir.Program, opts Options) (*Result, error) {
 			contribution := po
 			if opts.Level.UseTouch() {
 				if erase := exitedInduction(prog, pred, id, opts.TouchAllPvars); len(erase) > 0 {
-					contribution = absem.EraseTouch(ctx, po, erase)
+					// TOUCH erasure rewrites graphs rather than filtering
+					// members, so the delta path's per-part bookkeeping does
+					// not reach through it; the statement permanently falls
+					// back to full recomputation (DESIGN.md §8). The erase
+					// itself is memoized per edge — its ipvar set is static,
+					// so the result is a pure function of the input set.
+					eng.markNoDelta(id)
+					if opts.NoDelta {
+						contribution = absem.EraseTouch(ctx, po, erase)
+					} else {
+						contribution = eng.eraseMemo.Apply(ctx, eraseEdgeKey(pred, id), po, erase)
+					}
 				}
 			}
-			if in.MergeDelta(opts.Level, contribution, reduceOpts) {
-				changed = true
-			}
+			delta.Merge(in.MergeDelta(opts.Level, contribution, reduceOpts))
 		}
-		if !changed && res.Out[id] != nil {
+		if !delta.Changed && res.Out[id] != nil {
 			continue
 		}
 
-		out, err := eng.transfer(ctx, stmt, in)
+		// Standard dataflow: out = F(in), computed semi-naïvely from the
+		// in-state delta when the statement is eligible. If a statement
+		// is revisited pathologically often (transfer non-monotonicity
+		// making the out-state oscillate), fall back to accumulating its
+		// out-states — a widening that forces monotone growth and hence
+		// stabilization. Widening composes the previous out-state into
+		// the new one, so such a statement leaves the delta path (which
+		// tracks F(in) only) for good; the switch is one-way, keeping the
+		// delta caches complete whenever they are consulted.
+		visits[id]++
+		widen := visits[id] > widenAfter
+		if widen {
+			eng.markNoDelta(id)
+		}
+		out, err := eng.transferAny(ctx, stmt, in, delta)
 		if err != nil {
 			if errors.Is(err, ErrTimeout) {
 				err = fmt.Errorf("%w after %v (%d visits)", ErrTimeout,
@@ -306,28 +356,34 @@ func Run(prog *ir.Program, opts Options) (*Result, error) {
 			}
 			return res, err
 		}
-
-		// Standard dataflow: out = F(in). If a statement is revisited
-		// pathologically often (transfer non-monotonicity making the
-		// out-state oscillate), fall back to accumulating its out-states
-		// — a widening that forces monotone growth and hence
-		// stabilization.
-		visits[id]++
-		if visits[id] > widenAfter {
+		if widen {
 			out = rsrsg.Union(opts.Level, res.Out[id], out, reduceOpts)
 		}
 		if old := res.Out[id]; old == nil || !out.Equal(old) {
+			if old != nil {
+				curNodes -= old.NumNodes()
+				curLinks -= old.NumLinks()
+				curGraphs -= old.Len()
+			}
+			curNodes += out.NumNodes()
+			curLinks += out.NumLinks()
+			curGraphs += out.Len()
 			res.Out[id] = out
 			pushSuccs(id)
 		}
 
-		if err := res.observeSize(opts); err != nil {
+		if err := res.observeSize(opts, curNodes, curLinks, curGraphs); err != nil {
 			return res, err
 		}
 	}
 
-	res.finalSize()
+	res.finalSize(curNodes, curLinks, curGraphs)
 	return res, nil
+}
+
+// eraseEdgeKey packs a CFG edge into the EraseMemo key space.
+func eraseEdgeKey(pred, id int) uint64 {
+	return uint64(uint32(pred))<<32 | uint64(uint32(id))
 }
 
 // reversePostOrder computes an RPO over the CFG from the entry.
@@ -390,11 +446,13 @@ func exitedInduction(prog *ir.Program, pred, id int, all bool) rsg.PvarSet {
 // times; only the delta of each round is computed afresh. The
 // per-statement context (level, induction sets, ablation flags) is
 // constant within one run, so the digest fully determines the result.
-type transferMemo map[int]map[rsg.Digest]*rsrsg.Set
+type transferMemo map[int]*stmtMemo
 
-// memoCap bounds the cached input graphs per statement (a runaway
-// safety net; the benchmark kernels stay far below it).
-const memoCap = 8192
+// memoCap bounds the cached input graphs per statement; past it the
+// memo evicts with a clock (second-chance) sweep instead of refusing
+// inserts, so long runs keep their hit rate. A variable (not a const)
+// only so the eviction test can shrink it.
+var memoCap = 8192
 
 // activeRuns/runEpoch let Run detect overlapping analyses for the
 // Stats.CacheShared flag: activeRuns counts runs currently inside Run,
@@ -469,13 +527,11 @@ func stepGraph(ctx *absem.Context, s *ir.Stmt, g *rsg.Graph) []*rsg.Graph {
 	return []*rsg.Graph{g}
 }
 
-func (r *Result) observeSize(opts Options) error {
-	nodes, links, graphs := 0, 0, 0
-	for _, s := range r.Out {
-		nodes += s.NumNodes()
-		links += s.NumLinks()
-		graphs += s.Len()
-	}
+// observeSize folds the engine's running abstraction-size totals into
+// the peak statistics and enforces the node budget. The totals are
+// maintained incrementally by the worklist loop, so this is O(1) per
+// visit.
+func (r *Result) observeSize(opts Options, nodes, links, graphs int) error {
 	if nodes > r.Stats.PeakNodes {
 		r.Stats.PeakNodes = nodes
 	}
@@ -491,13 +547,7 @@ func (r *Result) observeSize(opts Options) error {
 	return nil
 }
 
-func (r *Result) finalSize() {
-	nodes, links, graphs := 0, 0, 0
-	for _, s := range r.Out {
-		nodes += s.NumNodes()
-		links += s.NumLinks()
-		graphs += s.Len()
-	}
+func (r *Result) finalSize(nodes, links, graphs int) {
 	r.Stats.FinalNodes = nodes
 	r.Stats.FinalLinks = links
 	r.Stats.FinalGraphs = graphs

@@ -1,0 +1,9 @@
+package analysis
+
+// SetMemoCapForTest shrinks the per-statement transfer-memo capacity so
+// tests can force clock eviction, returning a restore func.
+func SetMemoCapForTest(n int) func() {
+	old := memoCap
+	memoCap = n
+	return func() { memoCap = old }
+}

@@ -52,6 +52,67 @@ type engineRun struct {
 	memoMisses        atomic.Int64
 	parallelTransfers atomic.Int64
 	parallelJobs      atomic.Int64
+
+	// Semi-naïve transfer state (DESIGN.md §8), coordinator-only: the
+	// worklist loop is sequential, so plain fields suffice. noDelta
+	// lists statements permanently retired to the full path (widening,
+	// TOUCH-erasure edges, missing delta state); delta holds each
+	// eligible statement's cached transfer state.
+	noDelta   map[int]struct{}
+	delta     map[int]*stmtDelta
+	eraseMemo absem.EraseMemo
+	// joinCache (reduceOpts.Joins) is shared across every in-state
+	// merge and accumulator re-reduction of a delta run: the same
+	// canonical graph pairs recur at successive program points as
+	// out-states propagate through the CFG, so pairwise compat/join
+	// work done for one statement is reused by its successors. Nil on
+	// NoDelta runs, which measure the stateless full path.
+	joinCache *rsrsg.JoinCache
+
+	deltaTransfers int
+	fullRecomputes int
+	dirtyBuckets   int
+	memoFull       int
+}
+
+// stmtDelta is one statement's cached semi-naïve transfer state.
+type stmtDelta struct {
+	// acc accumulates a memoizable op's out-state incrementally; parts
+	// maps each live in-graph digest to its transfer part so members
+	// joined away by the in-state reduction can be retracted from the
+	// accumulator by refcount.
+	acc   *rsrsg.Accum
+	parts map[rsg.Digest]*rsrsg.Set
+	// filtered is an Assume op's cached filter result, updated in place
+	// from the in-state membership delta.
+	filtered *rsrsg.Set
+}
+
+// useDelta reports whether the statement is still on the delta path.
+func (e *engineRun) useDelta(id int) bool {
+	if e.opts.NoDelta {
+		return false
+	}
+	_, off := e.noDelta[id]
+	return !off
+}
+
+// markNoDelta permanently retires a statement from the delta path and
+// drops its cached state. The switch is one-way: a statement whose
+// in-state deltas were not consumed even once has stale caches, so it
+// must never rejoin.
+func (e *engineRun) markNoDelta(id int) {
+	e.noDelta[id] = struct{}{}
+	delete(e.delta, id)
+}
+
+func (e *engineRun) deltaState(id int) *stmtDelta {
+	ds := e.delta[id]
+	if ds == nil {
+		ds = &stmtDelta{}
+		e.delta[id] = ds
+	}
+	return ds
 }
 
 // newEngineRun resolves the worker count, arms the cancellation
@@ -66,6 +127,8 @@ func newEngineRun(opts Options, start time.Time) *engineRun {
 		opts:    opts,
 		workers: workers,
 		memo:    make(transferMemo),
+		noDelta: make(map[int]struct{}),
+		delta:   make(map[int]*stmtDelta),
 	}
 	ctx, cancel := context.WithCancelCause(context.Background())
 	e.ctx, e.cancel = ctx, cancel
@@ -88,6 +151,15 @@ func newEngineRun(opts Options, start time.Time) *engineRun {
 	}
 	if workers > 1 {
 		e.reduceOpts.Exec = e.exec
+	}
+	if !opts.NoDelta {
+		// The join cache belongs to the semi-naïve subsystem: delta runs
+		// reuse pairwise compat/join work across visits and statements,
+		// while -nodelta measures the stateless PR 2 path, which
+		// recomputes every reduction from scratch. Results are identical
+		// either way — the cached primitives are pure functions.
+		e.joinCache = rsrsg.NewJoinCache()
+		e.reduceOpts.Joins = e.joinCache
 	}
 	return e
 }
@@ -143,83 +215,238 @@ func (e *engineRun) runParallel(n int, f func(int)) {
 	wg.Wait()
 }
 
-// transfer computes out = F(in) for one statement. Memoizable ops
-// probe the per-statement digest cache on the coordinator; the misses
-// are dispatched over the worker pool when there are enough of them.
-// Each job steps one frozen graph through the abstract semantics into
-// its pre-assigned slot with a private diagnostics block and no nested
-// executor; the coordinator then folds diagnostics and memo inserts
-// back in input-entry order and joins the parts exactly as the
-// sequential engine would, so the result digest is worker-count
-// independent.
+// transferAny computes out = F(in) for one statement, through the
+// semi-naïve delta path when the statement is eligible and through the
+// full recomputation otherwise. A delta attempt that finds its cached
+// state unusable retires the statement and recomputes in full; either
+// way the result digest is identical (DESIGN.md §8).
+func (e *engineRun) transferAny(ctx *absem.Context, s *ir.Stmt, in *rsrsg.Set, d rsrsg.Delta) (*rsrsg.Set, error) {
+	if e.useDelta(s.ID) {
+		out, ok, err := e.transferDelta(ctx, s, in, d)
+		if err != nil {
+			return nil, err
+		}
+		if ok {
+			return out, nil
+		}
+		e.markNoDelta(s.ID)
+	}
+	return e.transfer(ctx, s, in)
+}
+
+// transfer computes out = F(in) for one statement from the full
+// in-state: every member graph's part is recalled or recomputed, then
+// joined. This is the fallback path of the semi-naïve engine and the
+// only path under Options.NoDelta.
 func (e *engineRun) transfer(ctx *absem.Context, s *ir.Stmt, in *rsrsg.Set) (*rsrsg.Set, error) {
 	switch s.Op {
 	case ir.OpAssumeNull:
+		e.fullRecomputes++
 		return absem.AssumeNull(ctx, in, s.X), nil
 	case ir.OpAssumeNonNull:
+		e.fullRecomputes++
 		return absem.AssumeNonNull(ctx, in, s.X), nil
 	case ir.OpNil, ir.OpMalloc, ir.OpCopy, ir.OpSelNil, ir.OpSelCopy, ir.OpLoad:
-		cache := e.memo[s.ID]
-		if cache == nil {
-			cache = make(map[rsg.Digest]*rsrsg.Set)
-			e.memo[s.ID] = cache
-		}
-		type job struct {
-			g    *rsg.Graph
-			dig  rsg.Digest
-			slot int
-		}
-		var parts []*rsrsg.Set
-		var jobs []job
-		in.ForEachEntry(func(g *rsg.Graph, dig rsg.Digest) {
-			if part, ok := cache[dig]; ok {
-				e.memoHits.Add(1)
-				parts = append(parts, part)
-				return
-			}
-			e.memoMisses.Add(1)
-			jobs = append(jobs, job{g: g, dig: dig, slot: len(parts)})
-			parts = append(parts, nil)
-		})
-		if e.workers > 1 && len(jobs) >= parallelFanoutMin {
-			e.parallelTransfers.Add(1)
-			e.parallelJobs.Add(int64(len(jobs)))
-			diags := make([]absem.Diagnostics, len(jobs))
-			e.runParallel(len(jobs), func(i int) {
-				if e.ctx.Err() != nil {
-					return
-				}
-				// Each worker gets a private shallow copy of the
-				// context: its own diagnostics block (folded back in
-				// index order below) and no executor, so workers never
-				// nest parallelism. Everything else in the context is
-				// read-only during a transfer.
-				jctx := *ctx
-				jctx.Diags = &diags[i]
-				jctx.Opts.Exec = nil
-				parts[jobs[i].slot] = stepGraphSet(&jctx, s, jobs[i].g)
-			})
-			if e.ctx.Err() != nil {
-				return nil, e.cancelErr()
-			}
-			if ctx.Diags != nil {
-				for i := range diags {
-					ctx.Diags.Add(diags[i])
-				}
-			}
-		} else {
-			for _, j := range jobs {
-				parts[j.slot] = stepGraphSet(ctx, s, j.g)
-			}
-		}
-		for _, j := range jobs {
-			if len(cache) < memoCap {
-				cache[j.dig] = parts[j.slot]
-			}
+		e.fullRecomputes++
+		parts, err := e.partsFor(ctx, s, in.Graphs())
+		if err != nil {
+			return nil, err
 		}
 		return rsrsg.UnionAll(e.opts.Level, parts, e.reduceOpts), nil
 	default: // OpNoop, OpEntry, OpExit
 		return in.Clone(), nil
+	}
+}
+
+// transferDelta computes out = F(in) semi-naïvely: only the in-state
+// delta's Added graphs are stepped, their parts folded into the
+// statement's accumulator, Removed members' parts retracted, and only
+// the dirtied alias buckets re-reduced. Per-bucket reduction is a pure
+// function of the bucket's entry set, so the result is bit-identical
+// to the full path's UnionAll over every member's part. Returns
+// ok=false (without touching the cached state) when a removed member's
+// part was never recorded — the caller then retires the statement and
+// recomputes in full.
+func (e *engineRun) transferDelta(ctx *absem.Context, s *ir.Stmt, in *rsrsg.Set, d rsrsg.Delta) (*rsrsg.Set, bool, error) {
+	switch s.Op {
+	case ir.OpAssumeNull, ir.OpAssumeNonNull:
+		ds := e.deltaState(s.ID)
+		if ds.filtered == nil {
+			// First visit: seed the cache with the full filter. The
+			// engine only consults the delta path from a statement's
+			// first visit onward, so later visits fold pure membership
+			// deltas into this seed.
+			if s.Op == ir.OpAssumeNull {
+				ds.filtered = absem.AssumeNull(ctx, in, s.X)
+			} else {
+				ds.filtered = absem.AssumeNonNull(ctx, in, s.X)
+			}
+		} else if s.Op == ir.OpAssumeNull {
+			absem.AssumeNullDelta(ctx, ds.filtered, d.Added, d.Removed, s.X)
+		} else {
+			absem.AssumeNonNullDelta(ctx, ds.filtered, d.Added, d.Removed, s.X)
+		}
+		e.deltaTransfers++
+		return ds.filtered.Clone(), true, nil
+	case ir.OpNil, ir.OpMalloc, ir.OpCopy, ir.OpSelNil, ir.OpSelCopy, ir.OpLoad:
+		ds := e.deltaState(s.ID)
+		if ds.acc == nil {
+			ds.acc = rsrsg.NewAccum(e.opts.Level)
+			ds.parts = make(map[rsg.Digest]*rsrsg.Set)
+		}
+		removeParts := make([]*rsrsg.Set, 0, len(d.Removed))
+		for _, dig := range d.Removed {
+			p, ok := ds.parts[dig]
+			if !ok {
+				return nil, false, nil
+			}
+			removeParts = append(removeParts, p)
+		}
+		for _, dig := range d.Removed {
+			delete(ds.parts, dig)
+		}
+		addParts, err := e.partsFor(ctx, s, d.Added)
+		if err != nil {
+			return nil, false, err
+		}
+		for i, g := range d.Added {
+			ds.parts[g.Digest()] = addParts[i]
+		}
+		out, dirty := ds.acc.MergeDeltaDirty(addParts, removeParts, e.reduceOpts)
+		e.deltaTransfers++
+		e.dirtyBuckets += dirty
+		return out, true, nil
+	default: // OpNoop, OpEntry, OpExit
+		return in.Clone(), true, nil
+	}
+}
+
+// partsFor recalls or computes the per-graph transfer parts for the
+// given (frozen) input graphs of a memoizable statement. Memo probes
+// run on the coordinator; the misses are dispatched over the worker
+// pool when there are enough of them. Each job steps one graph through
+// the abstract semantics into its pre-assigned slot with a private
+// diagnostics block and no nested executor; the coordinator then folds
+// diagnostics and memo inserts back in input order, so the parts (and
+// everything joined from them) are worker-count independent. Shared by
+// the full transfer (all in-graphs) and the delta transfer (Δin only).
+func (e *engineRun) partsFor(ctx *absem.Context, s *ir.Stmt, graphs []*rsg.Graph) ([]*rsrsg.Set, error) {
+	cache := e.memo[s.ID]
+	if cache == nil {
+		cache = newStmtMemo()
+		e.memo[s.ID] = cache
+	}
+	type job struct {
+		g    *rsg.Graph
+		dig  rsg.Digest
+		slot int
+	}
+	parts := make([]*rsrsg.Set, 0, len(graphs))
+	var jobs []job
+	for _, g := range graphs {
+		dig := g.Digest()
+		if part, ok := cache.get(dig); ok {
+			e.memoHits.Add(1)
+			parts = append(parts, part)
+			continue
+		}
+		e.memoMisses.Add(1)
+		jobs = append(jobs, job{g: g, dig: dig, slot: len(parts)})
+		parts = append(parts, nil)
+	}
+	if e.workers > 1 && len(jobs) >= parallelFanoutMin {
+		e.parallelTransfers.Add(1)
+		e.parallelJobs.Add(int64(len(jobs)))
+		diags := make([]absem.Diagnostics, len(jobs))
+		e.runParallel(len(jobs), func(i int) {
+			if e.ctx.Err() != nil {
+				return
+			}
+			// Each worker gets a private shallow copy of the
+			// context: its own diagnostics block (folded back in
+			// index order below) and no executor, so workers never
+			// nest parallelism. Everything else in the context is
+			// read-only during a transfer.
+			jctx := *ctx
+			jctx.Diags = &diags[i]
+			jctx.Opts.Exec = nil
+			parts[jobs[i].slot] = stepGraphSet(&jctx, s, jobs[i].g)
+		})
+		if e.ctx.Err() != nil {
+			return nil, e.cancelErr()
+		}
+		if ctx.Diags != nil {
+			for i := range diags {
+				ctx.Diags.Add(diags[i])
+			}
+		}
+	} else {
+		for _, j := range jobs {
+			parts[j.slot] = stepGraphSet(ctx, s, j.g)
+		}
+	}
+	for _, j := range jobs {
+		if cache.put(j.dig, parts[j.slot]) {
+			e.memoFull++
+		}
+	}
+	return parts, nil
+}
+
+// stmtMemo is one statement's transfer memo: input-graph digest →
+// transfer part. Past memoCap entries it evicts with a clock
+// (second-chance) sweep: probes mark their slot used; an insert at
+// capacity advances the hand, clearing used marks, and replaces the
+// first cold slot — within two laps one is guaranteed. Memo values are
+// pure functions of the digest, so eviction can only cost
+// recomputation, never change results.
+type stmtMemo struct {
+	m    map[rsg.Digest]*memoSlot
+	ring []rsg.Digest
+	hand int
+}
+
+type memoSlot struct {
+	part *rsrsg.Set
+	used bool
+}
+
+func newStmtMemo() *stmtMemo {
+	return &stmtMemo{m: make(map[rsg.Digest]*memoSlot)}
+}
+
+func (c *stmtMemo) get(dig rsg.Digest) (*rsrsg.Set, bool) {
+	slot, ok := c.m[dig]
+	if !ok {
+		return nil, false
+	}
+	slot.used = true
+	return slot.part, true
+}
+
+// put inserts dig → part and reports whether a resident entry was
+// evicted to make room.
+func (c *stmtMemo) put(dig rsg.Digest, part *rsrsg.Set) bool {
+	if _, ok := c.m[dig]; ok {
+		return false
+	}
+	if len(c.ring) < memoCap {
+		c.ring = append(c.ring, dig)
+		c.m[dig] = &memoSlot{part: part}
+		return false
+	}
+	for {
+		victim := c.m[c.ring[c.hand]]
+		if victim.used {
+			victim.used = false
+			c.hand = (c.hand + 1) % len(c.ring)
+			continue
+		}
+		delete(c.m, c.ring[c.hand])
+		c.ring[c.hand] = dig
+		c.hand = (c.hand + 1) % len(c.ring)
+		c.m[dig] = &memoSlot{part: part}
+		return true
 	}
 }
 

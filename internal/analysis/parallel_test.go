@@ -70,12 +70,14 @@ func fingerprint(res *analysis.Result) string {
 }
 
 // TestParallelDeterminism runs the determinism property over the three
-// fixture programs x levels L1-L3 x Workers in {1,2,4,8}: every
-// configuration must produce identical per-statement digest sets, and
-// a repeated 8-worker run must agree with the first (no hidden
-// schedule dependence). The heavy kernels run under a visit bound —
-// partial fixed points exercise the same code paths and must be just
-// as deterministic.
+// fixture programs x levels L1-L3 x Workers in {1,2,4,8} x delta
+// propagation {on,off}: every configuration must produce identical
+// per-statement digest sets, and a repeated run of the last
+// configuration must agree with the first (no hidden schedule
+// dependence). The heavy kernels run under a visit bound — partial
+// fixed points exercise the same code paths and must be just as
+// deterministic, and they catch any delta/full divergence long before
+// the fixed point would mask it.
 func TestParallelDeterminism(t *testing.T) {
 	fixtures := []struct {
 		name      string
@@ -86,9 +88,20 @@ func TestParallelDeterminism(t *testing.T) {
 		{"barneshut", func(t *testing.T) *ir.Program { p, _ := compileKernel(t, "barneshut"); return p }, 300},
 		{"lu", func(t *testing.T) *ir.Program { p, _ := compileKernel(t, "lu"); return p }, 300},
 	}
-	workerCounts := []int{1, 2, 4, 8}
+	type config struct {
+		workers int
+		noDelta bool
+	}
+	var configs []config
 	if testing.Short() {
-		workerCounts = []int{1, 4}
+		for _, w := range []int{1, 4} {
+			configs = append(configs, config{w, false}, config{w, true})
+		}
+	} else {
+		for _, w := range []int{1, 2, 4, 8} {
+			configs = append(configs, config{w, false})
+		}
+		configs = append(configs, config{1, true}, config{8, true})
 	}
 	for _, fx := range fixtures {
 		t.Run(fx.name, func(t *testing.T) {
@@ -96,43 +109,43 @@ func TestParallelDeterminism(t *testing.T) {
 			for _, lvl := range []rsg.Level{rsg.L1, rsg.L2, rsg.L3} {
 				var want string
 				var wantErr error
-				for _, w := range workerCounts {
+				for i, cfg := range configs {
 					res, err := analysis.Run(prog, analysis.Options{
-						Level: lvl, MaxVisits: fx.maxVisits, Workers: w,
+						Level: lvl, MaxVisits: fx.maxVisits, Workers: cfg.workers, NoDelta: cfg.noDelta,
 					})
 					if fx.maxVisits > 0 && errors.Is(err, analysis.ErrNoConvergence) {
 						err = nil // bounded run: the partial state is the fixture
 					}
-					if w == workerCounts[0] {
+					if i == 0 {
 						wantErr = err
 					} else if (err == nil) != (wantErr == nil) {
-						t.Fatalf("%s %v: workers=%d error %v, workers=%d error %v",
-							fx.name, lvl, workerCounts[0], wantErr, w, err)
+						t.Fatalf("%s %v: %+v error %v, %+v error %v",
+							fx.name, lvl, configs[0], wantErr, cfg, err)
 					}
 					if err != nil {
-						t.Fatalf("%s %v workers=%d: %v", fx.name, lvl, w, err)
+						t.Fatalf("%s %v %+v: %v", fx.name, lvl, cfg, err)
 					}
 					got := fingerprint(res)
-					if w == workerCounts[0] {
+					if i == 0 {
 						want = got
 						continue
 					}
 					if got != want {
-						t.Fatalf("%s %v: workers=%d diverged from workers=%d:\n--- want\n%s\n--- got\n%s",
-							fx.name, lvl, w, workerCounts[0], want, got)
+						t.Fatalf("%s %v: %+v diverged from %+v:\n--- want\n%s\n--- got\n%s",
+							fx.name, lvl, cfg, configs[0], want, got)
 					}
 				}
-				// Schedule independence: a second 8-worker run must
-				// reproduce the first bit for bit.
-				last := workerCounts[len(workerCounts)-1]
+				// Schedule independence: a second run of the last
+				// configuration must reproduce the first bit for bit.
+				last := configs[len(configs)-1]
 				res, err := analysis.Run(prog, analysis.Options{
-					Level: lvl, MaxVisits: fx.maxVisits, Workers: last,
+					Level: lvl, MaxVisits: fx.maxVisits, Workers: last.workers, NoDelta: last.noDelta,
 				})
 				if err != nil && !(fx.maxVisits > 0 && errors.Is(err, analysis.ErrNoConvergence)) {
-					t.Fatalf("%s %v repeat workers=%d: %v", fx.name, lvl, last, err)
+					t.Fatalf("%s %v repeat %+v: %v", fx.name, lvl, last, err)
 				}
 				if got := fingerprint(res); got != want {
-					t.Fatalf("%s %v: repeated workers=%d run disagrees with itself", fx.name, lvl, last)
+					t.Fatalf("%s %v: repeated %+v run disagrees with itself", fx.name, lvl, last)
 				}
 			}
 		})

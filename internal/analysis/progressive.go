@@ -36,10 +36,12 @@ type LevelReport struct {
 	// Duration is the wall-clock time of the level.
 	Duration time.Duration
 	// AllocBytes is the total heap allocation performed by the level's
-	// run; PeakHeapBytes samples the live heap every 50 ms during the
-	// run — the closer analogue of the paper's resident "Space (MB)"
-	// column (see EXPERIMENTS.md).
+	// run; AllocObjects the matching object count (runtime Mallocs
+	// delta); PeakHeapBytes samples the live heap every 50 ms during
+	// the run — the closer analogue of the paper's resident "Space
+	// (MB)" column (see EXPERIMENTS.md).
 	AllocBytes    uint64
+	AllocObjects  uint64
 	PeakHeapBytes uint64
 }
 
@@ -118,6 +120,7 @@ func RunLevel(prog *ir.Program, lvl rsg.Level, goals []Goal, opts Options) Level
 		rep.PeakHeapBytes = after.HeapAlloc
 	}
 	rep.AllocBytes = after.TotalAlloc - before.TotalAlloc
+	rep.AllocObjects = after.Mallocs - before.Mallocs
 
 	rep.Result = res
 	rep.Err = err

@@ -1,0 +1,225 @@
+package rsrsg
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/rsg"
+)
+
+// membership returns the set's member digests.
+func membership(s *Set) map[rsg.Digest]struct{} {
+	m := make(map[rsg.Digest]struct{}, s.Len())
+	s.ForEachEntry(func(_ *rsg.Graph, dig rsg.Digest) { m[dig] = struct{}{} })
+	return m
+}
+
+// applyDelta replays a reported Delta onto a membership snapshot.
+func applyDelta(m map[rsg.Digest]struct{}, d Delta) {
+	for _, dig := range d.Removed {
+		delete(m, dig)
+	}
+	for _, g := range d.Added {
+		m[g.Digest()] = struct{}{}
+	}
+}
+
+func sameMembership(t *testing.T, want map[rsg.Digest]struct{}, s *Set, msg string) {
+	t.Helper()
+	got := membership(s)
+	if len(got) != len(want) {
+		t.Fatalf("%s: replayed membership has %d members, set has %d", msg, len(want), len(got))
+	}
+	for dig := range want {
+		if _, ok := got[dig]; !ok {
+			t.Fatalf("%s: replayed membership contains %s, set does not", msg, dig)
+		}
+	}
+}
+
+// TestMergeDeltaReportsExactMembershipDelta is the Delta contract the
+// semi-naïve engine rests on: replaying the reported Added/Removed onto
+// a snapshot of the pre-merge membership must reconstruct the
+// post-merge membership exactly — across levels, widening-cap
+// boundaries, join-disabled runs, duplicate digests, and empty
+// contributions.
+func TestMergeDeltaReportsExactMembershipDelta(t *testing.T) {
+	for _, lvl := range []rsg.Level{rsg.L1, rsg.L2, rsg.L3} {
+		for _, opts := range []Options{
+			{},
+			{MaxGraphs: 2}, // at/below the forceGroup boundary
+			{MaxGraphs: 3},
+			{MaxGraphs: 8},
+			{DisableJoin: true},
+		} {
+			for seed := int64(0); seed < 6; seed++ {
+				r := rand.New(rand.NewSource(seed))
+				s := New()
+				shadow := membership(s)
+				for step := 0; step < 8; step++ {
+					var contribution *Set
+					switch step {
+					case 3:
+						contribution = New() // empty contribution
+					case 5:
+						// Duplicate digests: re-send an earlier round's
+						// graphs mixed with fresh ones.
+						gs := randomGraphs(rand.New(rand.NewSource(seed)), 4)
+						gs = append(gs, randomGraphs(r, 3)...)
+						contribution = FromGraphs(lvl, gs, Options{})
+					default:
+						contribution = FromGraphs(lvl, randomGraphs(r, 5), Options{})
+					}
+					d := s.MergeDelta(lvl, contribution, opts)
+					if !d.Changed && (len(d.Added) > 0 || len(d.Removed) > 0) {
+						t.Fatalf("%v %+v seed %d step %d: non-empty delta with Changed=false", lvl, opts, seed, step)
+					}
+					applyDelta(shadow, d)
+					sameMembership(t, shadow, s, "after MergeDelta")
+					if opts.MaxGraphs > 0 {
+						buckets := make(map[string]int)
+						s.ForEachEntry(func(g *rsg.Graph, _ rsg.Digest) {
+							buckets[rsg.AliasKey(g)]++
+						})
+						for key, n := range buckets {
+							if n > opts.MaxGraphs {
+								t.Fatalf("%v %+v seed %d step %d: bucket %q holds %d > MaxGraphs",
+									lvl, opts, seed, step, key, n)
+							}
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestDeltaMergeNets checks Delta.Merge across multiple MergeDelta
+// calls within one "visit": the accumulated delta replayed onto the
+// pre-visit snapshot must match the final membership, with adds and
+// removes netted (a digest never appears in both lists).
+func TestDeltaMergeNets(t *testing.T) {
+	for _, lvl := range []rsg.Level{rsg.L1, rsg.L3} {
+		for seed := int64(20); seed < 26; seed++ {
+			r := rand.New(rand.NewSource(seed))
+			s := New()
+			for warm := 0; warm < 2; warm++ {
+				s.MergeDelta(lvl, FromGraphs(lvl, randomGraphs(r, 5), Options{}), Options{MaxGraphs: 4})
+			}
+			shadow := membership(s)
+			var visit Delta
+			for call := 0; call < 4; call++ {
+				visit.Merge(s.MergeDelta(lvl, FromGraphs(lvl, randomGraphs(r, 4), Options{}), Options{MaxGraphs: 4}))
+			}
+			added := make(map[rsg.Digest]struct{}, len(visit.Added))
+			for _, g := range visit.Added {
+				added[g.Digest()] = struct{}{}
+			}
+			for _, dig := range visit.Removed {
+				if _, ok := added[dig]; ok {
+					t.Fatalf("%v seed %d: digest %s in both Added and Removed", lvl, seed, dig)
+				}
+			}
+			applyDelta(shadow, visit)
+			sameMembership(t, shadow, s, "after merged visit delta")
+		}
+	}
+}
+
+// TestAccumMatchesFullReduce is the dirty-bucket re-reduction property:
+// after every random add/remove of transfer parts, the accumulator's
+// incrementally maintained out-state must be digest-identical to a full
+// UnionAll reduction over the currently live parts.
+func TestAccumMatchesFullReduce(t *testing.T) {
+	// One join cache shared across every accumulator in the sweep, as the
+	// engine shares one per run: cached compat/join results must keep
+	// every accumulator identical to the cache-free UnionAll reference.
+	jc := NewJoinCache()
+	for _, lvl := range []rsg.Level{rsg.L1, rsg.L2, rsg.L3} {
+		for _, base := range []Options{{}, {MaxGraphs: 2}, {MaxGraphs: 8}, {DisableJoin: true}} {
+			opts := base
+			opts.Joins = jc
+			for seed := int64(40); seed < 44; seed++ {
+				r := rand.New(rand.NewSource(seed))
+				acc := NewAccum(lvl)
+				var live []*Set
+				for step := 0; step < 10; step++ {
+					var add, remove []*Set
+					// Mostly grow (the engine's in-states are monotone;
+					// removals model members joined away), sometimes with
+					// an empty delta.
+					switch {
+					case step == 4:
+						// no-op delta: must return the cached state
+					case len(live) > 2 && r.Intn(3) == 0:
+						i := r.Intn(len(live))
+						remove = append(remove, live[i])
+						live = append(live[:i], live[i+1:]...)
+						add = append(add, FromGraphs(lvl, randomGraphs(r, 3), Options{}))
+						live = append(live, add[0])
+					default:
+						for n := 1 + r.Intn(2); n > 0; n-- {
+							p := FromGraphs(lvl, randomGraphs(r, 3), Options{})
+							add = append(add, p)
+							live = append(live, p)
+						}
+					}
+					out, dirty := acc.MergeDeltaDirty(add, remove, opts)
+					if len(add) == 0 && len(remove) == 0 && dirty != 0 {
+						t.Fatalf("%v %+v seed %d step %d: empty delta dirtied %d buckets", lvl, opts, seed, step, dirty)
+					}
+					want := UnionAll(lvl, live, opts)
+					if !out.Equal(want) {
+						t.Fatalf("%v %+v seed %d step %d: accum diverged from full reduce:\naccum %s\nfull  %s",
+							lvl, opts, seed, step, out.Signature(), want.Signature())
+					}
+					if acc.Len() != want.Len() {
+						t.Fatalf("%v %+v seed %d step %d: Accum.Len=%d want %d", lvl, opts, seed, step, acc.Len(), want.Len())
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestAccumDuplicatePartsRefcount pins the refcount semantics: two
+// identical parts added then one removed must leave the entries live;
+// removing the second retracts them.
+func TestAccumDuplicatePartsRefcount(t *testing.T) {
+	p1 := New()
+	p1.Add(mkGraph("t", "x"))
+	p2 := p1.Clone()
+	acc := NewAccum(rsg.L1)
+	out, _ := acc.MergeDeltaDirty([]*Set{p1, p2}, nil, Options{})
+	if out.Len() != 1 {
+		t.Fatalf("after two identical parts: Len=%d, want 1", out.Len())
+	}
+	out, _ = acc.MergeDeltaDirty(nil, []*Set{p1}, Options{})
+	if out.Len() != 1 {
+		t.Fatalf("after removing one of two refs: Len=%d, want 1", out.Len())
+	}
+	out, _ = acc.MergeDeltaDirty(nil, []*Set{p2}, Options{})
+	if out.Len() != 0 {
+		t.Fatalf("after removing the last ref: Len=%d, want 0", out.Len())
+	}
+}
+
+// TestAccumParallelMatchesSequential runs the dirty-bucket reduction
+// with the adversarial goroutine executor: identical membership to the
+// sequential accumulator at every step.
+func TestAccumParallelMatchesSequential(t *testing.T) {
+	for seed := int64(60); seed < 64; seed++ {
+		r := rand.New(rand.NewSource(seed))
+		seq := NewAccum(rsg.L1)
+		par := NewAccum(rsg.L1)
+		for step := 0; step < 6; step++ {
+			p := FromGraphs(rsg.L1, randomGraphs(r, 6), Options{})
+			so, _ := seq.MergeDeltaDirty([]*Set{p}, nil, Options{MaxGraphs: 4})
+			po, _ := par.MergeDeltaDirty([]*Set{p}, nil, Options{MaxGraphs: 4, Exec: goExec})
+			if !so.Equal(po) {
+				t.Fatalf("seed %d step %d: parallel accum diverged:\nseq %s\npar %s",
+					seed, step, so.Signature(), po.Signature())
+			}
+		}
+	}
+}

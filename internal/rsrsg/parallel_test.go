@@ -94,8 +94,8 @@ func TestMergeDeltaParallelMatchesSequential(t *testing.T) {
 			seq, par := New(), New()
 			for step := 0; step < 6; step++ {
 				contribution := FromGraphs(lvl, randomGraphs(r, 6), Options{})
-				seqChanged := seq.MergeDelta(lvl, contribution, Options{MaxGraphs: 8})
-				parChanged := par.MergeDelta(lvl, contribution, Options{MaxGraphs: 8, Exec: goExec})
+				seqChanged := seq.MergeDelta(lvl, contribution, Options{MaxGraphs: 8}).Changed
+				parChanged := par.MergeDelta(lvl, contribution, Options{MaxGraphs: 8, Exec: goExec}).Changed
 				if seqChanged != parChanged {
 					t.Fatalf("%v seed %d step %d: changed verdicts differ (%v vs %v)",
 						lvl, seed, step, seqChanged, parChanged)

@@ -8,6 +8,7 @@ package rsrsg
 import (
 	"sort"
 	"strings"
+	"sync"
 
 	"repro/internal/rsg"
 )
@@ -29,22 +30,126 @@ func newEntry(g *rsg.Graph) entry {
 	return entry{g: g, dig: g.Digest(), alias: rsg.AliasKey(g)}
 }
 
+// joinKey identifies one ordered pair of canonical (interned) graphs at
+// one analysis level.
+type joinKey struct {
+	lvl  rsg.Level
+	a, b rsg.Digest
+}
+
+// JoinCache memoizes the pure pairwise primitives of bucket reduction —
+// CompatibleSP verdicts and JOIN+COMPRESS results — keyed by the
+// operands' canonical digests and the analysis level. It is semi-naïve
+// engine state: the engine shares one cache across every statement's
+// accumulator (NewAccum), because dirty-bucket re-reduction replays
+// join chains over raw sets that grew by a handful of digests, and the
+// same canonical pairs recur across statements as graphs propagate
+// through the CFG. Both primitives are pure functions of their frozen
+// operands, so a cached result is bit-identical to recomputation at any
+// worker count; the mutex only guards the maps, never the computation,
+// and a racing duplicate computation is harmless — both sides intern to
+// the same canonical graph. The stateless full path (Reduce, and the
+// engine's NoDelta mode) uses a nil cache and recomputes from scratch:
+// that asymmetry is exactly the A/B the -nodelta flag measures.
+type JoinCache struct {
+	mu     sync.Mutex
+	compat map[joinKey]bool
+	joined map[joinKey]entry
+}
+
+// joinCacheCap bounds each of the cache's maps; a map that reaches the
+// cap is reset wholesale, like the intern table — entries are
+// pure-function results, so eviction only costs recomputation.
+const joinCacheCap = 1 << 15
+
+// NewJoinCache returns an empty join cache for sharing across Accums.
+func NewJoinCache() *JoinCache {
+	return &JoinCache{
+		compat: make(map[joinKey]bool),
+		joined: make(map[joinKey]entry),
+	}
+}
+
+// compatible is CompatibleSP through the cache; a nil receiver
+// recomputes. Frozen graphs serve their SPATH maps from the freeze-time
+// cache, so no per-scan SPATH memo is needed.
+func (c *JoinCache) compatible(lvl rsg.Level, a, b entry) bool {
+	k := joinKey{lvl: lvl, a: a.dig, b: b.dig}
+	if c != nil {
+		c.mu.Lock()
+		v, ok := c.compat[k]
+		c.mu.Unlock()
+		if ok {
+			return v
+		}
+	}
+	v := rsg.CompatibleSP(lvl, a.g, b.g, a.g.SPaths(), b.g.SPaths())
+	if c != nil {
+		c.mu.Lock()
+		if len(c.compat) >= joinCacheCap {
+			c.compat = make(map[joinKey]bool, 64)
+		}
+		c.compat[k] = v
+		c.mu.Unlock()
+	}
+	return v
+}
+
+// join is JOIN+COMPRESS in interned entry form through the cache; a nil
+// receiver recomputes.
+func (c *JoinCache) join(lvl rsg.Level, a, b entry) entry {
+	k := joinKey{lvl: lvl, a: a.dig, b: b.dig}
+	if c != nil {
+		c.mu.Lock()
+		e, ok := c.joined[k]
+		c.mu.Unlock()
+		if ok {
+			return e
+		}
+	}
+	merged := rsg.Join(lvl, a.g, b.g)
+	rsg.Compress(merged, lvl)
+	e := newEntry(merged)
+	if c != nil {
+		c.mu.Lock()
+		if len(c.joined) >= joinCacheCap {
+			c.joined = make(map[joinKey]entry, 64)
+		}
+		c.joined[k] = e
+		c.mu.Unlock()
+	}
+	return e
+}
+
 // Set is one RSRSG: a reduced set of RSGs, deduplicated by canonical
 // digest. Entries are kept sorted by digest, so iteration order is
 // deterministic without per-call sorting, and the set-level digest is
 // maintained incrementally so Equal is O(1).
 type Set struct {
 	entries []entry // sorted ascending by dig
-	byDig   map[rsg.Digest]struct{}
+	// byDig indexes the members; nil on a fresh Clone and rebuilt on
+	// first mutation, so read-only copies never pay for the map.
+	byDig map[rsg.Digest]struct{}
 	// absorbed records every digest ever folded in through MergeDelta,
 	// including graphs that were joined away; it prevents re-absorbing
 	// (and re-joining) recurring contributions during the fixed point.
 	// Lazily initialized by MergeDelta.
 	absorbed map[rsg.Digest]struct{}
+	// absorbedContribs records whole contribution sets already folded in
+	// through MergeDelta, keyed by the same (length, set digest) pair
+	// Equal compares. A statement is revisited whenever any predecessor
+	// changes, so the out-states of its unchanged predecessors are
+	// re-merged verbatim on every visit; this lets MergeDelta dismiss
+	// such repeats in O(1) instead of re-scanning every member.
+	absorbedContribs map[contribKey]struct{}
 	// setDig is the XOR of the member digests: order-independent,
 	// updated in O(1) per insertion/removal. Two sets with equal length
 	// and equal setDig hold the same members (up to hash collision).
 	setDig rsg.Digest
+	// numNodes/numLinks are the totals across member graphs, maintained
+	// incrementally so the engine's per-visit accounting is O(1).
+	numNodes int
+	numLinks int
 }
 
 // New returns an empty RSRSG.
@@ -87,6 +192,13 @@ type Options struct {
 	// sorted bucket-key order, so the outcome is bit-identical to a
 	// sequential run.
 	Exec Exec
+	// Joins, when non-nil, memoizes pairwise CompatibleSP verdicts and
+	// JOIN+COMPRESS results across Reduce/MergeDelta/Accum calls (see
+	// JoinCache). Both primitives are pure functions of their frozen
+	// operands, so supplying a cache never changes results. The
+	// semi-naïve engine shares one cache per run; the stateless NoDelta
+	// path leaves this nil and recomputes.
+	Joins *JoinCache
 }
 
 // run executes tasks through opts.Exec, falling back to a sequential
@@ -106,9 +218,20 @@ func (s *Set) Add(g *rsg.Graph) bool {
 	return s.addEntry(newEntry(g))
 }
 
+// ensureByDig materializes the member index after a lazy Clone.
+func (s *Set) ensureByDig() {
+	if s.byDig == nil {
+		s.byDig = make(map[rsg.Digest]struct{}, len(s.entries))
+		for _, e := range s.entries {
+			s.byDig[e.dig] = struct{}{}
+		}
+	}
+}
+
 // addEntry inserts e at its sorted position unless a digest-identical
 // member exists, keeping byDig and the set digest in sync.
 func (s *Set) addEntry(e entry) bool {
+	s.ensureByDig()
 	if _, dup := s.byDig[e.dig]; dup {
 		return false
 	}
@@ -118,26 +241,37 @@ func (s *Set) addEntry(e entry) bool {
 	copy(s.entries[i+1:], s.entries[i:])
 	s.entries[i] = e
 	xorDigest(&s.setDig, e.dig)
+	s.numNodes += e.g.NumNodes()
+	s.numLinks += e.g.NumLinks()
 	return true
 }
 
 // removeEntry deletes the member with the given digest, if present.
 func (s *Set) removeEntry(dig rsg.Digest) bool {
+	s.ensureByDig()
 	if _, ok := s.byDig[dig]; !ok {
 		return false
 	}
 	delete(s.byDig, dig)
 	i := sort.Search(len(s.entries), func(i int) bool { return !s.entries[i].dig.Less(dig) })
+	e := s.entries[i]
 	s.entries = append(s.entries[:i], s.entries[i+1:]...)
 	xorDigest(&s.setDig, dig)
+	s.numNodes -= e.g.NumNodes()
+	s.numLinks -= e.g.NumLinks()
 	return true
 }
+
+// Remove deletes the member with the given digest, if present. Used by
+// the engine's incremental filter caches (Assume* delta variants).
+func (s *Set) Remove(dig rsg.Digest) bool { return s.removeEntry(dig) }
 
 // reset clears the member state (absorbed history is kept).
 func (s *Set) reset(capacity int) {
 	s.entries = s.entries[:0]
 	s.byDig = make(map[rsg.Digest]struct{}, capacity)
 	s.setDig = rsg.Digest{}
+	s.numNodes, s.numLinks = 0, 0
 }
 
 func xorDigest(dst *rsg.Digest, d rsg.Digest) {
@@ -167,23 +301,13 @@ func (s *Set) Graphs() []*rsg.Graph {
 // Len returns the number of RSGs in the set.
 func (s *Set) Len() int { return len(s.entries) }
 
-// NumNodes returns the total node count across all member graphs.
-func (s *Set) NumNodes() int {
-	n := 0
-	for _, e := range s.entries {
-		n += e.g.NumNodes()
-	}
-	return n
-}
+// NumNodes returns the total node count across all member graphs. The
+// counter is maintained on insertion/removal, so this is O(1).
+func (s *Set) NumNodes() int { return s.numNodes }
 
-// NumLinks returns the total NL entry count across all member graphs.
-func (s *Set) NumLinks() int {
-	n := 0
-	for _, e := range s.entries {
-		n += e.g.NumLinks()
-	}
-	return n
-}
+// NumLinks returns the total NL entry count across all member graphs,
+// maintained incrementally like NumNodes.
+func (s *Set) NumLinks() int { return s.numLinks }
 
 // Reduce joins compatible member graphs until no two members are
 // compatible (the "union of RSGs" of Sect. 4.3), compressing each join
@@ -219,14 +343,14 @@ func (s *Set) Reduce(lvl rsg.Level, opts Options) int {
 		i, group := i, group
 		tasks = append(tasks, func() {
 			sort.Slice(group, func(a, b int) bool { return group[a].dig.Less(group[b].dig) })
-			group, j := reduceGroup(lvl, group, false)
+			group, j := reduceGroup(lvl, group, false, opts.Joins)
 			if opts.MaxGraphs > 0 && len(group) > opts.MaxGraphs {
 				// Widening: force-join within the alias bucket, ignoring
 				// the node compatibility conditions (JOIN still
 				// over-approximates both operands, so this is sound —
 				// just lossier).
 				var fj int
-				group, fj = forceGroup(lvl, group, opts.MaxGraphs)
+				group, fj = forceGroup(lvl, group, opts.MaxGraphs, opts.Joins)
 				j += fj
 			}
 			results[i], bucketJoins[i] = group, j
@@ -249,31 +373,21 @@ func (s *Set) Reduce(lvl rsg.Level, opts Options) int {
 }
 
 // reduceGroup joins compatible graphs within one alias bucket until a
-// fixed point. SPATH maps are cached per graph across the pairwise
-// compatibility scan.
-func reduceGroup(lvl rsg.Level, group []entry, force bool) ([]entry, int) {
+// fixed point. Member graphs are frozen, so SPATH maps come from the
+// freeze-time cache. jc, when non-nil, memoizes the pairwise
+// compatibility verdicts and join results across calls (the Accum's
+// dirty-bucket replays); nil recomputes everything.
+func reduceGroup(lvl rsg.Level, group []entry, force bool, jc *JoinCache) ([]entry, int) {
 	joins := 0
-	spCache := make(map[*rsg.Graph]map[rsg.NodeID]rsg.SPathSet, len(group))
-	spaths := func(g *rsg.Graph) map[rsg.NodeID]rsg.SPathSet {
-		sp, ok := spCache[g]
-		if !ok {
-			sp = g.SPaths()
-			spCache[g] = sp
-		}
-		return sp
-	}
 	for {
 		joined := false
 	scan:
 		for i := 0; i < len(group); i++ {
 			for j := i + 1; j < len(group); j++ {
-				if !force && !rsg.CompatibleSP(lvl, group[i].g, group[j].g,
-					spaths(group[i].g), spaths(group[j].g)) {
+				if !force && !jc.compatible(lvl, group[i], group[j]) {
 					continue
 				}
-				merged := rsg.Join(lvl, group[i].g, group[j].g)
-				rsg.Compress(merged, lvl)
-				e := newEntry(merged)
+				e := jc.join(lvl, group[i], group[j])
 				ng := make([]entry, 0, len(group)-1)
 				for k := range group {
 					if k != i && k != j {
@@ -293,12 +407,10 @@ func reduceGroup(lvl rsg.Level, group []entry, force bool) ([]entry, int) {
 }
 
 // forceGroup widens a bucket down to the bound.
-func forceGroup(lvl rsg.Level, group []entry, max int) ([]entry, int) {
+func forceGroup(lvl rsg.Level, group []entry, max int, jc *JoinCache) ([]entry, int) {
 	joins := 0
 	for len(group) > max {
-		merged := rsg.Join(lvl, group[0].g, group[1].g)
-		rsg.Compress(merged, lvl)
-		e := newEntry(merged)
+		e := jc.join(lvl, group[0], group[1])
 		group = append(group[2:], e)
 		group = dedupe(group)
 		joins++
@@ -319,16 +431,165 @@ func dedupe(group []entry) []entry {
 	return out
 }
 
+// Delta is the net membership change reported by one MergeDelta call:
+// Added holds the graphs that are members now but were not before the
+// call, Removed the digests of former members that were joined away,
+// and Keys the alias-bucket keys whose membership changed (sorted). Changed
+// reports whether any membership churn happened at all — it can be true
+// with an empty net delta when an addition and a removal cancel out.
+// The engine's semi-naïve transfer consumes the delta: only Added
+// graphs are stepped through the abstract semantics, and only the parts
+// of Removed members are retracted from the cached out-state.
+type Delta struct {
+	Changed bool
+	Added   []*rsg.Graph
+	Removed []rsg.Digest
+	Keys    []string
+}
+
+// Merge folds a later call's delta into d, netting additions against
+// removals, so d always describes the membership change relative to the
+// state before the first merged call (the engine accumulates one Delta
+// per statement visit across all predecessor contributions).
+func (d *Delta) Merge(o Delta) {
+	d.Changed = d.Changed || o.Changed
+	d.Keys = mergeKeys(d.Keys, o.Keys)
+	if len(o.Added) == 0 && len(o.Removed) == 0 {
+		return
+	}
+	track := newDeltaTracker()
+	for _, g := range d.Added {
+		track.added[g.Digest()] = g
+	}
+	for _, dig := range d.Removed {
+		track.removed[dig] = struct{}{}
+	}
+	// A member removed now was either added earlier this visit (the two
+	// cancel) or predates the visit (net removal); symmetrically, a
+	// member added now may restore one removed earlier.
+	for _, dig := range o.Removed {
+		if _, ok := track.added[dig]; ok {
+			delete(track.added, dig)
+		} else {
+			track.removed[dig] = struct{}{}
+		}
+	}
+	for _, g := range o.Added {
+		dig := g.Digest()
+		if _, ok := track.removed[dig]; ok {
+			delete(track.removed, dig)
+		} else {
+			track.added[dig] = g
+		}
+	}
+	keys := d.Keys
+	*d = track.delta(d.Changed)
+	d.Keys = keys
+}
+
+// mergeKeys unions two sorted key slices, keeping the result sorted.
+func mergeKeys(a, b []string) []string {
+	if len(b) == 0 {
+		return a
+	}
+	if len(a) == 0 {
+		return append([]string(nil), b...)
+	}
+	out := make([]string, 0, len(a)+len(b))
+	i, j := 0, 0
+	for i < len(a) || j < len(b) {
+		switch {
+		case j == len(b) || (i < len(a) && a[i] < b[j]):
+			out = append(out, a[i])
+			i++
+		case i == len(a) || b[j] < a[i]:
+			out = append(out, b[j])
+			j++
+		default:
+			out = append(out, a[i])
+			i++
+			j++
+		}
+	}
+	return out
+}
+
+// deltaTracker nets per-call membership churn into a Delta.
+type deltaTracker struct {
+	added   map[rsg.Digest]*rsg.Graph
+	removed map[rsg.Digest]struct{}
+	keys    map[string]struct{}
+}
+
+func newDeltaTracker() *deltaTracker {
+	return &deltaTracker{
+		added:   make(map[rsg.Digest]*rsg.Graph),
+		removed: make(map[rsg.Digest]struct{}),
+		keys:    make(map[string]struct{}),
+	}
+}
+
+func (t *deltaTracker) add(e entry) {
+	t.keys[e.alias] = struct{}{}
+	if _, ok := t.removed[e.dig]; ok {
+		delete(t.removed, e.dig)
+		return
+	}
+	t.added[e.dig] = e.g
+}
+
+func (t *deltaTracker) remove(e entry) {
+	t.keys[e.alias] = struct{}{}
+	if _, ok := t.added[e.dig]; ok {
+		delete(t.added, e.dig)
+		return
+	}
+	t.removed[e.dig] = struct{}{}
+}
+
+// delta renders the net change with deterministic (digest/key) order.
+func (t *deltaTracker) delta(changed bool) Delta {
+	d := Delta{Changed: changed}
+	if len(t.added) > 0 {
+		d.Added = make([]*rsg.Graph, 0, len(t.added))
+		for _, g := range t.added {
+			d.Added = append(d.Added, g)
+		}
+		sort.Slice(d.Added, func(i, j int) bool { return d.Added[i].Digest().Less(d.Added[j].Digest()) })
+	}
+	if len(t.removed) > 0 {
+		d.Removed = make([]rsg.Digest, 0, len(t.removed))
+		for dig := range t.removed {
+			d.Removed = append(d.Removed, dig)
+		}
+		sort.Slice(d.Removed, func(i, j int) bool { return d.Removed[i].Less(d.Removed[j]) })
+	}
+	if len(t.keys) > 0 {
+		d.Keys = make([]string, 0, len(t.keys))
+		for k := range t.keys {
+			d.Keys = append(d.Keys, k)
+		}
+		sort.Strings(d.Keys)
+	}
+	return d
+}
+
 // MergeDelta inserts the graphs of other that s does not already hold,
 // then incrementally re-reduces: only pairs involving a new (or
 // newly-joined) graph are tested for compatibility, because the
-// existing members are already pairwise incompatible. Returns whether s
-// changed. This is the engine's accumulation primitive: in-states grow
-// monotonically, and each growth step costs O(delta x bucket) instead
-// of O(bucket^2).
-func (s *Set) MergeDelta(lvl rsg.Level, other *Set, opts Options) bool {
-	if other == nil {
-		return false
+// existing members are already pairwise incompatible. The widening
+// bound (Options.MaxGraphs) is enforced per touched bucket — untouched
+// buckets cannot have grown. Returns the net membership Delta. This is
+// the engine's accumulation primitive: in-states grow monotonically,
+// each growth step costs O(delta x bucket) instead of O(bucket^2), and
+// the returned delta feeds the semi-naïve transfer.
+func (s *Set) MergeDelta(lvl rsg.Level, other *Set, opts Options) Delta {
+	if other == nil || len(other.entries) == 0 {
+		return Delta{}
+	}
+	ck := contribKey{n: len(other.entries), dig: other.setDig}
+	if _, done := s.absorbedContribs[ck]; done {
+		return Delta{}
 	}
 	if s.absorbed == nil {
 		s.absorbed = make(map[rsg.Digest]struct{}, len(s.entries))
@@ -344,17 +605,26 @@ func (s *Set) MergeDelta(lvl rsg.Level, other *Set, opts Options) bool {
 		s.absorbed[e.dig] = struct{}{}
 		delta = append(delta, e)
 	}
-	if len(delta) == 0 {
-		return false
+	// Every member of other is now in the absorbed history, so merging
+	// an identical contribution again cannot produce a delta; remember
+	// the whole set so the repeat is dismissed before the scan above.
+	if s.absorbedContribs == nil {
+		s.absorbedContribs = make(map[contribKey]struct{}, 8)
 	}
+	s.absorbedContribs[ck] = struct{}{}
+	if len(delta) == 0 {
+		return Delta{}
+	}
+	track := newDeltaTracker()
 	if opts.DisableJoin {
 		changed := false
 		for _, e := range delta {
 			if s.addEntry(e) {
 				changed = true
+				track.add(e)
 			}
 		}
-		return changed
+		return track.delta(changed)
 	}
 
 	changed := false
@@ -392,46 +662,59 @@ func (s *Set) MergeDelta(lvl rsg.Level, other *Set, opts Options) bool {
 		for i, key := range order {
 			i, key := i, key
 			tasks[i] = func() {
-				results[i] = mergeBucket(lvl, key, buckets[key], keyed[key])
+				bd := mergeBucket(lvl, key, buckets[key], keyed[key], opts.Joins)
+				if opts.MaxGraphs > 0 && len(bd.final) > opts.MaxGraphs {
+					// Widening: mergeBucket keeps the bucket pairwise
+					// incompatible, so the reduceGroup pass the former
+					// whole-set Reduce ran here is a provable no-op; only
+					// the force-join bound needs enforcing, and only on
+					// touched buckets (untouched ones cannot have grown).
+					sort.Slice(bd.final, func(a, b int) bool { return bd.final[a].dig.Less(bd.final[b].dig) })
+					bd.final, _ = forceGroup(lvl, bd.final, opts.MaxGraphs, opts.Joins)
+				}
+				results[i] = bd
 			}
 		}
 		opts.run(tasks)
 
 		queue = queue[:0:0]
 		for i, key := range order {
-			d := &results[i]
+			bd := &results[i]
 			before := buckets[key]
-			inFinal := make(map[rsg.Digest]struct{}, len(d.final))
-			for _, e := range d.final {
+			inFinal := make(map[rsg.Digest]struct{}, len(bd.final))
+			for _, e := range bd.final {
 				inFinal[e.dig] = struct{}{}
 			}
 			for _, e := range before {
 				if _, keep := inFinal[e.dig]; !keep {
 					s.removeEntry(e.dig)
 					changed = true
+					track.remove(e)
 				}
 			}
-			for _, e := range d.final {
+			for _, e := range bd.final {
 				if s.addEntry(e) {
 					changed = true
+					track.add(e)
 				}
 			}
-			for _, dig := range d.absorbed {
+			for _, dig := range bd.absorbed {
 				s.absorbed[dig] = struct{}{}
 			}
-			queue = append(queue, d.deferred...)
+			queue = append(queue, bd.deferred...)
 		}
 	}
-	if !changed {
-		return false
-	}
-	if opts.MaxGraphs > 0 {
-		s.Reduce(lvl, opts) // applies the per-bucket widening bound
-	}
-	return true
+	return track.delta(changed)
 }
 
 // bucketDelta is the outcome of merging one alias bucket's queue.
+// contribKey identifies a fully-absorbed contribution set by the same
+// O(1) (length, set digest) pair Equal compares.
+type contribKey struct {
+	n   int
+	dig rsg.Digest
+}
+
 type bucketDelta struct {
 	// final is the bucket's complete membership after the merge round.
 	final []entry
@@ -444,24 +727,18 @@ type bucketDelta struct {
 }
 
 // mergeBucket folds queue into bucket — the sequential inner loop of
-// the RSRSG accumulation — touching no shared state, so buckets can run
-// concurrently. Entries already present (by digest) are dropped; an
-// entry compatible with a member is joined, compressed, and re-queued;
-// anything else becomes a new member.
-func mergeBucket(lvl rsg.Level, key string, bucket, queue []entry) bucketDelta {
+// the RSRSG accumulation — touching no shared state except the
+// internally-synchronized join cache, so buckets can run concurrently.
+// Entries already present (by digest) are dropped; an entry compatible
+// with a member is joined, compressed, and re-queued; anything else
+// becomes a new member. Out-states propagate along the CFG, so the same
+// canonical pairs are tested and joined at successive statements — with
+// a shared jc those recurrences are map hits.
+func mergeBucket(lvl rsg.Level, key string, bucket, queue []entry, jc *JoinCache) bucketDelta {
 	var d bucketDelta
 	have := make(map[rsg.Digest]struct{}, len(bucket)+len(queue))
 	for _, e := range bucket {
 		have[e.dig] = struct{}{}
-	}
-	spCache := make(map[*rsg.Graph]map[rsg.NodeID]rsg.SPathSet, len(bucket)+len(queue))
-	spaths := func(g *rsg.Graph) map[rsg.NodeID]rsg.SPathSet {
-		sp, ok := spCache[g]
-		if !ok {
-			sp = g.SPaths()
-			spCache[g] = sp
-		}
-		return sp
 	}
 	for len(queue) > 0 {
 		e := queue[0]
@@ -471,7 +748,7 @@ func mergeBucket(lvl rsg.Level, key string, bucket, queue []entry) bucketDelta {
 		}
 		joined := -1
 		for i, old := range bucket {
-			if rsg.CompatibleSP(lvl, old.g, e.g, spaths(old.g), spaths(e.g)) {
+			if jc.compatible(lvl, old, e) {
 				joined = i
 				break
 			}
@@ -482,9 +759,7 @@ func mergeBucket(lvl rsg.Level, key string, bucket, queue []entry) bucketDelta {
 			continue
 		}
 		old := bucket[joined]
-		merged := rsg.Join(lvl, old.g, e.g)
-		rsg.Compress(merged, lvl)
-		me := newEntry(merged)
+		me := jc.join(lvl, old, e)
 		if me.dig == old.dig {
 			continue // absorbing e did not change the member
 		}
@@ -567,13 +842,17 @@ func (s *Set) Equal(o *Set) bool {
 
 // Clone returns a copy of the set sharing the member graphs. Graphs
 // inside a Set are frozen, so sharing is safe and avoids the deep
-// copies that would otherwise dominate no-op transfers.
+// copies that would otherwise dominate no-op transfers. The entries are
+// already sorted and deduplicated, so the copy is one slice copy; the
+// byDig index is rebuilt lazily on first mutation, which most clones
+// (per-visit out-state snapshots) never perform.
 func (s *Set) Clone() *Set {
-	out := New()
-	for _, e := range s.entries {
-		out.addEntry(e)
+	return &Set{
+		entries:  append([]entry(nil), s.entries...),
+		setDig:   s.setDig,
+		numNodes: s.numNodes,
+		numLinks: s.numLinks,
 	}
-	return out
 }
 
 // Filter returns a set holding the member graphs satisfying pred,

@@ -248,7 +248,7 @@ func TestMergeDeltaMaintainsDigest(t *testing.T) {
 	b := New()
 	b.Add(mkGraph("u", "y"))
 	b.Add(mkGraph("t", "x"))
-	if !a.MergeDelta(rsg.L1, b, Options{}) {
+	if !a.MergeDelta(rsg.L1, b, Options{}).Changed {
 		t.Fatal("MergeDelta must report change")
 	}
 	var want rsg.Digest
@@ -260,7 +260,7 @@ func TestMergeDeltaMaintainsDigest(t *testing.T) {
 	if a.Digest() != want {
 		t.Fatalf("digest drifted after MergeDelta: %s != %s", a.Digest(), want)
 	}
-	if a.MergeDelta(rsg.L1, b, Options{}) {
+	if a.MergeDelta(rsg.L1, b, Options{}).Changed {
 		t.Fatal("re-merging the same set must be a no-op")
 	}
 }
