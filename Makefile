@@ -1,13 +1,14 @@
 # Developer entry points. `make ci` is the gate every change must pass:
 # vet + build + full test suite + race detector over the concurrent
 # packages + a one-iteration benchmark smoke to catch bit-rot in the
-# bench harness without paying full bench time.
+# bench harness without paying full bench time + a one-rep benchtab run
+# diffed against the committed snapshot.
 
 GO ?= go
 
-.PHONY: ci vet build test test-race bench-smoke bench tidy
+.PHONY: ci vet build test test-race bench-smoke bench-compare bench tidy
 
-ci: vet build test test-race bench-smoke
+ci: vet build test test-race bench-smoke bench-compare
 
 vet:
 	$(GO) vet ./...
@@ -34,6 +35,15 @@ bench-smoke:
 	$(GO) test -run xxx -bench 'BenchmarkSignature|BenchmarkDigest' -benchtime=1x ./internal/rsg/
 	$(GO) test -run xxx -bench 'BenchmarkFigure1Pipeline|BenchmarkParallelBarnesHutL1_Workers1$$|BenchmarkDeltaBarnesHutL1_' -benchtime=1x .
 	$(GO) test -run TestParallelDeterminism -short -count=1 ./internal/analysis/
+
+# One-rep benchtab run over the snapshot's cells, printing per-cell
+# time/alloc deltas vs the committed BENCH_PR4.json. Single reps are
+# noisy; the target exists to keep the harness and the compare path
+# exercised, and to make gross regressions visible in CI output.
+bench-compare:
+	$(GO) run ./cmd/benchtab -kernels barneshut,matvec -levels 1 \
+		-visits 1500 -reps 1 -workers 1 -deltamodes on,off \
+		-compare BENCH_PR4.json
 
 # Full micro+macro benchmarks (minutes); REPRO_FULL_BENCH=1 for the
 # unbounded Table 1 cells.

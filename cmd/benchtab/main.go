@@ -29,6 +29,7 @@ import (
 	"fmt"
 	"os"
 	"runtime"
+	"runtime/pprof"
 	"sort"
 	"strings"
 	"time"
@@ -68,6 +69,8 @@ type cellResult struct {
 	MedianAllocBytes uint64  `json:"median_alloc_bytes"`
 	MedianAllocs     uint64  `json:"median_allocs"`
 	MemoHitRate      float64 `json:"memo_hit_rate"`
+	PoolHitRate      float64 `json:"pool_hit_rate"`
+	MaskSpills       uint64  `json:"mask_spills"`
 	DeltaTransfers   int     `json:"delta_transfers"`
 	FullRecomputes   int     `json:"full_recomputes"`
 	DirtyBuckets     int     `json:"dirty_buckets"`
@@ -95,7 +98,38 @@ func main() {
 	deltaModes := flag.String("deltamodes", "on", "delta propagation modes to measure: on, off, or on,off")
 	reps := flag.Int("reps", 1, "interleaved repetitions per cell; the table reports medians")
 	jsonOut := flag.String("json", "", "write machine-readable results to this file")
+	compare := flag.String("compare", "", "print per-cell deltas vs a previous -json snapshot")
+	cpuProfile := flag.String("cpuprofile", "", "write a pprof CPU profile of the measurement loop to this file")
+	memProfile := flag.String("memprofile", "", "write a pprof allocation profile to this file on exit")
 	flag.Parse()
+
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "benchtab: %v\n", err)
+			os.Exit(1)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintf(os.Stderr, "benchtab: %v\n", err)
+			os.Exit(1)
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if *memProfile != "" {
+		defer func() {
+			f, err := os.Create(*memProfile)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "benchtab: %v\n", err)
+				os.Exit(1)
+			}
+			defer f.Close()
+			runtime.GC()
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintf(os.Stderr, "benchtab: %v\n", err)
+				os.Exit(1)
+			}
+		}()
+	}
 
 	if *reps < 1 {
 		*reps = 1
@@ -175,8 +209,8 @@ func main() {
 	if *reps > 1 {
 		head = fmt.Sprintf("time(med/%d)", *reps)
 	}
-	fmt.Printf("%-10s %-4s %-6s %-13s %-12s %-12s %-26s %-9s %s\n",
-		"code", "lvl", "delta", head, "peak-heap", "alloc", "peak(nodes/links/graphs)", "memo-hit", "outcome")
+	fmt.Printf("%-10s %-4s %-6s %-13s %-12s %-12s %-10s %-26s %-9s %-9s %s\n",
+		"code", "lvl", "delta", head, "peak-heap", "alloc", "allocs/op", "peak(nodes/links/graphs)", "memo-hit", "pool-hit", "outcome")
 
 	doc := jsonDoc{
 		Generated:  time.Now().UTC().Format(time.RFC3339),
@@ -188,21 +222,31 @@ func main() {
 		last := c.reps[len(c.reps)-1].rep
 		peak := "-"
 		memoHit := "-"
+		poolHit := "-"
 		if last.Result != nil {
 			peak = fmt.Sprintf("%d/%d/%d", last.Result.Stats.PeakNodes,
 				last.Result.Stats.PeakLinks, last.Result.Stats.PeakGraphs)
 			memoHit = fmt.Sprintf("%.1f%%", 100*cr.MemoHitRate)
+			poolHit = fmt.Sprintf("%.1f%%", 100*cr.PoolHitRate)
 		}
 		mode := "on"
 		if !c.delta {
 			mode = "off"
 		}
-		fmt.Printf("%-10s %-4s %-6s %-13s %-12s %-12s %-26s %-9s %s\n",
+		fmt.Printf("%-10s %-4s %-6s %-13s %-12s %-12s %-10s %-26s %-9s %-9s %s\n",
 			c.kernel.Name, c.lvl, mode,
 			time.Duration(cr.MedianNs).Round(10*time.Millisecond),
 			fmt.Sprintf("%.1f MB", float64(last.PeakHeapBytes)/(1<<20)),
 			fmt.Sprintf("%.1f MB", float64(cr.MedianAllocBytes)/(1<<20)),
-			peak, memoHit, cr.Outcome)
+			fmtCount(cr.MedianAllocs),
+			peak, memoHit, poolHit, cr.Outcome)
+	}
+
+	if *compare != "" {
+		if err := printCompare(*compare, doc.Results); err != nil {
+			fmt.Fprintf(os.Stderr, "benchtab: %v\n", err)
+			os.Exit(1)
+		}
 	}
 
 	if *jsonOut != "" {
@@ -249,6 +293,8 @@ func (c *cell) aggregate(workers, visits int) cellResult {
 	if last.Result != nil {
 		st := last.Result.Stats
 		cr.MemoHitRate = st.MemoHitRate()
+		cr.PoolHitRate = st.PoolHitRate()
+		cr.MaskSpills = st.Cache.MaskSpills
 		cr.DeltaTransfers = st.DeltaTransfers
 		cr.FullRecomputes = st.FullRecomputes
 		cr.DirtyBuckets = st.DirtyBuckets
@@ -258,6 +304,65 @@ func (c *cell) aggregate(workers, visits int) cellResult {
 		cr.PeakGraphs = st.PeakGraphs
 	}
 	return cr
+}
+
+// printCompare loads a previous -json snapshot and prints per-cell
+// time and allocation deltas against the current results, matching
+// cells by (bench, level, delta mode).
+func printCompare(path string, cur []cellResult) error {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	var old jsonDoc
+	if err := json.Unmarshal(data, &old); err != nil {
+		return fmt.Errorf("%s: %v", path, err)
+	}
+	type key struct {
+		bench, level string
+		delta        bool
+	}
+	base := make(map[key]cellResult, len(old.Results))
+	for _, r := range old.Results {
+		base[key{r.Bench, r.Level, r.Delta}] = r
+	}
+	fmt.Printf("\ncompare vs %s (generated %s)\n", path, old.Generated)
+	fmt.Printf("%-10s %-4s %-6s %-22s %-24s %s\n",
+		"code", "lvl", "delta", "time old->new", "allocs old->new", "speedup")
+	for _, r := range cur {
+		o, ok := base[key{r.Bench, r.Level, r.Delta}]
+		if !ok {
+			continue
+		}
+		mode := "on"
+		if !r.Delta {
+			mode = "off"
+		}
+		speed := "-"
+		if r.MedianNs > 0 {
+			speed = fmt.Sprintf("%.2fx", float64(o.MedianNs)/float64(r.MedianNs))
+		}
+		fmt.Printf("%-10s %-4s %-6s %-22s %-24s %s\n",
+			r.Bench, r.Level, mode,
+			fmt.Sprintf("%v -> %v", time.Duration(o.MedianNs).Round(time.Millisecond),
+				time.Duration(r.MedianNs).Round(time.Millisecond)),
+			fmt.Sprintf("%s -> %s", fmtCount(o.MedianAllocs), fmtCount(r.MedianAllocs)),
+			speed)
+	}
+	return nil
+}
+
+// fmtCount renders an object count compactly (1234567 -> "1.23M").
+func fmtCount(n uint64) string {
+	switch {
+	case n >= 1e9:
+		return fmt.Sprintf("%.2fG", float64(n)/1e9)
+	case n >= 1e6:
+		return fmt.Sprintf("%.2fM", float64(n)/1e6)
+	case n >= 1e3:
+		return fmt.Sprintf("%.1fk", float64(n)/1e3)
+	}
+	return fmt.Sprintf("%d", n)
 }
 
 func medianI64(v []int64) int64 {

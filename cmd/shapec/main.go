@@ -22,6 +22,8 @@
 //	-nodelta        disable the semi-naïve delta engine and recompute
 //	                every statement transfer from the full in-state
 //	                (results are identical; A/B escape hatch)
+//	-cpuprofile F   write a pprof CPU profile of the run to F
+//	-memprofile F   write a pprof allocation profile to F on exit
 //
 // Built-in kernel names: matvec, matmat, lu, barneshut, slist, dlist,
 // btree.
@@ -31,6 +33,8 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"time"
 
 	"repro/internal/analysis"
@@ -52,6 +56,8 @@ func main() {
 	stats := flag.Bool("stats", false, "print memoization/digest-cache counters")
 	workers := flag.Int("workers", 0, "worker goroutines (0 = GOMAXPROCS, 1 = sequential)")
 	noDelta := flag.Bool("nodelta", false, "disable semi-naïve delta propagation (full recompute per visit)")
+	cpuProfile := flag.String("cpuprofile", "", "write a pprof CPU profile of the analysis to this file")
+	memProfile := flag.String("memprofile", "", "write a pprof allocation profile to this file on exit")
 	flag.Parse()
 
 	if flag.NArg() != 1 {
@@ -60,6 +66,30 @@ func main() {
 		os.Exit(2)
 	}
 	arg := flag.Arg(0)
+
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			fatal(err)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fatal(err)
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if *memProfile != "" {
+		defer func() {
+			f, err := os.Create(*memProfile)
+			if err != nil {
+				fatal(err)
+			}
+			defer f.Close()
+			runtime.GC()
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fatal(err)
+			}
+		}()
+	}
 
 	var prog *ir.Program
 	var goals []analysis.Goal

@@ -74,8 +74,8 @@ func (d *Diagnostics) Add(o Diagnostics) {
 	d.Compressions += o.Compressions
 }
 
-func (c *Context) touchEligible(x string) bool {
-	return c.Level.UseTouch() && c.InLoop && c.Induction.Has(x)
+func (c *Context) touchEligibleSym(x rsg.Sym) bool {
+	return c.Level.UseTouch() && c.InLoop && c.Induction.HasSym(x)
 }
 
 func (c *Context) compress(g *rsg.Graph) {
@@ -147,19 +147,19 @@ func XLoad(ctx *Context, in *rsrsg.Set, x, y, sel string) *rsrsg.Set {
 // "after exiting a loop body the TOUCH information regarding the ipvars
 // of this loop are not needed any more" (Sect. 3).
 func EraseTouch(ctx *Context, in *rsrsg.Set, ipvars rsg.PvarSet) *rsrsg.Set {
-	if len(ipvars) == 0 {
+	if ipvars.Empty() {
 		return in.Clone()
 	}
 	return mapStep(ctx, in, func(g *rsg.Graph) []*rsg.Graph { return StepEraseTouch(ctx, g, ipvars) })
 }
 
-func divide(ctx *Context, g *rsg.Graph, x, sel string) []rsg.Division {
-	divs := rsg.Divide(g, x, sel)
+func divide(ctx *Context, g *rsg.Graph, x, sel rsg.Sym) []rsg.Division {
+	divs := rsg.DivideSym(g, x, sel)
 	if ctx.Diags != nil {
 		// Count branches the division pruned away as infeasible.
-		n := g.PvarTarget(x)
-		want := len(g.Targets(n.ID, sel))
-		if !n.SelOut.Has(sel) {
+		n := g.PvarTargetSym(x)
+		want := len(g.TargetsSym(n.ID, sel))
+		if !n.SelOut.HasSym(sel) {
 			want++
 		}
 		if d := want - len(divs); d > 0 {
@@ -169,8 +169,8 @@ func divide(ctx *Context, g *rsg.Graph, x, sel string) []rsg.Division {
 	return divs
 }
 
-func materialize(ctx *Context, g *rsg.Graph, src rsg.NodeID, sel string) rsg.NodeID {
-	targets := g.Targets(src, sel)
+func materialize(ctx *Context, g *rsg.Graph, src rsg.NodeID, sel rsg.Sym) rsg.NodeID {
+	targets := g.TargetsSym(src, sel)
 	if len(targets) == 1 {
 		if t := g.Node(targets[0]); t != nil && !t.Singleton {
 			if ctx.Diags != nil {
@@ -178,7 +178,7 @@ func materialize(ctx *Context, g *rsg.Graph, src rsg.NodeID, sel string) rsg.Nod
 			}
 		}
 	}
-	return rsg.Materialize(g, src, sel)
+	return rsg.MaterializeSym(g, src, sel)
 }
 
 func prune(ctx *Context, g *rsg.Graph) bool {

@@ -247,7 +247,7 @@ func TestTouchTracking(t *testing.T) {
 	// Erasing the loop's ipvars clears the sets.
 	s = EraseTouch(c, s, rsg.NewPvarSet("p"))
 	g = s.Graphs()[0]
-	if len(g.PvarTarget("p").Touch) != 0 {
+	if !g.PvarTarget("p").Touch.Empty() {
 		t.Errorf("EraseTouch must clear the loop's induction pvars")
 	}
 }
@@ -259,7 +259,7 @@ func TestTouchIgnoredBelowL3(t *testing.T) {
 	s := XMalloc(c, empty(), "head", "node")
 	s = XCopy(c, s, "p", "head")
 	g := s.Graphs()[0]
-	if len(g.PvarTarget("p").Touch) != 0 {
+	if !g.PvarTarget("p").Touch.Empty() {
 		t.Errorf("TOUCH sets must not be built below L3")
 	}
 }

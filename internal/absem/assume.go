@@ -11,13 +11,23 @@ import (
 // covered configuration), so the filter is exact at graph granularity.
 // It implements the true edge of an `if (x == NULL)` condition.
 func AssumeNull(ctx *Context, in *rsrsg.Set, x string) *rsrsg.Set {
-	return in.Filter(func(g *rsg.Graph) bool { return g.PvarTarget(x) == nil })
+	return AssumeNullSym(ctx, in, rsg.PvarSym(x))
+}
+
+// AssumeNullSym is AssumeNull addressed by interned pvar.
+func AssumeNullSym(ctx *Context, in *rsrsg.Set, x rsg.Sym) *rsrsg.Set {
+	return in.Filter(func(g *rsg.Graph) bool { return g.PvarTargetSym(x) == nil })
 }
 
 // AssumeNonNull filters the RSRSG down to the configurations where x
 // references a node; the true edge of `if (x != NULL)`.
 func AssumeNonNull(ctx *Context, in *rsrsg.Set, x string) *rsrsg.Set {
-	return in.Filter(func(g *rsg.Graph) bool { return g.PvarTarget(x) != nil })
+	return AssumeNonNullSym(ctx, in, rsg.PvarSym(x))
+}
+
+// AssumeNonNullSym is AssumeNonNull addressed by interned pvar.
+func AssumeNonNullSym(ctx *Context, in *rsrsg.Set, x rsg.Sym) *rsrsg.Set {
+	return in.Filter(func(g *rsg.Graph) bool { return g.PvarTargetSym(x) != nil })
 }
 
 // AssumeNullDelta is the semi-naïve variant of AssumeNull: instead of
@@ -26,12 +36,22 @@ func AssumeNonNull(ctx *Context, in *rsrsg.Set, x string) *rsrsg.Set {
 // per-graph predicate, applying the delta yields exactly the set a full
 // AssumeNull over the new in-state would build.
 func AssumeNullDelta(ctx *Context, cached *rsrsg.Set, added []*rsg.Graph, removed []rsg.Digest, x string) {
-	assumeDelta(cached, added, removed, func(g *rsg.Graph) bool { return g.PvarTarget(x) == nil })
+	AssumeNullDeltaSym(ctx, cached, added, removed, rsg.PvarSym(x))
+}
+
+// AssumeNullDeltaSym is AssumeNullDelta addressed by interned pvar.
+func AssumeNullDeltaSym(ctx *Context, cached *rsrsg.Set, added []*rsg.Graph, removed []rsg.Digest, x rsg.Sym) {
+	assumeDelta(cached, added, removed, func(g *rsg.Graph) bool { return g.PvarTargetSym(x) == nil })
 }
 
 // AssumeNonNullDelta is the semi-naïve variant of AssumeNonNull.
 func AssumeNonNullDelta(ctx *Context, cached *rsrsg.Set, added []*rsg.Graph, removed []rsg.Digest, x string) {
-	assumeDelta(cached, added, removed, func(g *rsg.Graph) bool { return g.PvarTarget(x) != nil })
+	AssumeNonNullDeltaSym(ctx, cached, added, removed, rsg.PvarSym(x))
+}
+
+// AssumeNonNullDeltaSym is AssumeNonNullDelta addressed by interned pvar.
+func AssumeNonNullDeltaSym(ctx *Context, cached *rsrsg.Set, added []*rsg.Graph, removed []rsg.Digest, x rsg.Sym) {
+	assumeDelta(cached, added, removed, func(g *rsg.Graph) bool { return g.PvarTargetSym(x) != nil })
 }
 
 func assumeDelta(cached *rsrsg.Set, added []*rsg.Graph, removed []rsg.Digest, pred func(*rsg.Graph) bool) {

@@ -8,14 +8,19 @@ import "repro/internal/rsg"
 // real heap mutation, so the property state of both endpoints is
 // updated to the new truth before any pruning runs.
 func unlink(g *rsg.Graph, a rsg.NodeID, sel string, b rsg.NodeID) {
-	g.RemoveLink(a, sel, b)
+	unlinkSym(g, a, rsg.SelSym(sel), b)
+}
+
+func unlinkSym(g *rsg.Graph, a rsg.NodeID, sel rsg.Sym, b rsg.NodeID) {
+	selName := rsg.SelName(sel)
+	g.RemoveLinkSym(a, sel, b)
 	na, nb := g.Node(a), g.Node(b)
 
 	// Source: the reference definitely no longer exists.
-	na.ClearOut(sel)
+	na.ClearOutSym(sel)
 	// Cycle pairs of a that started with sel lost their only witness.
-	for pair := range na.Cycle {
-		if pair.Out == sel {
+	for _, pair := range na.Cycle.Sorted() {
+		if pair.Out == selName {
 			na.Cycle.Remove(pair)
 		}
 	}
@@ -24,21 +29,21 @@ func unlink(g *rsg.Graph, a rsg.NodeID, sel string, b rsg.NodeID) {
 		return
 	}
 	// Destination: update the incoming state for sel.
-	srcs := g.Sources(b, sel)
+	srcs := g.SourcesSym(b, sel)
 	if len(srcs) == 0 {
-		nb.ClearIn(sel)
-		nb.ShSel.Remove(sel)
+		nb.ClearInSym(sel)
+		nb.ShSel.RemoveSym(sel)
 	} else {
 		definite := false
 		for _, s := range srcs {
-			if g.DefiniteLink(s, sel, b) {
+			if g.DefiniteLinkSym(s, sel, b) {
 				definite = true
 				break
 			}
 		}
 		if !definite {
-			nb.SelIn.Remove(sel)
-			nb.MarkPossibleIn(sel)
+			nb.SelIn.RemoveSym(sel)
+			nb.MarkPossibleInSym(sel)
 		}
 		if nb.Singleton {
 			// Re-count sharing through sel: only provable when every
@@ -51,13 +56,13 @@ func unlink(g *rsg.Graph, a rsg.NodeID, sel string, b rsg.NodeID) {
 				}
 			}
 			if allSingleton && len(srcs) < 2 {
-				nb.ShSel.Remove(sel)
+				nb.ShSel.RemoveSym(sel)
 			}
 		}
 	}
 	// Cycle pairs of b returning through sel whose witness was a.
-	for pair := range nb.Cycle {
-		if pair.In == sel && g.HasLink(b, pair.Out, a) {
+	for _, pair := range nb.Cycle.Sorted() {
+		if pair.In == selName && g.HasLink(b, pair.Out, a) {
 			nb.Cycle.Remove(pair)
 		}
 	}
@@ -68,18 +73,23 @@ func unlink(g *rsg.Graph, a rsg.NodeID, sel string, b rsg.NodeID) {
 // has already ensured a has no sel link (unlink ran first) and both a
 // and b are singleton nodes (a is pvar-referenced; b is a pvar target).
 func link(g *rsg.Graph, a rsg.NodeID, sel string, b rsg.NodeID) {
+	linkSym(g, a, rsg.SelSym(sel), b)
+}
+
+func linkSym(g *rsg.Graph, a rsg.NodeID, sel rsg.Sym, b rsg.NodeID) {
+	selName := rsg.SelName(sel)
 	na, nb := g.Node(a), g.Node(b)
 
-	hadSelIn := len(g.Sources(b, sel)) > 0
+	hadSelIn := len(g.SourcesSym(b, sel)) > 0
 	hadHeapIn := g.HeapInDegree(b) > 0
 
-	g.AddLink(a, sel, b)
-	na.MarkDefiniteOut(sel)
+	g.AddLinkSym(a, sel, b)
+	na.MarkDefiniteOutSym(sel)
 
 	if nb.Singleton {
-		nb.MarkDefiniteIn(sel)
+		nb.MarkDefiniteInSym(sel)
 		if hadSelIn {
-			nb.ShSel.Add(sel)
+			nb.ShSel.AddSym(sel)
 			nb.Shared = true
 		}
 		if hadHeapIn {
@@ -88,9 +98,9 @@ func link(g *rsg.Graph, a rsg.NodeID, sel string, b rsg.NodeID) {
 	} else {
 		// Conservative path (not reached by the standard semantics,
 		// which always links to pvar targets, i.e. singletons).
-		nb.MarkPossibleIn(sel)
+		nb.MarkPossibleInSym(sel)
 		if hadSelIn {
-			nb.ShSel.Add(sel)
+			nb.ShSel.AddSym(sel)
 			nb.Shared = true
 		}
 	}
@@ -98,15 +108,15 @@ func link(g *rsg.Graph, a rsg.NodeID, sel string, b rsg.NodeID) {
 	// New definite cycles through the link.
 	for _, selIn := range g.OutSelectors(b) {
 		if g.DefiniteLink(b, selIn, a) {
-			na.Cycle.Add(rsg.CyclePair{Out: sel, In: selIn})
-			nb.Cycle.Add(rsg.CyclePair{Out: selIn, In: sel})
+			na.Cycle.Add(rsg.CyclePair{Out: selName, In: selIn})
+			nb.Cycle.Add(rsg.CyclePair{Out: selIn, In: selName})
 		}
 	}
 	if a == b {
 		// Self reference: a->sel == a closes <sel, sel'> for every
 		// definite sel' self link, including sel itself.
-		if g.DefiniteLink(a, sel, a) {
-			na.Cycle.Add(rsg.CyclePair{Out: sel, In: sel})
+		if g.DefiniteLinkSym(a, sel, a) {
+			na.Cycle.Add(rsg.CyclePair{Out: selName, In: selName})
 		}
 	}
 }
@@ -117,7 +127,7 @@ func refreshShared(g *rsg.Graph, n *rsg.Node) {
 	if !n.Singleton || !n.Shared {
 		return
 	}
-	if len(n.ShSel) > 0 {
+	if !n.ShSel.Empty() {
 		return
 	}
 	total := 0

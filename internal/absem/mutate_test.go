@@ -87,7 +87,7 @@ func TestUnlinkClearsState(t *testing.T) {
 	if b.SelIn.Has("s") || b.PosSelIn.Has("s") {
 		t.Errorf("target in state not cleared: %s", b)
 	}
-	if len(a.Cycle) != 0 {
+	if !a.Cycle.Empty() {
 		t.Errorf("Cycle(a) must drop pairs starting with s: %s", a.Cycle)
 	}
 	if b.Cycle.Has(rsg.CyclePair{Out: "r", In: "s"}) {

@@ -139,11 +139,21 @@ func (s *Stats) CacheSummary() string {
 		shared = " [shared: concurrent runs, rsg counters over-count]"
 	}
 	return fmt.Sprintf(
-		"memo(hits=%d misses=%d rate=%.1f%%) delta(transfers=%d full=%d dirty=%d memo-full=%d) frozen=%d digests(computed=%d cached=%d) intern(hits=%d misses=%d)%s",
+		"memo(hits=%d misses=%d rate=%.1f%%) delta(transfers=%d full=%d dirty=%d memo-full=%d) frozen=%d digests(computed=%d cached=%d) intern(hits=%d misses=%d) pool(gets=%d news=%d hit=%.1f%%) mask-spills=%d%s",
 		s.MemoHits, s.MemoMisses, 100*s.MemoHitRate(),
 		s.DeltaTransfers, s.FullRecomputes, s.DirtyBuckets, s.MemoFull,
 		s.Cache.GraphsFrozen, s.Cache.DigestsComputed, s.Cache.DigestCacheHits,
-		s.Cache.InternHits, s.Cache.InternMisses, shared)
+		s.Cache.InternHits, s.Cache.InternMisses,
+		s.Cache.PoolGets, s.Cache.PoolNews, 100*s.PoolHitRate(), s.Cache.MaskSpills, shared)
+}
+
+// PoolHitRate returns the fraction of scratch-pool checkouts served
+// without allocating a fresh scratch, or 0 when no checkout happened.
+func (s *Stats) PoolHitRate() float64 {
+	if s.Cache.PoolGets == 0 {
+		return 0
+	}
+	return float64(s.Cache.PoolGets-s.Cache.PoolNews) / float64(s.Cache.PoolGets)
 }
 
 // Result is the outcome of one analysis run.
@@ -172,6 +182,9 @@ func Run(prog *ir.Program, opts Options) (*Result, error) {
 		opts.MaxVisits = 200000
 	}
 	induction.Annotate(prog)
+	// Idempotent; lowering already resolved Syms, but hand-built
+	// programs (tests, benchmarks) may not have.
+	prog.ResolveSyms()
 
 	res := &Result{
 		Program: prog,
@@ -287,7 +300,11 @@ func Run(prog *ir.Program, opts Options) (*Result, error) {
 			if opts.TouchAllPvars {
 				ctx.Induction = allPvars(prog)
 			} else {
-				ctx.Induction = rsg.PvarSet(prog.InductionFor(id))
+				ind := rsg.NewPvarSet()
+				for p := range prog.InductionFor(id) {
+					ind.Add(p)
+				}
+				ctx.Induction = ind
 			}
 		} else {
 			ctx.Induction = rsg.NewPvarSet()
@@ -313,7 +330,7 @@ func Run(prog *ir.Program, opts Options) (*Result, error) {
 			}
 			contribution := po
 			if opts.Level.UseTouch() {
-				if erase := exitedInduction(prog, pred, id, opts.TouchAllPvars); len(erase) > 0 {
+				if erase := exitedInduction(prog, pred, id, opts.TouchAllPvars); !erase.Empty() {
 					// TOUCH erasure rewrites graphs rather than filtering
 					// members, so the delta path's per-part bookkeeping does
 					// not reach through it; the statement permanently falls
@@ -512,17 +529,17 @@ func (h *rpoHeap) pop() int {
 func stepGraph(ctx *absem.Context, s *ir.Stmt, g *rsg.Graph) []*rsg.Graph {
 	switch s.Op {
 	case ir.OpNil:
-		return absem.StepNil(ctx, g, s.X)
+		return absem.StepNilSym(ctx, g, s.XSym)
 	case ir.OpMalloc:
-		return absem.StepMalloc(ctx, g, s.X, s.Type)
+		return absem.StepMallocSym(ctx, g, s.XSym, s.TypeSym)
 	case ir.OpCopy:
-		return absem.StepCopy(ctx, g, s.X, s.Y)
+		return absem.StepCopySym(ctx, g, s.XSym, s.YSym)
 	case ir.OpSelNil:
-		return absem.StepSelNil(ctx, g, s.X, s.Sel)
+		return absem.StepSelNilSym(ctx, g, s.XSym, s.SelSym)
 	case ir.OpSelCopy:
-		return absem.StepSelCopy(ctx, g, s.X, s.Sel, s.Y)
+		return absem.StepSelCopySym(ctx, g, s.XSym, s.SelSym, s.YSym)
 	case ir.OpLoad:
-		return absem.StepLoad(ctx, g, s.X, s.Y, s.Sel)
+		return absem.StepLoadSym(ctx, g, s.XSym, s.YSym, s.SelSym)
 	}
 	return []*rsg.Graph{g}
 }

@@ -242,10 +242,10 @@ func (e *engineRun) transfer(ctx *absem.Context, s *ir.Stmt, in *rsrsg.Set) (*rs
 	switch s.Op {
 	case ir.OpAssumeNull:
 		e.fullRecomputes++
-		return absem.AssumeNull(ctx, in, s.X), nil
+		return absem.AssumeNullSym(ctx, in, s.XSym), nil
 	case ir.OpAssumeNonNull:
 		e.fullRecomputes++
-		return absem.AssumeNonNull(ctx, in, s.X), nil
+		return absem.AssumeNonNullSym(ctx, in, s.XSym), nil
 	case ir.OpNil, ir.OpMalloc, ir.OpCopy, ir.OpSelNil, ir.OpSelCopy, ir.OpLoad:
 		e.fullRecomputes++
 		parts, err := e.partsFor(ctx, s, in.Graphs())
@@ -277,14 +277,14 @@ func (e *engineRun) transferDelta(ctx *absem.Context, s *ir.Stmt, in *rsrsg.Set,
 			// first visit onward, so later visits fold pure membership
 			// deltas into this seed.
 			if s.Op == ir.OpAssumeNull {
-				ds.filtered = absem.AssumeNull(ctx, in, s.X)
+				ds.filtered = absem.AssumeNullSym(ctx, in, s.XSym)
 			} else {
-				ds.filtered = absem.AssumeNonNull(ctx, in, s.X)
+				ds.filtered = absem.AssumeNonNullSym(ctx, in, s.XSym)
 			}
 		} else if s.Op == ir.OpAssumeNull {
-			absem.AssumeNullDelta(ctx, ds.filtered, d.Added, d.Removed, s.X)
+			absem.AssumeNullDeltaSym(ctx, ds.filtered, d.Added, d.Removed, s.XSym)
 		} else {
-			absem.AssumeNonNullDelta(ctx, ds.filtered, d.Added, d.Removed, s.X)
+			absem.AssumeNonNullDeltaSym(ctx, ds.filtered, d.Added, d.Removed, s.XSym)
 		}
 		e.deltaTransfers++
 		return ds.filtered.Clone(), true, nil

@@ -115,7 +115,7 @@ func (g UnsharedDuringLoop) Met(res *analysis.Result) (bool, string) {
 		}
 		for _, gr := range set.Graphs() {
 			for _, n := range gr.Nodes() {
-				if n.Type == g.Struct && len(n.Touch) > 0 && n.SharedBy(g.Sel) {
+				if n.Type == g.Struct && !n.Touch.Empty() && n.SharedBy(g.Sel) {
 					return false, fmt.Sprintf("stmt %d: touched node %s shared by %s", id, n, g.Sel)
 				}
 			}
@@ -173,7 +173,7 @@ func Report(res *analysis.Result) []TypeSummary {
 			if n.Shared {
 				ts.Shared++
 			}
-			for sel := range n.ShSel {
+			for _, sel := range n.ShSel.Sorted() {
 				shsel[n.Type][sel] = struct{}{}
 			}
 		}

@@ -68,7 +68,7 @@ func AnalyzeLoops(res *analysis.Result) []LoopReport {
 							visitedTypes[n.Type] = struct{}{}
 						}
 					}
-					if n.Shared || len(n.ShSel) > 0 {
+					if n.Shared || !n.ShSel.Empty() {
 						sharedTypes[n.Type] = struct{}{}
 					}
 				}

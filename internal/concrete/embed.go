@@ -123,7 +123,7 @@ func cellFitsNode(g *rsg.Graph, h *Heap, c *Cell, n *rsg.Node, inTotal int, inBy
 		}
 	}
 	// Definite SELOUT: the cell must have the reference.
-	for sel := range n.SelOut {
+	for _, sel := range n.SelOut.Sorted() {
 		if c.Fields[sel] == 0 {
 			return false
 		}
@@ -137,13 +137,13 @@ func cellFitsNode(g *rsg.Graph, h *Heap, c *Cell, n *rsg.Node, inTotal int, inBy
 	}
 	// Definite SELIN: the cell must be referenced through the selector.
 	_, bySel := h.InDegree()
-	for sel := range n.SelIn {
+	for _, sel := range n.SelIn.Sorted() {
 		if bySel[c.Loc][sel] == 0 {
 			return false
 		}
 	}
 	// Cycle links: following Out then In from the cell returns to it.
-	for pair := range n.Cycle {
+	for _, pair := range n.Cycle.Sorted() {
 		t := c.Fields[pair.Out]
 		if t == 0 {
 			continue // vacuous when the Out field is NULL? No: the pair

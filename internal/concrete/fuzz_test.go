@@ -17,20 +17,45 @@ import (
 // possibly-NULL pvars are fine: the interpreter stops the trace and the
 // analysis drops the branch, and both must agree.
 func genProgram(r *rand.Rand) string {
+	sels := []string{"nxt", "prv"}
+	return genProgramOver(r, "node", sels, sels)
+}
+
+// genWideProgram is genProgram over a struct with 68 pointer fields, so
+// the interned selector Syms run past the 64-bit inline mask and the
+// random statements hit the bitset spill slice. The statements draw
+// from the four highest-numbered selectors to make spills certain
+// regardless of what earlier tests interned.
+func genWideProgram(r *rand.Rand) string {
+	all := make([]string, 68)
+	for i := range all {
+		all[i] = fmt.Sprintf("w%02d", i)
+	}
+	return genProgramOver(r, "wide", all, all[64:])
+}
+
+// genProgramOver emits the random program skeleton over a struct named
+// structName declaring the given pointer fields; the generated
+// statements draw selectors from sels (a subset of fields).
+func genProgramOver(r *rand.Rand, structName string, fields, sels []string) string {
 	var b strings.Builder
-	b.WriteString("struct node { int v; struct node *nxt; struct node *prv; };\n")
+	fmt.Fprintf(&b, "struct %s { int v;", structName)
+	for _, f := range fields {
+		fmt.Fprintf(&b, " struct %s *%s;", structName, f)
+	}
+	b.WriteString(" };\n")
 	b.WriteString("void main(void) {\n")
-	b.WriteString("    struct node *p;\n    struct node *q;\n    struct node *r;\n")
+	fmt.Fprintf(&b, "    struct %s *p;\n    struct %s *q;\n    struct %s *r;\n",
+		structName, structName, structName)
 
 	pvars := []string{"p", "q", "r"}
-	sels := []string{"nxt", "prv"}
 	stmt := func() string {
 		x := pvars[r.Intn(3)]
 		y := pvars[r.Intn(3)]
-		sel := sels[r.Intn(2)]
+		sel := sels[r.Intn(len(sels))]
 		switch r.Intn(12) {
 		case 0, 1, 2:
-			return fmt.Sprintf("%s = malloc(sizeof(struct node));", x)
+			return fmt.Sprintf("%s = malloc(sizeof(struct %s));", x, structName)
 		case 3:
 			return fmt.Sprintf("%s = NULL;", x)
 		case 4, 5:
@@ -78,7 +103,11 @@ func TestFuzzSoundness(t *testing.T) {
 	}
 	seedRng := rand.New(rand.NewSource(20260706))
 	for i := 0; i < programs; i++ {
-		src := genProgram(rand.New(rand.NewSource(seedRng.Int63())))
+		gen := genProgram
+		if i%5 == 4 { // every fifth program sweeps the spill path
+			gen = genWideProgram
+		}
+		src := gen(rand.New(rand.NewSource(seedRng.Int63())))
 		prog := compile(t, src)
 		for _, lvl := range []rsg.Level{rsg.L1, rsg.L3} {
 			res, err := analysis.Run(prog, analysis.Options{Level: lvl, MaxVisits: 50000, Workers: 4})

@@ -1,0 +1,93 @@
+// Wide-struct stress: 70 distinct selectors on one struct, so the
+// interned selector Syms run past 64 and every per-node selector
+// bitset (SELOUT/SELIN/possible/shared/touch) exercises the spill
+// slice beyond the inline 64-bit mask. The shape itself is a hub
+// whose high-numbered selectors are relinked in a loop.
+struct fat { int v; struct fat *s00; struct fat *s01; struct fat *s02; struct fat *s03; struct fat *s04; struct fat *s05; struct fat *s06; struct fat *s07; struct fat *s08; struct fat *s09; struct fat *s10; struct fat *s11; struct fat *s12; struct fat *s13; struct fat *s14; struct fat *s15; struct fat *s16; struct fat *s17; struct fat *s18; struct fat *s19; struct fat *s20; struct fat *s21; struct fat *s22; struct fat *s23; struct fat *s24; struct fat *s25; struct fat *s26; struct fat *s27; struct fat *s28; struct fat *s29; struct fat *s30; struct fat *s31; struct fat *s32; struct fat *s33; struct fat *s34; struct fat *s35; struct fat *s36; struct fat *s37; struct fat *s38; struct fat *s39; struct fat *s40; struct fat *s41; struct fat *s42; struct fat *s43; struct fat *s44; struct fat *s45; struct fat *s46; struct fat *s47; struct fat *s48; struct fat *s49; struct fat *s50; struct fat *s51; struct fat *s52; struct fat *s53; struct fat *s54; struct fat *s55; struct fat *s56; struct fat *s57; struct fat *s58; struct fat *s59; struct fat *s60; struct fat *s61; struct fat *s62; struct fat *s63; struct fat *s64; struct fat *s65; struct fat *s66; struct fat *s67; struct fat *s68; struct fat *s69; };
+void main(void) {
+    struct fat *h;
+    struct fat *p;
+    struct fat *q;
+    h = malloc(sizeof(struct fat));
+    p = malloc(sizeof(struct fat));
+    h->s00 = p;
+    h->s01 = p;
+    h->s02 = p;
+    h->s03 = p;
+    h->s04 = p;
+    h->s05 = p;
+    h->s06 = p;
+    h->s07 = p;
+    h->s08 = p;
+    h->s09 = p;
+    h->s10 = p;
+    h->s11 = p;
+    h->s12 = p;
+    h->s13 = p;
+    h->s14 = p;
+    h->s15 = p;
+    h->s16 = p;
+    h->s17 = p;
+    h->s18 = p;
+    h->s19 = p;
+    h->s20 = p;
+    h->s21 = p;
+    h->s22 = p;
+    h->s23 = p;
+    h->s24 = p;
+    h->s25 = p;
+    h->s26 = p;
+    h->s27 = p;
+    h->s28 = p;
+    h->s29 = p;
+    h->s30 = p;
+    h->s31 = p;
+    h->s32 = p;
+    h->s33 = p;
+    h->s34 = p;
+    h->s35 = p;
+    h->s36 = p;
+    h->s37 = p;
+    h->s38 = p;
+    h->s39 = p;
+    h->s40 = p;
+    h->s41 = p;
+    h->s42 = p;
+    h->s43 = p;
+    h->s44 = p;
+    h->s45 = p;
+    h->s46 = p;
+    h->s47 = p;
+    h->s48 = p;
+    h->s49 = p;
+    h->s50 = p;
+    h->s51 = p;
+    h->s52 = p;
+    h->s53 = p;
+    h->s54 = p;
+    h->s55 = p;
+    h->s56 = p;
+    h->s57 = p;
+    h->s58 = p;
+    h->s59 = p;
+    h->s60 = p;
+    h->s61 = p;
+    h->s62 = p;
+    h->s63 = p;
+    h->s64 = p;
+    h->s65 = p;
+    h->s66 = p;
+    h->s67 = p;
+    h->s68 = p;
+    h->s69 = p;
+    while (grow) {
+        q = malloc(sizeof(struct fat));
+        q->s69 = h;
+        q->s68 = p;
+        p->s67 = q;
+        h->s66 = q;
+    }
+    h->s65 = NULL;
+    p->s64 = NULL;
+    q = h->s69;
+}

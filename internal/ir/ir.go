@@ -9,6 +9,8 @@ import (
 	"fmt"
 	"sort"
 	"strings"
+
+	"repro/internal/rsg"
 )
 
 // Op enumerates IR statement kinds.
@@ -80,6 +82,14 @@ type Stmt struct {
 	Sel  string // selector (selnil, selcopy, load)
 	Type string // allocated struct type (malloc)
 	Line int    // source line
+	// XSym, YSym, SelSym and TypeSym are the interned forms of X, Y,
+	// Sel and Type, filled in by Program.ResolveSyms so the per-visit
+	// transfer functions address the graph by symbol instead of
+	// hashing strings.
+	XSym    rsg.Sym
+	YSym    rsg.Sym
+	SelSym  rsg.Sym
+	TypeSym rsg.Sym
 	// Succs are the IDs of the successor statements.
 	Succs []int
 	// Preds are the IDs of the predecessor statements (computed).
@@ -148,6 +158,37 @@ type Program struct {
 
 // Stmt returns the statement with the given ID.
 func (p *Program) Stmt(id int) *Stmt { return p.Stmts[id] }
+
+// ResolveSyms interns every name appearing in the program — pvars,
+// selectors, struct types — and stamps each statement with the interned
+// forms of its operands. Lowering calls it once per program; it is
+// idempotent, and the engine re-runs it defensively so hand-built
+// programs (tests, benchmarks) work too.
+func (p *Program) ResolveSyms() {
+	for v := range p.PtrVars {
+		rsg.PvarSym(v)
+	}
+	for typ, sels := range p.Selectors {
+		rsg.TypeSym(typ)
+		for _, sel := range sels {
+			rsg.SelSym(sel)
+		}
+	}
+	for _, s := range p.Stmts {
+		if s.X != "" {
+			s.XSym = rsg.PvarSym(s.X)
+		}
+		if s.Y != "" {
+			s.YSym = rsg.PvarSym(s.Y)
+		}
+		if s.Sel != "" {
+			s.SelSym = rsg.SelSym(s.Sel)
+		}
+		if s.Type != "" {
+			s.TypeSym = rsg.TypeSym(s.Type)
+		}
+	}
+}
 
 // ComputePreds fills in the Preds lists from the Succs lists.
 func (p *Program) ComputePreds() {

@@ -1,0 +1,56 @@
+package rsg
+
+import "testing"
+
+// Allocation regression guards for the hot kernels on the flat
+// encoding. The ceilings are ~2x the measured counts at the time they
+// were recorded — loose enough to survive toolchain drift, tight
+// enough that reintroducing a per-edge or per-node map blows through
+// them immediately.
+
+// midGraph returns a frozen chain of 24 singleton nodes with a pvar on
+// the head: big enough that per-node costs dominate the fixed ones,
+// small enough to keep the guards fast.
+func midGraph() *Graph {
+	g, _ := chain(24)
+	g.Freeze()
+	return g
+}
+
+func TestCloneAllocCeiling(t *testing.T) {
+	g := midGraph()
+	avg := testing.AllocsPerRun(100, func() {
+		_ = g.Clone()
+	})
+	// Measured ~10 allocs/op: the Graph shell plus one backing array
+	// per flat slice (nodes, ids, index, outE, inE, pvars...).
+	if avg > 20 {
+		t.Fatalf("Clone of a frozen %d-node graph: %.1f allocs/op, ceiling 20", g.NumNodes(), avg)
+	}
+}
+
+func TestCompressAllocCeiling(t *testing.T) {
+	g := midGraph()
+	avg := testing.AllocsPerRun(100, func() {
+		c := g.Clone()
+		Compress(c, L1)
+	})
+	// Clone + full chain-middle summarization into one shared node.
+	if avg > 260 {
+		t.Fatalf("Clone+Compress of a frozen %d-node graph: %.1f allocs/op, ceiling 260", g.NumNodes(), avg)
+	}
+}
+
+func TestJoinAllocCeiling(t *testing.T) {
+	g1 := midGraph()
+	g2 := midGraph()
+	if !Compatible(L1, g1, g2) {
+		t.Fatal("fixture graphs must be compatible")
+	}
+	avg := testing.AllocsPerRun(100, func() {
+		_ = Join(L1, g1, g2)
+	})
+	if avg > 400 {
+		t.Fatalf("Join of two frozen %d-node graphs: %.1f allocs/op, ceiling 400", g1.NumNodes(), avg)
+	}
+}

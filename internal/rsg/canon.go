@@ -26,7 +26,10 @@ import (
 // string: the two agree (Digest is a hash of exactly these bytes), and
 // frozen graphs memoize the digest.
 func Signature(g *Graph) string {
-	return string(appendSignature(g, make([]byte, 0, 512)))
+	cs := getCanonScratch()
+	s := string(appendSignature(g, make([]byte, 0, 512), cs))
+	putCanonScratch(cs)
+	return s
 }
 
 // Digest is a fixed-size binary summary of a graph's Signature. Two
@@ -51,9 +54,12 @@ func (d Digest) Less(o Digest) bool {
 }
 
 // computeDigest hashes the signature bytes without materializing the
-// string.
+// string, accumulating them in pooled scratch.
 func computeDigest(g *Graph) Digest {
-	sum := sha256.Sum256(appendSignature(g, make([]byte, 0, 512)))
+	cs := getCanonScratch()
+	cs.sig = appendSignature(g, cs.sig[:0], cs)
+	sum := sha256.Sum256(cs.sig)
+	putCanonScratch(cs)
 	var d Digest
 	copy(d[:], sum[:16])
 	return d
@@ -66,47 +72,53 @@ func Hash(g *Graph) string {
 	return d.String()
 }
 
-// appendSignature appends the canonical encoding of g to buf. The
-// encoding is built with byte appends instead of fmt so the dedup and
-// equality paths of the analysis do not allocate per emitted line.
-func appendSignature(g *Graph, buf []byte) []byte {
-	order := canonicalOrder(g)
-	index := make(map[NodeID]int, len(order))
-	for i, id := range order {
-		index[id] = i
+// appendSignature appends the canonical encoding of g to buf, working
+// entirely in position-indexed scratch (positions into g.ids), with
+// byte appends instead of fmt so the dedup and equality paths of the
+// analysis do not allocate per emitted line.
+func appendSignature(g *Graph, buf []byte, cs *canonScratch) []byte {
+	n := len(g.ids)
+	canonicalOrder(g, cs)
+	cs.idx = growInt32(cs.idx, n)
+	for ci, pos := range cs.order {
+		cs.idx[pos] = int32(ci)
 	}
 
-	for _, p := range g.Pvars() {
+	psnap := pvarTab.load()
+	for _, e := range g.pl {
 		buf = append(buf, 'P', ' ')
-		buf = append(buf, p...)
+		buf = append(buf, psnap.names[e.sym-1]...)
 		buf = append(buf, ' ')
-		buf = strconv.AppendInt(buf, int64(index[g.PvarTarget(p).ID]), 10)
+		buf = strconv.AppendInt(buf, int64(cs.idx[g.posOf(e.id)]), 10)
 		buf = append(buf, '\n')
 	}
-	for i, id := range order {
+	for ci, pos := range cs.order {
 		buf = append(buf, 'N', ' ')
-		buf = strconv.AppendInt(buf, int64(i), 10)
+		buf = strconv.AppendInt(buf, int64(ci), 10)
 		buf = append(buf, ' ')
-		buf = appendNodeDescriptor(buf, g.Node(id))
+		buf = appendNodeDescriptor(buf, g.nodes[pos])
 		buf = append(buf, '\n')
 	}
 	// Emit edges grouped by canonical source index and selector; only
-	// the destination indices of each small group need sorting.
-	var dsts []int
-	for _, id := range order {
-		srcIdx := index[id]
-		for _, sel := range g.OutSelectors(id) {
-			targets := g.Targets(id, sel)
-			dsts = dsts[:0]
-			for _, t := range targets {
-				dsts = append(dsts, index[t])
+	// the destination indices of each small group need sorting. The out
+	// run of a node is already (selector-name, dst) ordered.
+	ssnap := selTab.load()
+	for _, pos := range cs.order {
+		srcIdx := int64(cs.idx[pos])
+		run := g.outRun(g.ids[pos])
+		for i := 0; i < len(run); {
+			sel := run[i].sel
+			cs.dsts = cs.dsts[:0]
+			for ; i < len(run) && run[i].sel == sel; i++ {
+				cs.dsts = append(cs.dsts, int(cs.idx[g.posOf(run[i].b)]))
 			}
-			sort.Ints(dsts)
-			for _, d := range dsts {
+			sort.Ints(cs.dsts)
+			name := ssnap.names[sel-1]
+			for _, d := range cs.dsts {
 				buf = append(buf, 'L', ' ')
-				buf = strconv.AppendInt(buf, int64(srcIdx), 10)
+				buf = strconv.AppendInt(buf, srcIdx, 10)
 				buf = append(buf, ' ')
-				buf = append(buf, sel...)
+				buf = append(buf, name...)
 				buf = append(buf, ' ')
 				buf = strconv.AppendInt(buf, int64(d), 10)
 				buf = append(buf, '\n')
@@ -150,77 +162,77 @@ func appendNodeDescriptor(buf []byte, n *Node) []byte {
 	return buf
 }
 
-// canonicalOrder returns the node IDs in BFS order from the sorted
-// pvars, with deterministic tie-breaking; unreachable nodes follow in
-// descriptor order.
-func canonicalOrder(g *Graph) []NodeID {
-	spaths := g.SPaths()
-	local := make(map[NodeID]string, g.NumNodes())
-	var scratch []byte
-	for _, id := range g.NodeIDs() {
-		scratch = appendNodeDescriptor(scratch[:0], g.Node(id))
-		scratch = append(scratch, '@')
-		scratch = append(scratch, spaths[id].String()...)
-		local[id] = string(scratch)
+// canonicalOrder fills cs.order with the node positions in BFS order
+// from the sorted pvars, with deterministic tie-breaking; unreachable
+// nodes follow in descriptor order. cs.spaths and cs.local are left
+// holding the per-position SPATH sets and tie-break descriptors.
+func canonicalOrder(g *Graph, cs *canonScratch) {
+	n := len(g.ids)
+	cs.spaths = growSPathSets(cs.spaths, n)
+	g.spathsByPos(cs.spaths)
+	cs.local = growStrings(cs.local, n)
+	for i := range g.ids {
+		cs.buf = appendNodeDescriptor(cs.buf[:0], g.nodes[i])
+		cs.buf = append(cs.buf, '@')
+		cs.buf = cs.spaths[i].appendTo(cs.buf)
+		cs.local[i] = string(cs.buf)
 	}
 
-	var order []NodeID
-	seen := make(map[NodeID]struct{}, g.NumNodes())
-	push := func(id NodeID) {
-		if _, ok := seen[id]; !ok {
-			seen[id] = struct{}{}
-			order = append(order, id)
+	cs.order = cs.order[:0]
+	cs.seen = growBool(cs.seen, n)
+	push := func(pos int) {
+		if !cs.seen[pos] {
+			cs.seen[pos] = true
+			cs.order = append(cs.order, pos)
 		}
 	}
-	var queue []NodeID
-	for _, p := range g.Pvars() {
-		t := g.PvarTarget(p).ID
-		if _, ok := seen[t]; !ok {
+	cs.queue = cs.queue[:0]
+	for _, e := range g.pl {
+		t := g.posOf(e.id)
+		if !cs.seen[t] {
 			push(t)
-			queue = append(queue, t)
+			cs.queue = append(cs.queue, t)
 		}
 	}
-	var targets []NodeID
-	for len(queue) > 0 {
-		id := queue[0]
-		queue = queue[1:]
-		for _, sel := range g.OutSelectors(id) {
-			// Copy before sorting: on frozen graphs Targets returns a
-			// shared cached slice that must not be reordered.
-			targets = append(targets[:0], g.Targets(id, sel)...)
-			sort.Slice(targets, func(i, j int) bool {
-				a, b := targets[i], targets[j]
-				_, sa := seen[a]
-				_, sb := seen[b]
-				if sa != sb {
-					return sa // already-ordered nodes first, keeping BFS stable
+	for qi := 0; qi < len(cs.queue); qi++ {
+		pos := cs.queue[qi]
+		run := g.outRun(g.ids[pos])
+		for i := 0; i < len(run); {
+			sel := run[i].sel
+			cs.targets = cs.targets[:0]
+			for ; i < len(run) && run[i].sel == sel; i++ {
+				cs.targets = append(cs.targets, g.posOf(run[i].b))
+			}
+			sort.Slice(cs.targets, func(i, j int) bool {
+				a, b := cs.targets[i], cs.targets[j]
+				if cs.seen[a] != cs.seen[b] {
+					return cs.seen[a] // already-ordered nodes first, keeping BFS stable
 				}
-				if local[a] != local[b] {
-					return local[a] < local[b]
+				if cs.local[a] != cs.local[b] {
+					return cs.local[a] < cs.local[b]
 				}
 				return a < b
 			})
-			for _, t := range targets {
-				if _, ok := seen[t]; !ok {
+			for _, t := range cs.targets {
+				if !cs.seen[t] {
 					push(t)
-					queue = append(queue, t)
+					cs.queue = append(cs.queue, t)
 				}
 			}
 		}
 	}
 	// Unreachable leftovers (normally garbage collected before this).
-	var rest []NodeID
-	for _, id := range g.NodeIDs() {
-		if _, ok := seen[id]; !ok {
-			rest = append(rest, id)
+	restStart := len(cs.order)
+	for pos := range g.ids {
+		if !cs.seen[pos] {
+			cs.order = append(cs.order, pos)
 		}
 	}
+	rest := cs.order[restStart:]
 	sort.Slice(rest, func(i, j int) bool {
-		if local[rest[i]] != local[rest[j]] {
-			return local[rest[i]] < local[rest[j]]
+		if cs.local[rest[i]] != cs.local[rest[j]] {
+			return cs.local[rest[i]] < cs.local[rest[j]]
 		}
 		return rest[i] < rest[j]
 	})
-	order = append(order, rest...)
-	return order
 }

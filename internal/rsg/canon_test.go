@@ -105,7 +105,13 @@ func randomGraph(r *rand.Rand) *Graph {
 func TestCanonicalOrderCoversAllNodes(t *testing.T) {
 	err := quick.Check(func(seed int64) bool {
 		g := randomGraph(rand.New(rand.NewSource(seed)))
-		order := canonicalOrder(g)
+		cs := getCanonScratch()
+		canonicalOrder(g, cs)
+		order := make([]NodeID, len(cs.order))
+		for i, pos := range cs.order {
+			order[i] = g.ids[pos]
+		}
+		putCanonScratch(cs)
 		if len(order) != g.NumNodes() {
 			return false
 		}

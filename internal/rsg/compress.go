@@ -1,5 +1,7 @@
 package rsg
 
+import "sort"
+
 // Compress applies the paper's COMPRESS function (Sect. 3.1) to the
 // graph in place: every maximal group of chain-compatible nodes
 // (C_NODES_RSG) is summarized into one node via MERGE_COMP_NODES, and
@@ -19,34 +21,35 @@ func Compress(g *Graph, lvl Level) int {
 
 // compressOnce performs one summarization round.
 func compressOnce(g *Graph, lvl Level) int {
-	ids := g.NodeIDs()
-	if len(ids) < 2 {
+	n := len(g.ids)
+	if n < 2 {
 		return 0
 	}
-	spaths := g.SPaths()
+	spaths := make([]SPathSet, n)
+	g.spathsByPos(spaths)
 	structure := g.StructureOf()
 
 	// Bucket by the equality-checked properties so the pairwise
-	// C_NODES_RSG tests only run within plausible groups.
-	buckets := make(map[string][]NodeID)
+	// C_NODES_RSG tests only run within plausible groups. Buckets hold
+	// node positions; the slices stay valid because nothing is removed
+	// until the groups are summarized.
+	buckets := make(map[string][]int)
 	var order []string
-	for _, id := range ids {
-		n := g.Node(id)
-		key := n.propertyKey() + "|" + structure[id]
+	for pos, id := range g.ids {
+		key := g.nodes[pos].propertyKey() + "|" + structure[id]
 		if _, ok := buckets[key]; !ok {
 			order = append(order, key)
 		}
-		buckets[key] = append(buckets[key], id)
+		buckets[key] = append(buckets[key], pos)
 	}
 
 	// Union-find for chain compatibility (the paper summarizes chains
 	// n1..nk with C_NODES_RSG(n_i, n_{i+1}) for consecutive pairs).
-	parent := make(map[NodeID]NodeID, len(ids))
-	for _, id := range ids {
-		parent[id] = id
+	parent := make([]int32, n)
+	for i := range parent {
+		parent[i] = int32(i)
 	}
-	var find func(NodeID) NodeID
-	find = func(x NodeID) NodeID {
+	find := func(x int32) int32 {
 		for parent[x] != x {
 			parent[x] = parent[parent[x]]
 			x = parent[x]
@@ -60,12 +63,12 @@ func compressOnce(g *Graph, lvl Level) int {
 		for i := 0; i < len(group); i++ {
 			for j := i + 1; j < len(group); j++ {
 				a, b := group[i], group[j]
-				if find(a) == find(b) {
+				if find(int32(a)) == find(int32(b)) {
 					continue
 				}
-				na, nb := g.Node(a), g.Node(b)
-				if CNodesRSG(lvl, na, nb, spaths[a], spaths[b], structure[a], structure[b]) {
-					ra, rb := find(a), find(b)
+				na, nb := g.nodes[a], g.nodes[b]
+				if CNodesRSG(lvl, na, nb, spaths[a], spaths[b], structure[na.ID], structure[nb.ID]) {
+					ra, rb := find(int32(a)), find(int32(b))
 					if ra < rb {
 						parent[rb] = ra
 					} else {
@@ -80,18 +83,24 @@ func compressOnce(g *Graph, lvl Level) int {
 		return 0
 	}
 
-	// Collect the groups (deterministic order by root id).
-	groups := make(map[NodeID][]*Node)
-	for _, id := range ids {
-		r := find(id)
-		groups[r] = append(groups[r], g.Node(id))
+	// Collect the groups, processed in ascending root position so the
+	// fresh summary-node IDs are assigned deterministically.
+	groupsByRoot := make(map[int32][]*Node)
+	var roots []int32
+	for pos := range g.ids {
+		r := find(int32(pos))
+		if _, ok := groupsByRoot[r]; !ok {
+			roots = append(roots, r)
+		}
+		groupsByRoot[r] = append(groupsByRoot[r], g.nodes[pos])
 	}
-	for root, members := range groups {
+	sort.Slice(roots, func(i, j int) bool { return roots[i] < roots[j] })
+	for _, r := range roots {
+		members := groupsByRoot[r]
 		if len(members) < 2 {
 			continue
 		}
 		summarizeGroup(g, members)
-		_ = root
 	}
 	return merges
 }
@@ -100,20 +109,22 @@ func compressOnce(g *Graph, lvl Level) int {
 // retargeting PL and NL (the MAP_RSG of the paper).
 func summarizeGroup(g *Graph, members []*Node) {
 	merged := MergeCompNodes(g, members, true)
-	memberSet := make(map[NodeID]struct{}, len(members))
-	for _, m := range members {
-		memberSet[m.ID] = struct{}{}
+	memberIDs := make([]NodeID, len(members))
+	for i, m := range members {
+		memberIDs[i] = m.ID
+	}
+	sort.Slice(memberIDs, func(i, j int) bool { return memberIDs[i] < memberIDs[j] })
+	inGroup := func(id NodeID) bool {
+		i := sort.Search(len(memberIDs), func(i int) bool { return memberIDs[i] >= id })
+		return i < len(memberIDs) && memberIDs[i] == id
 	}
 
 	// Gather the remapped links and pvar references before mutating.
-	var newLinks []Link
-	for _, l := range g.Links() {
-		_, srcIn := memberSet[l.Src]
-		_, dstIn := memberSet[l.Dst]
-		if !srcIn && !dstIn {
-			continue
+	var touching []edge
+	for _, e := range g.outE {
+		if inGroup(e.a) || inGroup(e.b) {
+			touching = append(touching, e)
 		}
-		newLinks = append(newLinks, l)
 	}
 	var pvars []string
 	for _, m := range members {
@@ -122,18 +133,18 @@ func summarizeGroup(g *Graph, members []*Node) {
 
 	node := g.AddNode(merged)
 	mapID := func(id NodeID) NodeID {
-		if _, ok := memberSet[id]; ok {
+		if inGroup(id) {
 			return node.ID
 		}
 		return id
 	}
-	for _, l := range newLinks {
-		g.AddLink(mapID(l.Src), l.Sel, mapID(l.Dst))
+	for _, e := range touching {
+		g.AddLinkSym(mapID(e.a), e.sel, mapID(e.b))
 	}
 	for _, p := range pvars {
 		g.SetPvar(p, node.ID)
 	}
-	for _, m := range members {
-		g.RemoveNode(m.ID)
+	for _, id := range memberIDs {
+		g.RemoveNode(id)
 	}
 }

@@ -126,7 +126,7 @@ func TestCompressTouchSeparation(t *testing.T) {
 	// Touched middles and untouched middles must be distinct nodes.
 	var touchedSummary, untouched bool
 	for _, n := range g.Nodes() {
-		if len(n.Touch) > 0 {
+		if !n.Touch.Empty() {
 			touchedSummary = true
 		} else {
 			untouched = true

@@ -58,17 +58,16 @@ func (l Level) UseTouch() bool { return l >= L3 }
 // them into far-away summaries — the refinement that fixes the
 // Barnes-Hut SHSEL(body) imprecision in the paper's Sect. 5.1.
 func CSPath(sp1, sp2 SPathSet, m int) bool {
-	if !sp1.ZeroLen().Equal(sp2.ZeroLen()) {
+	if !sp1.zeroLenEqual(sp2) {
 		return false
 	}
 	if m == 0 {
 		return true
 	}
-	one1, one2 := sp1.OneLen(), sp2.OneLen()
-	if len(one1) == 0 && len(one2) == 0 {
+	if sp1.oneLenEmpty() && sp2.oneLenEmpty() {
 		return true
 	}
-	return one1.Intersects(one2)
+	return sp1.oneLenIntersects(sp2)
 }
 
 // CRefPat is the reference-pattern compatibility C_REFPAT(n1, n2): the

@@ -11,22 +11,42 @@ import (
 // directly; <p, sel> is present when p references a node m and
 // <m, sel, n> is in NL.
 func (g *Graph) SPathOf(id NodeID) SPathSet {
-	s := NewSPathSet()
-	for p, t := range g.pl {
-		if t == id {
-			s.Add(SPath{Pvar: p})
+	var s SPathSet
+	for _, e := range g.pl {
+		if e.id == id {
+			s.Add(SPath{Pvar: pvarTab.name(e.sym)})
 		}
 	}
-	for p, t := range g.pl {
-		for _, sel := range g.OutSelectors(t) {
-			for _, dst := range g.Targets(t, sel) {
-				if dst == id {
-					s.Add(SPath{Pvar: p, Sel: sel})
-				}
+	for _, e := range g.pl {
+		for _, ed := range g.outRun(e.id) {
+			if ed.b == id {
+				s.Add(SPath{Pvar: pvarTab.name(e.sym), Sel: selTab.name(ed.sel)})
 			}
 		}
 	}
 	return s
+}
+
+// spathsByPos fills sets (parallel to g.ids, pre-zeroed) with the SPATH
+// of every node; the allocation-sensitive core shared by SPaths and the
+// canonical encoder.
+func (g *Graph) spathsByPos(sets []SPathSet) {
+	if len(g.pl) == 0 {
+		return
+	}
+	psnap := pvarTab.load()
+	var ssnap *symSnap
+	for _, e := range g.pl {
+		pname := psnap.names[e.sym-1]
+		sets[g.posOf(e.id)].Add(SPath{Pvar: pname})
+		run := g.outRun(e.id)
+		if len(run) > 0 && ssnap == nil {
+			ssnap = selTab.load()
+		}
+		for _, ed := range run {
+			sets[g.posOf(ed.b)].Add(SPath{Pvar: pname, Sel: ssnap.names[ed.sel-1]})
+		}
+	}
 }
 
 // SPaths computes SPATH for every node at once. On a frozen graph the
@@ -36,17 +56,11 @@ func (g *Graph) SPaths() map[NodeID]SPathSet {
 	if g.frozen {
 		return g.cSPaths
 	}
-	out := make(map[NodeID]SPathSet, len(g.nodes))
-	for id := range g.nodes {
-		out[id] = NewSPathSet()
-	}
-	for p, t := range g.pl {
-		out[t].Add(SPath{Pvar: p})
-		for _, sel := range g.OutSelectors(t) {
-			for _, dst := range g.Targets(t, sel) {
-				out[dst].Add(SPath{Pvar: p, Sel: sel})
-			}
-		}
+	sets := make([]SPathSet, len(g.ids))
+	g.spathsByPos(sets)
+	out := make(map[NodeID]SPathSet, len(g.ids))
+	for i, id := range g.ids {
+		out[id] = sets[i]
 	}
 	return out
 }
@@ -57,18 +71,21 @@ func (g *Graph) SPaths() map[NodeID]SPathSet {
 // of different components are never summarized ("Structure avoids the
 // summarization of nodes representing non-connected components").
 func (g *Graph) StructureOf() map[NodeID]string {
-	// Union-find over undirected adjacency.
-	parent := make(map[NodeID]NodeID, len(g.nodes))
-	var find func(NodeID) NodeID
-	find = func(x NodeID) NodeID {
+	// Union-find over undirected adjacency, on node positions.
+	n := len(g.ids)
+	parent := make([]int32, n)
+	for i := range parent {
+		parent[i] = int32(i)
+	}
+	find := func(x int32) int32 {
 		for parent[x] != x {
 			parent[x] = parent[parent[x]]
 			x = parent[x]
 		}
 		return x
 	}
-	union := func(a, b NodeID) {
-		ra, rb := find(a), find(b)
+	for _, e := range g.outE {
+		ra, rb := find(int32(g.posOf(e.a))), find(int32(g.posOf(e.b)))
 		if ra != rb {
 			if ra < rb {
 				parent[rb] = ra
@@ -77,27 +94,21 @@ func (g *Graph) StructureOf() map[NodeID]string {
 			}
 		}
 	}
-	for id := range g.nodes {
-		parent[id] = id
-	}
-	for _, l := range g.Links() {
-		union(l.Src, l.Dst)
-	}
 	// Collect, per component, the sorted pvars anchored in it.
-	pvarsByRoot := make(map[NodeID][]string)
-	for p, t := range g.pl {
-		r := find(t)
-		pvarsByRoot[r] = append(pvarsByRoot[r], p)
+	pvarsByRoot := make(map[int32][]string)
+	for _, e := range g.pl {
+		r := find(int32(g.posOf(e.id)))
+		pvarsByRoot[r] = append(pvarsByRoot[r], pvarTab.name(e.sym))
 	}
-	out := make(map[NodeID]string, len(g.nodes))
-	for id := range g.nodes {
-		r := find(id)
+	out := make(map[NodeID]string, n)
+	for i, id := range g.ids {
+		r := find(int32(i))
 		ps := pvarsByRoot[r]
 		sort.Strings(ps)
 		if len(ps) == 0 {
 			// Unreachable component: identify by its root id so distinct
 			// garbage components stay distinct until collected.
-			out[id] = "#" + itoa(int(r))
+			out[id] = "#" + itoa(int(g.ids[r]))
 			continue
 		}
 		out[id] = strings.Join(ps, ",")
@@ -130,27 +141,51 @@ func itoa(v int) string {
 // Reachable returns the set of nodes reachable from any pvar by
 // following NL links forward.
 func (g *Graph) Reachable() map[NodeID]struct{} {
-	seen := make(map[NodeID]struct{})
+	seen := make(map[NodeID]struct{}, len(g.ids))
 	var stack []NodeID
-	for _, t := range g.pl {
-		if _, ok := seen[t]; !ok {
-			seen[t] = struct{}{}
-			stack = append(stack, t)
+	for _, e := range g.pl {
+		if _, ok := seen[e.id]; !ok {
+			seen[e.id] = struct{}{}
+			stack = append(stack, e.id)
 		}
 	}
 	for len(stack) > 0 {
 		id := stack[len(stack)-1]
 		stack = stack[:len(stack)-1]
-		for _, sel := range g.OutSelectors(id) {
-			for _, dst := range g.Targets(id, sel) {
-				if _, ok := seen[dst]; !ok {
-					seen[dst] = struct{}{}
-					stack = append(stack, dst)
-				}
+		for _, ed := range g.outRun(id) {
+			if _, ok := seen[ed.b]; !ok {
+				seen[ed.b] = struct{}{}
+				stack = append(stack, ed.b)
 			}
 		}
 	}
 	return seen
+}
+
+// reachableByPos marks reach (parallel to g.ids, pre-zeroed) for every
+// node reachable from a pvar, using stack as DFS scratch; the grown
+// stack is returned so pooled callers keep its capacity.
+func (g *Graph) reachableByPos(reach []bool, stack []int) []int {
+	stack = stack[:0]
+	for _, e := range g.pl {
+		p := g.posOf(e.id)
+		if !reach[p] {
+			reach[p] = true
+			stack = append(stack, p)
+		}
+	}
+	for len(stack) > 0 {
+		pos := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for _, ed := range g.outRun(g.ids[pos]) {
+			p := g.posOf(ed.b)
+			if !reach[p] {
+				reach[p] = true
+				stack = append(stack, p)
+			}
+		}
+	}
+	return stack
 }
 
 // CollectGarbage removes every node not reachable from a pvar and
@@ -165,24 +200,42 @@ func (g *Graph) Reachable() map[NodeID]struct{} {
 // was their witness: the incoming reference still exists concretely,
 // the graph just stops modelling its origin.
 func (g *Graph) CollectGarbage() int {
-	reach := g.Reachable()
-	removed := 0
-	for _, id := range g.NodeIDs() {
-		if _, ok := reach[id]; !ok {
-			for _, l := range g.OutLinks(id) {
-				if _, survives := reach[l.Dst]; !survives || l.Dst == id {
-					continue
-				}
-				dst := g.nodes[l.Dst]
-				if dst != nil && dst.SelIn.Has(l.Sel) {
-					dst.SelIn.Remove(l.Sel)
-					dst.PosSelIn.Add(l.Sel)
-				}
-			}
-			g.RemoveNode(id)
-			removed++
+	n := len(g.ids)
+	if n == 0 {
+		return 0
+	}
+	ws := getWorkScratch()
+	ws.marks = growBool(ws.marks, n)
+	ws.stack = g.reachableByPos(ws.marks, ws.stack)
+	// Snapshot the garbage IDs: positions shift as nodes are removed.
+	ws.nodeIDs = ws.nodeIDs[:0]
+	for pos, ok := range ws.marks {
+		if !ok {
+			ws.nodeIDs = append(ws.nodeIDs, g.ids[pos])
 		}
 	}
+	// Survivor check by ID against the pre-removal snapshot: garbage
+	// IDs are in ws.nodeIDs (sorted, since positions are).
+	garbage := ws.nodeIDs
+	isGarbage := func(id NodeID) bool {
+		i := sort.Search(len(garbage), func(i int) bool { return garbage[i] >= id })
+		return i < len(garbage) && garbage[i] == id
+	}
+	for _, id := range garbage {
+		for _, ed := range g.outRun(id) {
+			if ed.b == id || isGarbage(ed.b) {
+				continue
+			}
+			dst := g.Node(ed.b)
+			if dst != nil && dst.SelIn.HasSym(ed.sel) {
+				dst.SelIn.RemoveSym(ed.sel)
+				dst.PosSelIn.AddSym(ed.sel)
+			}
+		}
+		g.RemoveNode(id)
+	}
+	removed := len(garbage)
+	putWorkScratch(ws)
 	return removed
 }
 
@@ -191,12 +244,21 @@ func (g *Graph) CollectGarbage() int {
 // reference definitely exists (sel in SELOUT) and dst is its only
 // possible target.
 func (g *Graph) DefiniteLink(src NodeID, sel string, dst NodeID) bool {
-	s := g.nodes[src]
-	if s == nil || !s.Singleton || !s.SelOut.Has(sel) {
+	return g.definiteLinkSym(src, selTab.lookup(sel), dst)
+}
+
+// DefiniteLinkSym is DefiniteLink addressed by interned selector.
+func (g *Graph) DefiniteLinkSym(src NodeID, sel Sym, dst NodeID) bool {
+	return g.definiteLinkSym(src, sel, dst)
+}
+
+func (g *Graph) definiteLinkSym(src NodeID, sel Sym, dst NodeID) bool {
+	s := g.Node(src)
+	if s == nil || !s.Singleton || !s.SelOut.HasSym(sel) {
 		return false
 	}
-	ts := g.Targets(src, sel)
-	return len(ts) == 1 && ts[0] == dst
+	t, ok := g.soleTarget(src, sel)
+	return ok && t == dst
 }
 
 // RefreshSingleton recomputes the share and reference-pattern state of a
@@ -217,41 +279,39 @@ func (g *Graph) DefiniteLink(src NodeID, sel string, dst NodeID) bool {
 // function only demotes definite-out entries that no longer have any
 // witnessing link.
 func (g *Graph) RefreshSingleton(id NodeID) {
-	n := g.nodes[id]
+	n := g.Node(id)
 	if n == nil || !n.Singleton {
 		return
 	}
 	// Incoming reference pattern.
-	allSels := NewSelSet()
-	for _, sel := range g.InSelectors(id) {
-		allSels.Add(sel)
+	var allSels SelSet
+	for _, e := range g.inRun(id) {
+		allSels.AddSym(e.sel)
 	}
-	for _, sel := range n.SelIn.Sorted() {
-		allSels.Add(sel)
-	}
-	for _, sel := range n.PosSelIn.Sorted() {
-		allSels.Add(sel)
-	}
-	for _, sel := range allSels.Sorted() {
-		srcs := g.Sources(id, sel)
-		if len(srcs) == 0 {
-			n.ClearIn(sel)
-			continue
-		}
+	allSels = allSels.Union(n.SelIn).Union(n.PosSelIn)
+	allSels.EachSym(func(sel Sym) {
 		definite := false
-		for _, s := range srcs {
-			if g.DefiniteLink(s, sel, id) {
+		any := false
+		for _, e := range g.inRun(id) {
+			if e.sel != sel {
+				continue
+			}
+			any = true
+			if g.definiteLinkSym(e.b, sel, id) {
 				definite = true
 				break
 			}
 		}
-		if definite {
-			n.MarkDefiniteIn(sel)
-		} else {
-			n.SelIn.Remove(sel)
-			n.MarkPossibleIn(sel)
+		switch {
+		case !any:
+			n.ClearInSym(sel)
+		case definite:
+			n.MarkDefiniteInSym(sel)
+		default:
+			n.SelIn.RemoveSym(sel)
+			n.MarkPossibleInSym(sel)
 		}
-	}
+	})
 	// Share information. Refresh only ever *lowers* the share flags:
 	// sharing is created exclusively by the store semantics (absem's
 	// link), where the update is exact. Raising here on link counts
@@ -260,40 +320,59 @@ func (g *Graph) RefreshSingleton(id NodeID) {
 	// fixed points with spurious SHARED attributes.
 	totalLinks := 0
 	anySummarySource := false
-	for _, sel := range g.InSelectors(id) {
-		srcs := g.Sources(id, sel)
+	run := g.inRun(id)
+	for i := 0; i < len(run); i++ {
+		// Count and classify the sources of one selector. The run is
+		// (src, sel-rank) ordered, so same-sel entries are not
+		// contiguous; gather per selector explicitly.
+		sel := run[i].sel
+		seenBefore := false
+		for j := 0; j < i; j++ {
+			if run[j].sel == sel {
+				seenBefore = true
+				break
+			}
+		}
+		if seenBefore {
+			continue
+		}
+		srcs := 0
 		allSingleton := true
-		for _, s := range srcs {
-			if sn := g.nodes[s]; sn == nil || !sn.Singleton {
+		for j := i; j < len(run); j++ {
+			if run[j].sel != sel {
+				continue
+			}
+			srcs++
+			if sn := g.Node(run[j].b); sn == nil || !sn.Singleton {
 				allSingleton = false
 				anySummarySource = true
 			}
 		}
-		if allSingleton && len(srcs) < 2 {
-			n.ShSel.Remove(sel)
+		if allSingleton && srcs < 2 {
+			n.ShSel.RemoveSym(sel)
 		}
-		totalLinks += len(srcs)
+		totalLinks += srcs
 	}
 	// Drop SHSEL entries for selectors with no incoming links at all.
-	for _, sel := range n.ShSel.Sorted() {
-		if len(g.Sources(id, sel)) == 0 {
-			n.ShSel.Remove(sel)
+	n.ShSel.EachSym(func(sel Sym) {
+		if g.countSources(id, sel) == 0 {
+			n.ShSel.RemoveSym(sel)
 		}
-	}
-	if !anySummarySource && totalLinks < 2 && len(n.ShSel) == 0 {
+	})
+	if !anySummarySource && totalLinks < 2 && n.ShSel.Empty() {
 		n.Shared = false
 	}
 	// Demote definite-out entries with no witnessing link.
-	for _, sel := range n.SelOut.Sorted() {
-		if len(g.Targets(id, sel)) == 0 {
-			n.ClearOut(sel)
+	n.SelOut.EachSym(func(sel Sym) {
+		if !g.hasTarget(id, sel) {
+			n.ClearOutSym(sel)
 		}
-	}
-	for _, sel := range n.PosSelOut.Sorted() {
-		if len(g.Targets(id, sel)) == 0 {
-			n.PosSelOut.Remove(sel)
+	})
+	n.PosSelOut.EachSym(func(sel Sym) {
+		if !g.hasTarget(id, sel) {
+			n.PosSelOut.RemoveSym(sel)
 		}
-	}
+	})
 }
 
 // RefreshCycleLinks recomputes CYCLELINKS for a singleton node: the pair
@@ -301,21 +380,20 @@ func (g *Graph) RefreshSingleton(id NodeID) {
 // definitely exists, has a single target, and that target definitely
 // points back through selIn.
 func (g *Graph) RefreshCycleLinks(id NodeID) {
-	n := g.nodes[id]
+	n := g.Node(id)
 	if n == nil || !n.Singleton {
 		return
 	}
-	n.Cycle = NewCycleSet()
-	for _, selOut := range g.OutSelectors(id) {
-		ts := g.Targets(id, selOut)
-		if len(ts) != 1 || !n.SelOut.Has(selOut) {
-			continue
+	n.Cycle = CycleSet{}
+	g.eachOutSelector(id, func(selOut Sym) {
+		t, ok := g.soleTarget(id, selOut)
+		if !ok || !n.SelOut.HasSym(selOut) {
+			return
 		}
-		t := ts[0]
-		for _, selIn := range g.OutSelectors(t) {
-			if g.DefiniteLink(t, selIn, id) {
-				n.Cycle.Add(CyclePair{Out: selOut, In: selIn})
+		g.eachOutSelector(t, func(selIn Sym) {
+			if g.definiteLinkSym(t, selIn, id) {
+				n.Cycle.Add(CyclePair{Out: selTab.name(selOut), In: selTab.name(selIn)})
 			}
-		}
-	}
+		})
+	})
 }

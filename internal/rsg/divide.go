@@ -23,43 +23,48 @@ type Division struct {
 // The pvar x must reference a node; callers handle the x == NULL case
 // (a would-be NULL dereference) before dividing.
 func Divide(g *Graph, x string, sel string) []Division {
-	n := g.PvarTarget(x)
+	return DivideSym(g, pvarTab.lookup(x), selTab.lookup(sel))
+}
+
+// DivideSym is Divide addressed by interned pvar and selector.
+func DivideSym(g *Graph, x, sel Sym) []Division {
+	n := g.PvarTargetSym(x)
 	if n == nil {
 		return nil
 	}
-	targets := g.Targets(n.ID, sel)
+	targets := g.TargetsSym(n.ID, sel)
 	var out []Division
 
 	for _, t := range targets {
 		gi := g.Clone()
 		for _, other := range targets {
 			if other != t {
-				gi.RemoveLink(n.ID, sel, other)
+				gi.RemoveLinkSym(n.ID, sel, other)
 			}
 		}
 		// In this branch the reference definitely exists and has this
 		// single destination.
 		src := gi.Node(n.ID)
-		src.MarkDefiniteOut(sel)
+		src.MarkDefiniteOutSym(sel)
 		dst := gi.Node(t)
 		if dst.Singleton {
-			dst.MarkDefiniteIn(sel)
+			dst.MarkDefiniteInSym(sel)
 		} else {
-			dst.MarkPossibleIn(sel)
+			dst.MarkPossibleInSym(sel)
 		}
 		if Prune(gi) {
 			out = append(out, Division{G: gi, Target: t})
 		}
 	}
 
-	if !n.SelOut.Has(sel) {
+	if !n.SelOut.HasSym(sel) {
 		// NULL branch: x->sel may be NULL in some covered configuration.
 		gi := g.Clone()
 		for _, t := range targets {
-			gi.RemoveLink(n.ID, sel, t)
+			gi.RemoveLinkSym(n.ID, sel, t)
 		}
 		src := gi.Node(n.ID)
-		src.ClearOut(sel)
+		src.ClearOutSym(sel)
 		for _, t := range targets {
 			if dst := gi.Node(t); dst != nil && dst.Singleton {
 				gi.RefreshSingleton(t)

@@ -25,13 +25,13 @@ func DOT(g *Graph, name string) string {
 		}
 		label := fmt.Sprintf("n%d: %s", n.ID, n.Type)
 		var props []string
-		if len(n.ShSel) > 0 {
+		if !n.ShSel.Empty() {
 			props = append(props, "shsel="+n.ShSel.String())
 		}
-		if len(n.Cycle) > 0 {
+		if !n.Cycle.Empty() {
 			props = append(props, "cyc="+n.Cycle.String())
 		}
-		if len(n.Touch) > 0 {
+		if !n.Touch.Empty() {
 			props = append(props, "touch="+n.Touch.String())
 		}
 		if len(props) > 0 {

@@ -1,7 +1,6 @@
 package rsg
 
 import (
-	"sort"
 	"sync"
 	"sync/atomic"
 )
@@ -28,28 +27,12 @@ func (g *Graph) Freeze() *Graph {
 }
 
 // freezeWithDigest freezes g reusing an already-computed digest (Intern
-// probes the digest before deciding whether the freeze is needed).
+// probes the digest before deciding whether the freeze is needed). The
+// flat encoding already *is* the sorted view, so freezing only pins the
+// few derived results that are expensive to recompute (alias key,
+// SPATHs, name-resolved links, pvar names).
 func (g *Graph) freezeWithDigest(d Digest) *Graph {
-	g.cIDs = g.NodeIDs()
 	g.cPvars = g.Pvars()
-	g.cOutSels = make(map[NodeID][]string, len(g.out))
-	g.cTargets = make(map[NodeID]map[string][]NodeID, len(g.out))
-	for src, bySel := range g.out {
-		sels := make([]string, 0, len(bySel))
-		byTarget := make(map[string][]NodeID, len(bySel))
-		for sel, dsts := range bySel {
-			sels = append(sels, sel)
-			ts := make([]NodeID, 0, len(dsts))
-			for id := range dsts {
-				ts = append(ts, id)
-			}
-			sort.Slice(ts, func(i, j int) bool { return ts[i] < ts[j] })
-			byTarget[sel] = ts
-		}
-		sort.Strings(sels)
-		g.cOutSels[src] = sels
-		g.cTargets[src] = byTarget
-	}
 	g.cAlias = aliasKey(g)
 	g.cLinks = g.Links()
 	g.cSPaths = g.SPaths()
@@ -189,6 +172,15 @@ type CacheStats struct {
 	// instance; InternMisses counts first-time interns.
 	InternHits   uint64
 	InternMisses uint64
+	// PoolGets counts scratch-buffer checkouts from the canon/kernel
+	// pools; PoolNews counts the subset that had to allocate a fresh
+	// scratch (a low PoolNews/PoolGets ratio means the pools are doing
+	// their job).
+	PoolGets uint64
+	PoolNews uint64
+	// MaskSpills counts insertions of a >64th symbol into a bitmask set
+	// (the rare spill-slice path of SelSet/PvarSet).
+	MaskSpills uint64
 }
 
 var cacheStats struct {
@@ -197,6 +189,9 @@ var cacheStats struct {
 	digestHits      atomic.Uint64
 	internHits      atomic.Uint64
 	internMisses    atomic.Uint64
+	poolGets        atomic.Uint64
+	poolNews        atomic.Uint64
+	maskSpills      atomic.Uint64
 }
 
 // ReadCacheStats returns the current counter values.
@@ -207,6 +202,9 @@ func ReadCacheStats() CacheStats {
 		DigestCacheHits: cacheStats.digestHits.Load(),
 		InternHits:      cacheStats.internHits.Load(),
 		InternMisses:    cacheStats.internMisses.Load(),
+		PoolGets:        cacheStats.poolGets.Load(),
+		PoolNews:        cacheStats.poolNews.Load(),
+		MaskSpills:      cacheStats.maskSpills.Load(),
 	}
 }
 
@@ -218,5 +216,8 @@ func (s CacheStats) Sub(base CacheStats) CacheStats {
 		DigestCacheHits: s.DigestCacheHits - base.DigestCacheHits,
 		InternHits:      s.InternHits - base.InternHits,
 		InternMisses:    s.InternMisses - base.InternMisses,
+		PoolGets:        s.PoolGets - base.PoolGets,
+		PoolNews:        s.PoolNews - base.PoolNews,
+		MaskSpills:      s.MaskSpills - base.MaskSpills,
 	}
 }

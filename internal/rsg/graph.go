@@ -19,6 +19,24 @@ func (l Link) String() string {
 	return fmt.Sprintf("<n%d,%s,n%d>", l.Src, l.Sel, l.Dst)
 }
 
+// edge is the internal NL encoding: one entry of a flat sorted slice.
+// In outE, a is the source and b the destination; in inE, a is the
+// destination and b the source. Selectors are interned Syms; ordering
+// uses the selector's name rank, so iterating a slice yields names in
+// lexicographic order (later interns never reorder existing ranks
+// relative to each other, so sortedness is permanent).
+type edge struct {
+	a   NodeID
+	sel Sym
+	b   NodeID
+}
+
+// plEntry is one PL entry pvar -> node, kept sorted by pvar name rank.
+type plEntry struct {
+	sym Sym // interned pvar name
+	id  NodeID
+}
+
 // Graph is one Reference Shape Graph: RSG = (N, P, S, PL, NL).
 // The pvar set P and selector set S are implicit (P is the domain the
 // program declares; S is derivable from the type table); the graph
@@ -26,53 +44,73 @@ func (l Link) String() string {
 // node: a pointer variable holds a single value per concrete
 // configuration and the abstract semantics keep the distinct
 // possibilities in distinct RSGs of the RSRSG.
+//
+// The representation is flat (DESIGN.md §10): nodes live in a pair of
+// parallel slices sorted by ID, PL is a small sorted slice, and NL is a
+// pair of sorted edge slices (forward and reverse). Lookups are binary
+// searches, iteration is linear and allocation-free, and Clone is a
+// handful of slice copies.
 type Graph struct {
-	nodes  map[NodeID]*Node
-	pl     map[string]NodeID                         // pvar -> node
-	out    map[NodeID]map[string]map[NodeID]struct{} // src -> sel -> dsts
-	in     map[NodeID]map[string]map[NodeID]struct{} // dst -> sel -> srcs
+	ids    []NodeID  // sorted ascending
+	nodes  []*Node   // parallel to ids
+	pl     []plEntry // sorted by pvar name rank
+	outE   []edge    // sorted by (src, rank(sel), dst)
+	inE    []edge    // sorted by (dst, src, rank(sel))
 	nextID NodeID
-	nLinks int
 
 	// Freeze contract (see freeze.go): once frozen, every mutating
-	// method panics, the sorted views below are served from the caches
+	// method panics, the derived views below are served from the caches
 	// built at freeze time, and the canonical digest is memoized.
 	// Callers must treat slices returned by a frozen graph as read-only.
-	frozen   bool
-	digest   Digest
-	cIDs     []NodeID
-	cPvars   []string
-	cAlias   string
-	cOutSels map[NodeID][]string
-	cTargets map[NodeID]map[string][]NodeID
-	cLinks   []Link
-	cSPaths  map[NodeID]SPathSet
+	frozen  bool
+	digest  Digest
+	cPvars  []string
+	cAlias  string
+	cLinks  []Link
+	cSPaths map[NodeID]SPathSet
 }
 
 // NewGraph returns an empty RSG (no nodes; every pvar NULL).
-func NewGraph() *Graph {
-	return &Graph{
-		nodes: make(map[NodeID]*Node),
-		pl:    make(map[string]NodeID),
-		out:   make(map[NodeID]map[string]map[NodeID]struct{}),
-		in:    make(map[NodeID]map[string]map[NodeID]struct{}),
-	}
-}
+func NewGraph() *Graph { return &Graph{} }
 
 // Clone returns a deep copy of the graph. Node IDs are preserved. The
 // clone is always mutable, even when the receiver is frozen: cloning is
 // the one sanctioned way to derive a new graph from a frozen handle.
 func (g *Graph) Clone() *Graph {
-	c := NewGraph()
-	c.nextID = g.nextID
-	for id, n := range g.nodes {
-		c.nodes[id] = n.Clone()
+	c := &Graph{
+		ids:    append([]NodeID(nil), g.ids...),
+		nodes:  make([]*Node, len(g.nodes)),
+		pl:     append([]plEntry(nil), g.pl...),
+		outE:   append([]edge(nil), g.outE...),
+		inE:    append([]edge(nil), g.inE...),
+		nextID: g.nextID,
 	}
-	for p, id := range g.pl {
-		c.pl[p] = id
+	// One backing array for every node copy: the value sets inside Node
+	// are copy-on-write, so a struct copy is a correct deep clone and
+	// the per-node heap allocation of the map era is gone.
+	backing := make([]Node, len(g.nodes))
+	for i, n := range g.nodes {
+		backing[i] = *n
+		c.nodes[i] = &backing[i]
 	}
-	g.ForEachLink(func(l Link) { c.addLinkRaw(l) })
 	return c
+}
+
+// posOf returns the slice position of a node ID, or -1.
+func (g *Graph) posOf(id NodeID) int {
+	lo, hi := 0, len(g.ids)
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if g.ids[mid] < id {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	if lo < len(g.ids) && g.ids[lo] == id {
+		return lo
+	}
+	return -1
 }
 
 // AddNode inserts n into the graph, assigning it a fresh ID, and
@@ -81,79 +119,100 @@ func (g *Graph) AddNode(n *Node) *Node {
 	g.mustMutate("AddNode")
 	g.nextID++
 	n.ID = g.nextID
-	g.nodes[n.ID] = n
+	g.ids = append(g.ids, n.ID) // fresh IDs are maximal, order holds
+	g.nodes = append(g.nodes, n)
 	return n
 }
 
-// adoptNode inserts a node preserving its ID; used by clone-like
-// operations that rebuild a graph from pieces of others.
-func (g *Graph) adoptNode(n *Node) {
-	g.mustMutate("adoptNode")
-	g.nodes[n.ID] = n
-	if n.ID > g.nextID {
-		g.nextID = n.ID
+// Node returns the node with the given ID, or nil.
+func (g *Graph) Node(id NodeID) *Node {
+	if i := g.posOf(id); i >= 0 {
+		return g.nodes[i]
 	}
+	return nil
 }
 
-// Node returns the node with the given ID, or nil.
-func (g *Graph) Node(id NodeID) *Node { return g.nodes[id] }
-
 // NumNodes returns the number of nodes.
-func (g *Graph) NumNodes() int { return len(g.nodes) }
+func (g *Graph) NumNodes() int { return len(g.ids) }
 
 // NumLinks returns the number of NL entries.
-func (g *Graph) NumLinks() int { return g.nLinks }
+func (g *Graph) NumLinks() int { return len(g.outE) }
 
 // NodeIDs returns all node IDs in ascending order. On a frozen graph
-// the cached slice is returned; callers must not modify it.
+// the internal slice is returned; callers must not modify it.
 func (g *Graph) NodeIDs() []NodeID {
 	if g.frozen {
-		return g.cIDs
+		return g.ids
 	}
-	ids := make([]int, 0, len(g.nodes))
-	for id := range g.nodes {
-		ids = append(ids, int(id))
-	}
-	sort.Ints(ids)
-	out := make([]NodeID, len(ids))
-	for i, id := range ids {
-		out[i] = NodeID(id)
-	}
-	return out
+	return append([]NodeID(nil), g.ids...)
 }
 
 // Nodes returns all nodes ordered by ID.
 func (g *Graph) Nodes() []*Node {
-	out := make([]*Node, 0, len(g.nodes))
-	for _, id := range g.NodeIDs() {
-		out = append(out, g.nodes[id])
+	return append([]*Node(nil), g.nodes...)
+}
+
+// plIndex returns the position of pvar sym in pl, or -1.
+func (g *Graph) plIndex(sym Sym) int {
+	for i := range g.pl {
+		if g.pl[i].sym == sym {
+			return i
+		}
 	}
-	return out
+	return -1
 }
 
 // SetPvar makes pvar reference the node with the given ID.
 func (g *Graph) SetPvar(pvar string, id NodeID) {
+	g.SetPvarSym(pvarTab.intern(pvar), id)
+}
+
+// SetPvarSym is SetPvar addressed by interned pvar.
+func (g *Graph) SetPvarSym(sym Sym, id NodeID) {
 	g.mustMutate("SetPvar")
-	if _, ok := g.nodes[id]; !ok {
-		panic(fmt.Sprintf("rsg: SetPvar(%s, n%d): no such node", pvar, id))
+	if g.posOf(id) < 0 {
+		panic(fmt.Sprintf("rsg: SetPvar(%s, n%d): no such node", pvarTab.name(sym), id))
 	}
-	g.pl[pvar] = id
+	if i := g.plIndex(sym); i >= 0 {
+		g.pl[i].id = id
+		return
+	}
+	snap := pvarTab.load()
+	r := snap.rankOf(sym)
+	i := sort.Search(len(g.pl), func(i int) bool { return snap.rankOf(g.pl[i].sym) >= r })
+	g.pl = append(g.pl, plEntry{})
+	copy(g.pl[i+1:], g.pl[i:])
+	g.pl[i] = plEntry{sym: sym, id: id}
 }
 
 // ClearPvar makes pvar NULL.
 func (g *Graph) ClearPvar(pvar string) {
+	g.ClearPvarSym(pvarTab.lookup(pvar))
+}
+
+// ClearPvarSym is ClearPvar addressed by interned pvar.
+func (g *Graph) ClearPvarSym(sym Sym) {
 	g.mustMutate("ClearPvar")
-	delete(g.pl, pvar)
+	if i := g.plIndex(sym); i >= 0 {
+		g.pl = append(g.pl[:i], g.pl[i+1:]...)
+	}
 }
 
 // PvarTarget returns the node a pvar references, or nil when the pvar
 // is NULL.
 func (g *Graph) PvarTarget(pvar string) *Node {
-	id, ok := g.pl[pvar]
-	if !ok {
+	return g.PvarTargetSym(pvarTab.lookup(pvar))
+}
+
+// PvarTargetSym is PvarTarget addressed by interned pvar.
+func (g *Graph) PvarTargetSym(sym Sym) *Node {
+	if sym == 0 {
 		return nil
 	}
-	return g.nodes[id]
+	if i := g.plIndex(sym); i >= 0 {
+		return g.Node(g.pl[i].id)
+	}
+	return nil
 }
 
 // Pvars returns the pvars with a non-NULL reference, sorted. On a
@@ -162,278 +221,404 @@ func (g *Graph) Pvars() []string {
 	if g.frozen {
 		return g.cPvars
 	}
-	out := make([]string, 0, len(g.pl))
-	for p := range g.pl {
-		out = append(out, p)
+	if len(g.pl) == 0 {
+		return nil
 	}
-	sort.Strings(out)
+	out := make([]string, len(g.pl))
+	snap := pvarTab.load()
+	for i, e := range g.pl {
+		out[i] = snap.names[e.sym-1]
+	}
 	return out
 }
 
 // PvarsOf returns the sorted pvars that reference the given node.
 func (g *Graph) PvarsOf(id NodeID) []string {
 	var out []string
-	for p, t := range g.pl {
-		if t == id {
-			out = append(out, p)
+	for _, e := range g.pl {
+		if e.id == id {
+			out = append(out, pvarTab.name(e.sym))
 		}
 	}
-	sort.Strings(out)
 	return out
 }
 
-// AddLink inserts the NL entry <src, sel, dst>. It is idempotent.
-func (g *Graph) AddLink(src NodeID, sel string, dst NodeID) {
-	g.mustMutate("AddLink")
-	if _, ok := g.nodes[src]; !ok {
-		panic(fmt.Sprintf("rsg: AddLink: no src node n%d", src))
-	}
-	if _, ok := g.nodes[dst]; !ok {
-		panic(fmt.Sprintf("rsg: AddLink: no dst node n%d", dst))
-	}
-	g.addLinkRaw(Link{src, sel, dst})
-}
-
-func (g *Graph) addLinkRaw(l Link) {
-	bySel := g.out[l.Src]
-	if bySel == nil {
-		bySel = make(map[string]map[NodeID]struct{})
-		g.out[l.Src] = bySel
-	}
-	dsts := bySel[l.Sel]
-	if dsts == nil {
-		dsts = make(map[NodeID]struct{})
-		bySel[l.Sel] = dsts
-	}
-	if _, dup := dsts[l.Dst]; !dup {
-		g.nLinks++
-	}
-	dsts[l.Dst] = struct{}{}
-
-	bySel = g.in[l.Dst]
-	if bySel == nil {
-		bySel = make(map[string]map[NodeID]struct{})
-		g.in[l.Dst] = bySel
-	}
-	srcs := bySel[l.Sel]
-	if srcs == nil {
-		srcs = make(map[NodeID]struct{})
-		bySel[l.Sel] = srcs
-	}
-	srcs[l.Src] = struct{}{}
-}
-
-// RemoveLink deletes the NL entry <src, sel, dst> if present.
-func (g *Graph) RemoveLink(src NodeID, sel string, dst NodeID) {
-	g.mustMutate("RemoveLink")
-	if bySel := g.out[src]; bySel != nil {
-		if dsts := bySel[sel]; dsts != nil {
-			if _, had := dsts[dst]; had {
-				g.nLinks--
-			}
-			delete(dsts, dst)
-			if len(dsts) == 0 {
-				delete(bySel, sel)
-			}
-		}
-		if len(bySel) == 0 {
-			delete(g.out, src)
-		}
-	}
-	if bySel := g.in[dst]; bySel != nil {
-		if srcs := bySel[sel]; srcs != nil {
-			delete(srcs, src)
-			if len(srcs) == 0 {
-				delete(bySel, sel)
-			}
-		}
-		if len(bySel) == 0 {
-			delete(g.in, dst)
-		}
-	}
-}
-
-// HasLink reports whether <src, sel, dst> is in NL.
-func (g *Graph) HasLink(src NodeID, sel string, dst NodeID) bool {
-	if bySel := g.out[src]; bySel != nil {
-		if dsts := bySel[sel]; dsts != nil {
-			_, ok := dsts[dst]
-			return ok
+// pvarReferenced reports whether any pvar references the node.
+func (g *Graph) pvarReferenced(id NodeID) bool {
+	for _, e := range g.pl {
+		if e.id == id {
+			return true
 		}
 	}
 	return false
 }
 
-// Targets returns the sorted destinations of src through sel. On a
-// frozen graph the cached slice is returned; callers must not modify it.
+func outLess(snap *symSnap, x, y edge) bool {
+	if x.a != y.a {
+		return x.a < y.a
+	}
+	if x.sel != y.sel {
+		return snap.rank[x.sel-1] < snap.rank[y.sel-1]
+	}
+	return x.b < y.b
+}
+
+func inLess(snap *symSnap, x, y edge) bool {
+	if x.a != y.a {
+		return x.a < y.a
+	}
+	if x.b != y.b {
+		return x.b < y.b
+	}
+	if x.sel == y.sel {
+		return false
+	}
+	return snap.rank[x.sel-1] < snap.rank[y.sel-1]
+}
+
+// outRun returns the contiguous outE entries with source id.
+func (g *Graph) outRun(id NodeID) []edge { return edgeRun(g.outE, id) }
+
+// inRun returns the contiguous inE entries with destination id.
+func (g *Graph) inRun(id NodeID) []edge { return edgeRun(g.inE, id) }
+
+func edgeRun(edges []edge, id NodeID) []edge {
+	lo := sort.Search(len(edges), func(i int) bool { return edges[i].a >= id })
+	hi := lo
+	for hi < len(edges) && edges[hi].a == id {
+		hi++
+	}
+	return edges[lo:hi]
+}
+
+// AddLink inserts the NL entry <src, sel, dst>. It is idempotent.
+func (g *Graph) AddLink(src NodeID, sel string, dst NodeID) {
+	g.AddLinkSym(src, selTab.intern(sel), dst)
+}
+
+// AddLinkSym is AddLink addressed by interned selector.
+func (g *Graph) AddLinkSym(src NodeID, sel Sym, dst NodeID) {
+	g.mustMutate("AddLink")
+	if g.posOf(src) < 0 {
+		panic(fmt.Sprintf("rsg: AddLink: no src node n%d", src))
+	}
+	if g.posOf(dst) < 0 {
+		panic(fmt.Sprintf("rsg: AddLink: no dst node n%d", dst))
+	}
+	snap := selTab.load()
+	e := edge{src, sel, dst}
+	i := sort.Search(len(g.outE), func(i int) bool { return !outLess(snap, g.outE[i], e) })
+	if i < len(g.outE) && g.outE[i] == e {
+		return
+	}
+	g.outE = insertEdge(g.outE, i, e)
+	f := edge{dst, sel, src}
+	j := sort.Search(len(g.inE), func(i int) bool { return !inLess(snap, g.inE[i], f) })
+	g.inE = insertEdge(g.inE, j, f)
+}
+
+func insertEdge(s []edge, i int, e edge) []edge {
+	s = append(s, edge{})
+	copy(s[i+1:], s[i:])
+	s[i] = e
+	return s
+}
+
+func removeEdgeAt(s []edge, i int) []edge {
+	copy(s[i:], s[i+1:])
+	return s[:len(s)-1]
+}
+
+// RemoveLink deletes the NL entry <src, sel, dst> if present.
+func (g *Graph) RemoveLink(src NodeID, sel string, dst NodeID) {
+	g.RemoveLinkSym(src, selTab.lookup(sel), dst)
+}
+
+// RemoveLinkSym is RemoveLink addressed by interned selector.
+func (g *Graph) RemoveLinkSym(src NodeID, sel Sym, dst NodeID) {
+	g.mustMutate("RemoveLink")
+	if sel == 0 {
+		return
+	}
+	snap := selTab.load()
+	e := edge{src, sel, dst}
+	i := sort.Search(len(g.outE), func(i int) bool { return !outLess(snap, g.outE[i], e) })
+	if i >= len(g.outE) || g.outE[i] != e {
+		return
+	}
+	g.outE = removeEdgeAt(g.outE, i)
+	f := edge{dst, sel, src}
+	j := sort.Search(len(g.inE), func(i int) bool { return !inLess(snap, g.inE[i], f) })
+	if j < len(g.inE) && g.inE[j] == f {
+		g.inE = removeEdgeAt(g.inE, j)
+	}
+}
+
+// HasLink reports whether <src, sel, dst> is in NL.
+func (g *Graph) HasLink(src NodeID, sel string, dst NodeID) bool {
+	return g.HasLinkSym(src, selTab.lookup(sel), dst)
+}
+
+// HasLinkSym is HasLink addressed by interned selector.
+func (g *Graph) HasLinkSym(src NodeID, sel Sym, dst NodeID) bool {
+	if sel == 0 {
+		return false
+	}
+	snap := selTab.load()
+	e := edge{src, sel, dst}
+	i := sort.Search(len(g.outE), func(i int) bool { return !outLess(snap, g.outE[i], e) })
+	return i < len(g.outE) && g.outE[i] == e
+}
+
+// Targets returns the sorted destinations of src through sel. The
+// returned slice is freshly allocated.
 func (g *Graph) Targets(src NodeID, sel string) []NodeID {
-	if g.frozen {
-		return g.cTargets[src][sel]
+	return g.TargetsSym(src, selTab.lookup(sel))
+}
+
+// TargetsSym is Targets addressed by interned selector.
+func (g *Graph) TargetsSym(src NodeID, sel Sym) []NodeID {
+	var out []NodeID
+	for _, e := range g.outRun(src) {
+		if e.sel == sel {
+			out = append(out, e.b)
+		}
 	}
-	bySel := g.out[src]
-	if bySel == nil {
-		return nil
+	return out
+}
+
+// hasTarget reports whether src has at least one sel destination.
+func (g *Graph) hasTarget(src NodeID, sel Sym) bool {
+	for _, e := range g.outRun(src) {
+		if e.sel == sel {
+			return true
+		}
 	}
-	dsts := bySel[sel]
-	ids := make([]NodeID, 0, len(dsts))
-	for id := range dsts {
-		ids = append(ids, id)
+	return false
+}
+
+// soleTarget returns the single sel destination of src, or ok=false
+// when there are zero or several.
+func (g *Graph) soleTarget(src NodeID, sel Sym) (NodeID, bool) {
+	run := g.outRun(src)
+	for i, e := range run {
+		if e.sel == sel {
+			// Same-sel entries are contiguous.
+			if i+1 < len(run) && run[i+1].sel == sel {
+				return 0, false
+			}
+			return e.b, true
+		}
 	}
-	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
-	return ids
+	return 0, false
+}
+
+// countTargets returns the number of sel destinations of src.
+func (g *Graph) countTargets(src NodeID, sel Sym) int {
+	n := 0
+	for _, e := range g.outRun(src) {
+		if e.sel == sel {
+			n++
+		}
+	}
+	return n
 }
 
 // Sources returns the sorted origins of sel links into dst.
 func (g *Graph) Sources(dst NodeID, sel string) []NodeID {
-	bySel := g.in[dst]
-	if bySel == nil {
-		return nil
+	return g.SourcesSym(dst, selTab.lookup(sel))
+}
+
+// SourcesSym is Sources addressed by interned selector.
+func (g *Graph) SourcesSym(dst NodeID, sel Sym) []NodeID {
+	var out []NodeID
+	for _, e := range g.inRun(dst) {
+		if e.sel == sel {
+			out = append(out, e.b)
+		}
 	}
-	srcs := bySel[sel]
-	ids := make([]NodeID, 0, len(srcs))
-	for id := range srcs {
-		ids = append(ids, id)
+	return out
+}
+
+// countSources returns the number of sel origins into dst.
+func (g *Graph) countSources(dst NodeID, sel Sym) int {
+	n := 0
+	for _, e := range g.inRun(dst) {
+		if e.sel == sel {
+			n++
+		}
 	}
-	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
-	return ids
+	return n
 }
 
 // OutSelectors returns the sorted selectors with at least one outgoing
-// link from src. On a frozen graph the cached slice is returned;
-// callers must not modify it.
+// link from src. The returned slice is freshly allocated.
 func (g *Graph) OutSelectors(src NodeID) []string {
-	if g.frozen {
-		return g.cOutSels[src]
+	run := g.outRun(src)
+	if len(run) == 0 {
+		return nil
 	}
-	bySel := g.out[src]
-	out := make([]string, 0, len(bySel))
-	for sel := range bySel {
-		out = append(out, sel)
+	// The run is rank-ordered, so distinct selectors appear in name order.
+	out := make([]string, 0, len(run))
+	snap := selTab.load()
+	var last Sym
+	for _, e := range run {
+		if e.sel != last {
+			out = append(out, snap.names[e.sel-1])
+			last = e.sel
+		}
 	}
-	sort.Strings(out)
 	return out
+}
+
+// eachOutSelector calls f for every distinct selector out of src, in
+// name order, without allocating.
+func (g *Graph) eachOutSelector(src NodeID, f func(Sym)) {
+	var last Sym
+	for _, e := range g.outRun(src) {
+		if e.sel != last {
+			f(e.sel)
+			last = e.sel
+		}
+	}
+}
+
+// inSelectorSyms appends the distinct selectors into dst to syms in
+// name order.
+func (g *Graph) inSelectorSyms(dst NodeID, syms []Sym) []Sym {
+	run := g.inRun(dst)
+	if len(run) == 0 {
+		return syms
+	}
+	base := len(syms)
+	for _, e := range run {
+		dup := false
+		for _, y := range syms[base:] {
+			if y == e.sel {
+				dup = true
+				break
+			}
+		}
+		if !dup {
+			syms = append(syms, e.sel)
+		}
+	}
+	// The run is (src, rank)-ordered, so dedup order is not name order.
+	selTab.load().sortByRank(syms[base:])
+	return syms
 }
 
 // InSelectors returns the sorted selectors with at least one incoming
 // link into dst.
 func (g *Graph) InSelectors(dst NodeID) []string {
-	bySel := g.in[dst]
-	out := make([]string, 0, len(bySel))
-	for sel := range bySel {
-		out = append(out, sel)
+	var tmp [8]Sym
+	syms := g.inSelectorSyms(dst, tmp[:0])
+	if len(syms) == 0 {
+		return nil
 	}
-	sort.Strings(out)
+	out := make([]string, len(syms))
+	snap := selTab.load()
+	for i, y := range syms {
+		out[i] = snap.names[y-1]
+	}
 	return out
 }
 
-// InLinks returns all links into dst, sorted by (Sel, Src).
+// InLinks returns all links into dst, sorted by (Src, Sel).
 func (g *Graph) InLinks(dst NodeID) []Link {
-	var links []Link
-	for sel, srcs := range g.in[dst] {
-		for src := range srcs {
-			links = append(links, Link{src, sel, dst})
-		}
+	run := g.inRun(dst)
+	if len(run) == 0 {
+		return nil
 	}
-	sortLinks(links)
-	return links
+	out := make([]Link, len(run))
+	snap := selTab.load()
+	for i, e := range run {
+		out[i] = Link{Src: e.b, Sel: snap.names[e.sel-1], Dst: dst}
+	}
+	return out
 }
 
 // OutLinks returns all links out of src, sorted by (Sel, Dst).
 func (g *Graph) OutLinks(src NodeID) []Link {
-	var links []Link
-	for sel, dsts := range g.out[src] {
-		for dst := range dsts {
-			links = append(links, Link{src, sel, dst})
-		}
+	run := g.outRun(src)
+	if len(run) == 0 {
+		return nil
 	}
-	sortLinks(links)
-	return links
+	out := make([]Link, len(run))
+	snap := selTab.load()
+	for i, e := range run {
+		out[i] = Link{Src: src, Sel: snap.names[e.sel-1], Dst: e.b}
+	}
+	return out
 }
 
-// Links returns every NL entry, sorted by (Src, Sel, Dst). The order is
-// produced structurally (sorted nodes, then sorted selectors, then
-// sorted targets) instead of one big comparison sort, because this is
-// the hottest function of the analysis. On a frozen graph the cached
-// slice is returned; callers must not modify it.
+// Links returns every NL entry, sorted by (Src, Sel, Dst). On a frozen
+// graph the cached slice is returned; callers must not modify it.
 func (g *Graph) Links() []Link {
 	if g.frozen {
 		return g.cLinks
 	}
-	links := make([]Link, 0, 16)
-	for _, src := range g.NodeIDs() {
-		bySel := g.out[src]
-		if len(bySel) == 0 {
-			continue
-		}
-		for _, sel := range g.OutSelectors(src) {
-			for _, dst := range g.Targets(src, sel) {
-				links = append(links, Link{src, sel, dst})
-			}
-		}
+	if len(g.outE) == 0 {
+		return nil
 	}
-	return links
+	out := make([]Link, len(g.outE))
+	snap := selTab.load()
+	for i, e := range g.outE {
+		out[i] = Link{Src: e.a, Sel: snap.names[e.sel-1], Dst: e.b}
+	}
+	return out
 }
 
-// ForEachLink calls f for every NL entry in unspecified order; use it
-// when the order is irrelevant (cloning, counting).
+// ForEachLink calls f for every NL entry; the order is unspecified (use
+// it when the order is irrelevant: cloning, counting).
 func (g *Graph) ForEachLink(f func(Link)) {
-	for src, bySel := range g.out {
-		for sel, dsts := range bySel {
-			for dst := range dsts {
-				f(Link{src, sel, dst})
-			}
-		}
+	snap := selTab.load()
+	for _, e := range g.outE {
+		f(Link{Src: e.a, Sel: snap.names[e.sel-1], Dst: e.b})
 	}
-}
-
-func sortLinks(links []Link) {
-	sort.Slice(links, func(i, j int) bool {
-		a, b := links[i], links[j]
-		if a.Src != b.Src {
-			return a.Src < b.Src
-		}
-		if a.Sel != b.Sel {
-			return a.Sel < b.Sel
-		}
-		return a.Dst < b.Dst
-	})
 }
 
 // RemoveNode deletes a node, all its links and any pvar references to it.
 func (g *Graph) RemoveNode(id NodeID) {
 	g.mustMutate("RemoveNode")
-	for _, l := range g.InLinks(id) {
-		g.RemoveLink(l.Src, l.Sel, l.Dst)
+	i := g.posOf(id)
+	if i < 0 {
+		return
 	}
-	for _, l := range g.OutLinks(id) {
-		g.RemoveLink(l.Src, l.Sel, l.Dst)
-	}
-	for p, t := range g.pl {
-		if t == id {
-			delete(g.pl, p)
+	g.outE = filterEdges(g.outE, id)
+	g.inE = filterEdges(g.inE, id)
+	for j := len(g.pl) - 1; j >= 0; j-- {
+		if g.pl[j].id == id {
+			g.pl = append(g.pl[:j], g.pl[j+1:]...)
 		}
 	}
-	delete(g.nodes, id)
+	g.ids = append(g.ids[:i], g.ids[i+1:]...)
+	g.nodes = append(g.nodes[:i], g.nodes[i+1:]...)
+}
+
+// filterEdges removes every edge touching id, in place.
+func filterEdges(edges []edge, id NodeID) []edge {
+	out := edges[:0]
+	for _, e := range edges {
+		if e.a != id && e.b != id {
+			out = append(out, e)
+		}
+	}
+	return out
 }
 
 // HeapInDegree returns the number of distinct incoming links (any
 // selector) into the node — heap references only, pvars excluded.
-func (g *Graph) HeapInDegree(id NodeID) int {
-	n := 0
-	for _, srcs := range g.in[id] {
-		n += len(srcs)
-	}
-	return n
-}
+func (g *Graph) HeapInDegree(id NodeID) int { return len(g.inRun(id)) }
 
 // String renders the graph in a compact deterministic text form.
 func (g *Graph) String() string {
 	var b strings.Builder
 	b.WriteString("RSG{\n")
-	for _, p := range g.Pvars() {
-		fmt.Fprintf(&b, "  %s -> n%d\n", p, g.pl[p])
+	for _, e := range g.pl {
+		fmt.Fprintf(&b, "  %s -> n%d\n", pvarTab.name(e.sym), e.id)
 	}
-	for _, n := range g.Nodes() {
+	for _, n := range g.nodes {
 		fmt.Fprintf(&b, "  %s\n", n)
 	}
 	for _, l := range g.Links() {

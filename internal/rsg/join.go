@@ -17,14 +17,17 @@ func AliasKey(g *Graph) string {
 }
 
 func aliasKey(g *Graph) string {
-	groups := make(map[NodeID][]string)
-	for _, p := range g.Pvars() {
-		t := g.PvarTarget(p)
-		groups[t.ID] = append(groups[t.ID], p)
+	if len(g.pl) == 0 {
+		return ""
+	}
+	// g.pl is name-ordered, so each group's pvars come out sorted.
+	groups := make(map[NodeID][]string, len(g.pl))
+	snap := pvarTab.load()
+	for _, e := range g.pl {
+		groups[e.id] = append(groups[e.id], snap.names[e.sym-1])
 	}
 	keys := make([]string, 0, len(groups))
 	for _, ps := range groups {
-		sort.Strings(ps)
 		keys = append(keys, strings.Join(ps, ","))
 	}
 	sort.Strings(keys)
@@ -46,9 +49,9 @@ func Compatible(lvl Level, g1, g2 *Graph) bool {
 // and the SPATH maps precomputed by the caller (the RSRSG reduction
 // caches them per graph).
 func CompatibleSP(lvl Level, g1, g2 *Graph, sp1, sp2 map[NodeID]SPathSet) bool {
-	for _, p := range g1.Pvars() {
-		n1 := g1.PvarTarget(p)
-		n2 := g2.PvarTarget(p)
+	for _, e := range g1.pl {
+		n1 := g1.Node(e.id)
+		n2 := g2.PvarTargetSym(e.sym)
 		if n2 == nil {
 			return false // alias keys equal => cannot happen, defensive
 		}
@@ -72,78 +75,83 @@ func CompatibleSP(lvl Level, g1, g2 *Graph, sp1, sp2 map[NodeID]SPathSet) bool {
 // ID order.
 func Join(lvl Level, g1, g2 *Graph) *Graph {
 	sp1, sp2 := g1.SPaths(), g2.SPaths()
+	n1len, n2len := len(g1.ids), len(g2.ids)
 
-	match := make(map[NodeID]NodeID)   // g1 node -> g2 node
-	taken := make(map[NodeID]struct{}) // matched g2 nodes
+	match := make([]int, n1len) // g1 pos -> g2 pos, -1 unmatched
+	for i := range match {
+		match[i] = -1
+	}
+	taken := make([]bool, n2len) // matched g2 positions
 
 	// Pass 1: force-match pvar targets (alias groups correspond 1:1).
-	for _, p := range g1.Pvars() {
-		n1 := g1.PvarTarget(p)
-		n2 := g2.PvarTarget(p)
-		if n1 == nil || n2 == nil {
+	for _, e := range g1.pl {
+		t2 := g2.PvarTargetSym(e.sym)
+		if t2 == nil {
 			continue
 		}
-		if _, ok := match[n1.ID]; ok {
+		p1 := g1.posOf(e.id)
+		if match[p1] >= 0 {
 			continue
 		}
-		match[n1.ID] = n2.ID
-		taken[n2.ID] = struct{}{}
+		p2 := g2.posOf(t2.ID)
+		match[p1] = p2
+		taken[p2] = true
 	}
 
-	// Pass 2: greedy matching of the remaining nodes.
-	for _, id1 := range g1.NodeIDs() {
-		if _, ok := match[id1]; ok {
+	// Pass 2: greedy matching of the remaining nodes, in ID order.
+	for p1 := 0; p1 < n1len; p1++ {
+		if match[p1] >= 0 {
 			continue
 		}
-		n1 := g1.Node(id1)
-		for _, id2 := range g2.NodeIDs() {
-			if _, ok := taken[id2]; ok {
+		node1 := g1.nodes[p1]
+		for p2 := 0; p2 < n2len; p2++ {
+			if taken[p2] {
 				continue
 			}
-			n2 := g2.Node(id2)
-			if CNodes(lvl, n1, n2, sp1[id1], sp2[id2]) {
-				match[id1] = id2
-				taken[id2] = struct{}{}
+			node2 := g2.nodes[p2]
+			if CNodes(lvl, node1, node2, sp1[node1.ID], sp2[node2.ID]) {
+				match[p1] = p2
+				taken[p2] = true
 				break
 			}
 		}
 	}
 
 	out := NewGraph()
-	map1 := make(map[NodeID]NodeID, g1.NumNodes())
-	map2 := make(map[NodeID]NodeID, g2.NumNodes())
+	map1 := make([]NodeID, n1len) // g1 pos -> out ID
+	map2 := make([]NodeID, n2len) // g2 pos -> out ID
 
-	for _, id1 := range g1.NodeIDs() {
-		n1 := g1.Node(id1)
-		if id2, ok := match[id1]; ok {
-			merged := MergeNodes(g1, n1, g2, g2.Node(id2), false)
+	for p1 := 0; p1 < n1len; p1++ {
+		node1 := g1.nodes[p1]
+		if p2 := match[p1]; p2 >= 0 {
+			merged := MergeNodes(g1, node1, g2, g2.nodes[p2], false)
 			nn := out.AddNode(merged)
-			map1[id1] = nn.ID
-			map2[id2] = nn.ID
+			map1[p1] = nn.ID
+			map2[p2] = nn.ID
 		} else {
-			nn := out.AddNode(n1.Clone())
-			map1[id1] = nn.ID
+			nn := out.AddNode(node1.Clone())
+			map1[p1] = nn.ID
 		}
 	}
-	for _, id2 := range g2.NodeIDs() {
-		if _, ok := map2[id2]; ok {
+	for p2 := 0; p2 < n2len; p2++ {
+		if taken[p2] {
 			continue
 		}
-		nn := out.AddNode(g2.Node(id2).Clone())
-		map2[id2] = nn.ID
+		nn := out.AddNode(g2.nodes[p2].Clone())
+		map2[p2] = nn.ID
 	}
 
-	for _, p := range g1.Pvars() {
-		out.SetPvar(p, map1[g1.PvarTarget(p).ID])
+	for _, e := range g1.pl {
+		out.SetPvar(pvarTab.name(e.sym), map1[g1.posOf(e.id)])
 	}
-	for _, p := range g2.Pvars() {
-		out.SetPvar(p, map2[g2.PvarTarget(p).ID])
+	for _, e := range g2.pl {
+		out.SetPvar(pvarTab.name(e.sym), map2[g2.posOf(e.id)])
 	}
-	for _, l := range g1.Links() {
-		out.AddLink(map1[l.Src], l.Sel, map1[l.Dst])
+	for _, e := range g1.outE {
+		out.AddLinkSym(map1[g1.posOf(e.a)], e.sel, map1[g1.posOf(e.b)])
 	}
-	for _, l := range g2.Links() {
-		out.AddLink(map2[l.Src], l.Sel, map2[l.Dst])
+	for _, e := range g2.outE {
+		out.AddLinkSym(map2[g2.posOf(e.a)], e.sel, map2[g2.posOf(e.b)])
 	}
 	return out
 }

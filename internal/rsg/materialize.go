@@ -30,68 +30,79 @@ import "fmt"
 // afterwards, and the CYCLELINKS/SHSEL rules cut the spurious links
 // (exactly how the paper's example arrives at Fig. 1(d)).
 func Materialize(g *Graph, src NodeID, sel string) NodeID {
+	return MaterializeSym(g, src, selTab.lookup(sel))
+}
+
+// MaterializeSym is Materialize addressed by interned selector.
+func MaterializeSym(g *Graph, src NodeID, sel Sym) NodeID {
 	s := g.Node(src)
 	if s == nil {
 		panic(fmt.Sprintf("rsg: Materialize: no node n%d", src))
 	}
-	targets := g.Targets(src, sel)
-	if len(targets) != 1 {
+	tID, ok := g.soleTarget(src, sel)
+	if !ok {
 		panic(fmt.Sprintf("rsg: Materialize(n%d, %s): %d targets, want 1 (divide first)",
-			src, sel, len(targets)))
+			src, selTab.name(sel), g.countTargets(src, sel)))
 	}
-	tID := targets[0]
 	t := g.Node(tID)
 	if t.Singleton {
 		return tID
 	}
 
-	exclusiveSel := !t.SharedBy(sel) // each location has at most one sel ref
+	exclusiveSel := !t.SharedBySym(sel) // each location has at most one sel ref
 
 	nm := t.Clone()
 	nm.Singleton = true
-	nm.MarkDefiniteIn(sel)
+	nm.MarkDefiniteInSym(sel)
 	nm = g.AddNode(nm)
 
 	// Retarget the triggering link.
-	g.RemoveLink(src, sel, tID)
-	g.AddLink(src, sel, nm.ID)
+	g.RemoveLinkSym(src, sel, tID)
+	g.AddLinkSym(src, sel, nm.ID)
+
+	// Snapshot t's links before duplicating: AddLink mutates the runs.
+	ws := getWorkScratch()
 
 	// Incoming links of t (excluding self links, handled below).
-	for _, l := range g.InLinks(tID) {
-		if l.Src == tID {
+	ws.edges = append(ws.edges[:0], g.inRun(tID)...)
+	for _, e := range ws.edges {
+		if e.b == tID {
 			continue
 		}
-		if l.Sel == sel && exclusiveSel {
+		if e.sel == sel && exclusiveSel {
 			continue // n_mat's only sel reference is the one from src
 		}
-		g.AddLink(l.Src, l.Sel, nm.ID)
+		g.AddLinkSym(e.b, e.sel, nm.ID)
 	}
 
 	// Outgoing links of t (excluding self links).
-	for _, l := range g.OutLinks(tID) {
-		if l.Dst == tID {
+	ws.edges = append(ws.edges[:0], g.outRun(tID)...)
+	for _, e := range ws.edges {
+		if e.b == tID {
 			continue
 		}
-		g.AddLink(nm.ID, l.Sel, l.Dst)
+		g.AddLinkSym(nm.ID, e.sel, e.b)
 	}
 
 	// Self links <t, sel', t> expand over {n_mat, t}.
-	for _, selPrime := range g.OutSelectors(tID) {
-		if !g.HasLink(tID, selPrime, tID) {
+	for _, e := range ws.edges {
+		if e.b != tID {
 			continue
 		}
+		selPrime := e.sel
 		blockedIntoNm := selPrime == sel && exclusiveSel
 		// t -> n_mat
 		if !blockedIntoNm {
-			g.AddLink(tID, selPrime, nm.ID)
+			g.AddLinkSym(tID, selPrime, nm.ID)
 		}
 		// n_mat -> t
-		g.AddLink(nm.ID, selPrime, tID)
+		g.AddLinkSym(nm.ID, selPrime, tID)
 		// n_mat -> n_mat
 		if !blockedIntoNm {
-			g.AddLink(nm.ID, selPrime, nm.ID)
+			g.AddLinkSym(nm.ID, selPrime, nm.ID)
 		}
 	}
+	putWorkScratch(ws)
 
 	return nm.ID
 }

@@ -46,10 +46,7 @@ func MergeNodes(g1 *Graph, n1 *Node, g2 *Graph, n2 *Node, intraGraph bool) *Node
 
 	// TOUCH must be equal under C_NODES at L3; at lower levels it is
 	// unused. Union keeps the merge conservative either way.
-	n.Touch = n1.Touch.Clone()
-	for p := range n2.Touch {
-		n.Touch.Add(p)
-	}
+	n.Touch = n1.Touch.Union(n2.Touch)
 	return n
 }
 
@@ -58,19 +55,19 @@ func MergeNodes(g1 *Graph, n1 *Node, g2 *Graph, n2 *Node, intraGraph bool) *Node
 // one node and the other node has no outgoing link through the pair's
 // first selector (so the rule is vacuously true for its locations).
 func mergeCycleLinks(g1 *Graph, n1 *Node, g2 *Graph, n2 *Node) CycleSet {
-	out := NewCycleSet()
+	var out CycleSet
 	hasOut := func(g *Graph, n *Node, sel string) bool {
 		if g == nil {
 			return true // no context: keep only common pairs
 		}
-		return len(g.Targets(n.ID, sel)) > 0
+		return g.hasTarget(n.ID, selTab.lookup(sel))
 	}
-	for p := range n1.Cycle {
+	for _, p := range n1.Cycle.Sorted() {
 		if n2.Cycle.Has(p) || !hasOut(g2, n2, p.Out) {
 			out.Add(p)
 		}
 	}
-	for p := range n2.Cycle {
+	for _, p := range n2.Cycle.Sorted() {
 		if n1.Cycle.Has(p) || !hasOut(g1, n1, p.Out) {
 			out.Add(p)
 		}

@@ -67,101 +67,103 @@ type Node struct {
 // NewNode returns a fresh node of the given type with empty property
 // sets. The caller assigns the ID via Graph.AddNode.
 func NewNode(typ string) *Node {
-	return &Node{
-		Type:      typ,
-		ShSel:     NewSelSet(),
-		SelIn:     NewSelSet(),
-		SelOut:    NewSelSet(),
-		PosSelIn:  NewSelSet(),
-		PosSelOut: NewSelSet(),
-		Cycle:     NewCycleSet(),
-		Touch:     NewPvarSet(),
-	}
+	return &Node{Type: typ}
 }
 
-// Clone returns a deep copy of the node (same ID).
+// Clone returns a deep copy of the node (same ID). The property sets
+// are copy-on-write values, so this is a single allocation.
 func (n *Node) Clone() *Node {
-	return &Node{
-		ID:        n.ID,
-		Type:      n.Type,
-		Singleton: n.Singleton,
-		Shared:    n.Shared,
-		ShSel:     n.ShSel.Clone(),
-		SelIn:     n.SelIn.Clone(),
-		SelOut:    n.SelOut.Clone(),
-		PosSelIn:  n.PosSelIn.Clone(),
-		PosSelOut: n.PosSelOut.Clone(),
-		Cycle:     n.Cycle.Clone(),
-		Touch:     n.Touch.Clone(),
-	}
+	c := *n
+	return &c
 }
 
 // SharedBy reports SHSEL(n, sel).
 func (n *Node) SharedBy(sel string) bool { return n.ShSel.Has(sel) }
 
+// SharedBySym is SharedBy addressed by interned selector.
+func (n *Node) SharedBySym(sel Sym) bool { return n.ShSel.HasSym(sel) }
+
 // MarkDefiniteOut records that every represented location has an
 // outgoing sel reference, demoting any "possible" entry.
-func (n *Node) MarkDefiniteOut(sel string) {
-	n.SelOut.Add(sel)
-	n.PosSelOut.Remove(sel)
+func (n *Node) MarkDefiniteOut(sel string) { n.MarkDefiniteOutSym(selTab.intern(sel)) }
+
+// MarkDefiniteOutSym is MarkDefiniteOut addressed by interned selector.
+func (n *Node) MarkDefiniteOutSym(sel Sym) {
+	n.SelOut.AddSym(sel)
+	n.PosSelOut.RemoveSym(sel)
 }
 
 // MarkDefiniteIn records that every represented location has an
 // incoming sel reference, demoting any "possible" entry.
-func (n *Node) MarkDefiniteIn(sel string) {
-	n.SelIn.Add(sel)
-	n.PosSelIn.Remove(sel)
+func (n *Node) MarkDefiniteIn(sel string) { n.MarkDefiniteInSym(selTab.intern(sel)) }
+
+// MarkDefiniteInSym is MarkDefiniteIn addressed by interned selector.
+func (n *Node) MarkDefiniteInSym(sel Sym) {
+	n.SelIn.AddSym(sel)
+	n.PosSelIn.RemoveSym(sel)
 }
 
 // MarkPossibleOut records a possible outgoing sel reference unless the
 // reference is already definite.
-func (n *Node) MarkPossibleOut(sel string) {
-	if !n.SelOut.Has(sel) {
-		n.PosSelOut.Add(sel)
+func (n *Node) MarkPossibleOut(sel string) { n.MarkPossibleOutSym(selTab.intern(sel)) }
+
+// MarkPossibleOutSym is MarkPossibleOut addressed by interned selector.
+func (n *Node) MarkPossibleOutSym(sel Sym) {
+	if !n.SelOut.HasSym(sel) {
+		n.PosSelOut.AddSym(sel)
 	}
 }
 
 // MarkPossibleIn records a possible incoming sel reference unless the
 // reference is already definite.
-func (n *Node) MarkPossibleIn(sel string) {
-	if !n.SelIn.Has(sel) {
-		n.PosSelIn.Add(sel)
+func (n *Node) MarkPossibleIn(sel string) { n.MarkPossibleInSym(selTab.intern(sel)) }
+
+// MarkPossibleInSym is MarkPossibleIn addressed by interned selector.
+func (n *Node) MarkPossibleInSym(sel Sym) {
+	if !n.SelIn.HasSym(sel) {
+		n.PosSelIn.AddSym(sel)
 	}
 }
 
 // ClearOut removes sel from both outgoing reference-pattern sets.
-func (n *Node) ClearOut(sel string) {
-	n.SelOut.Remove(sel)
-	n.PosSelOut.Remove(sel)
+func (n *Node) ClearOut(sel string) { n.ClearOutSym(selTab.lookup(sel)) }
+
+// ClearOutSym is ClearOut addressed by interned selector.
+func (n *Node) ClearOutSym(sel Sym) {
+	n.SelOut.RemoveSym(sel)
+	n.PosSelOut.RemoveSym(sel)
 }
 
 // ClearIn removes sel from both incoming reference-pattern sets.
-func (n *Node) ClearIn(sel string) {
-	n.SelIn.Remove(sel)
-	n.PosSelIn.Remove(sel)
+func (n *Node) ClearIn(sel string) { n.ClearInSym(selTab.lookup(sel)) }
+
+// ClearInSym is ClearIn addressed by interned selector.
+func (n *Node) ClearInSym(sel Sym) {
+	n.SelIn.RemoveSym(sel)
+	n.PosSelIn.RemoveSym(sel)
 }
 
 // propertyKey returns a deterministic string encoding of the node's
 // summarization-relevant intrinsic properties (everything C_NODES_RSG
 // compares except STRUCTURE and SPATH, which depend on the graph).
 func (n *Node) propertyKey() string {
-	var b strings.Builder
-	b.WriteString(n.Type)
-	b.WriteByte('|')
+	buf := make([]byte, 0, 64)
+	buf = append(buf, n.Type...)
+	buf = append(buf, '|')
 	if n.Shared {
-		b.WriteByte('S')
+		buf = append(buf, 'S')
 	} else {
-		b.WriteByte('s')
+		buf = append(buf, 's')
 	}
-	b.WriteByte('|')
-	b.WriteString(n.ShSel.String())
-	b.WriteByte('|')
-	b.WriteString(n.SelIn.String())
-	b.WriteByte('|')
-	b.WriteString(n.SelOut.String())
-	b.WriteByte('|')
-	b.WriteString(n.Touch.String())
-	return b.String()
+	buf = append(buf, '|')
+	buf = n.ShSel.appendTo(buf)
+	buf = append(buf, '|')
+	buf = n.SelIn.appendTo(buf)
+	buf = append(buf, '|')
+	buf = n.SelOut.appendTo(buf)
+	buf = append(buf, '|')
+	buf = n.Touch.appendTo(buf)
+	return string(buf)
 }
 
 // String renders a compact human-readable description of the node.
@@ -175,13 +177,13 @@ func (n *Node) String() string {
 	if n.Shared {
 		flags = append(flags, "shared")
 	}
-	if len(n.ShSel) > 0 {
+	if !n.ShSel.Empty() {
 		flags = append(flags, "shsel="+n.ShSel.String())
 	}
-	if len(n.Cycle) > 0 {
+	if !n.Cycle.Empty() {
 		flags = append(flags, "cyc="+n.Cycle.String())
 	}
-	if len(n.Touch) > 0 {
+	if !n.Touch.Empty() {
 		flags = append(flags, "touch="+n.Touch.String())
 	}
 	sort.Strings(flags[1:])

@@ -1,0 +1,122 @@
+package rsg
+
+import "sync"
+
+// canonScratch is the reusable working state of one signature/digest
+// computation (DESIGN.md §10). Everything in it is position-indexed
+// (parallel to Graph.ids), grown as needed and recycled through a
+// sync.Pool: digesting is the per-freeze hot path and must not allocate
+// proportionally to the graph on every call.
+//
+// Pool discipline: a scratch may only be used between get/put by one
+// goroutine, and nothing reachable from it may escape — byte slices are
+// copied (or hashed) before put, and pointerful slices are cleared so
+// the pool does not pin dead graphs.
+type canonScratch struct {
+	spaths  []SPathSet
+	local   []string
+	idx     []int32
+	seen    []bool
+	order   []int // canonical order, as positions into Graph.ids
+	queue   []int
+	targets []int
+	dsts    []int
+	buf     []byte // descriptor scratch
+	sig     []byte // signature accumulation buffer
+}
+
+var canonPool = sync.Pool{New: func() any {
+	cacheStats.poolNews.Add(1)
+	return new(canonScratch)
+}}
+
+func getCanonScratch() *canonScratch {
+	cacheStats.poolGets.Add(1)
+	return canonPool.Get().(*canonScratch)
+}
+
+func putCanonScratch(cs *canonScratch) {
+	// Drop references into the graph we just encoded; keep capacities.
+	for i := range cs.spaths {
+		cs.spaths[i] = SPathSet{}
+	}
+	for i := range cs.local {
+		cs.local[i] = ""
+	}
+	cs.spaths = cs.spaths[:0]
+	cs.local = cs.local[:0]
+	cs.idx = cs.idx[:0]
+	cs.seen = cs.seen[:0]
+	cs.order = cs.order[:0]
+	cs.queue = cs.queue[:0]
+	cs.targets = cs.targets[:0]
+	cs.dsts = cs.dsts[:0]
+	cs.buf = cs.buf[:0]
+	cs.sig = cs.sig[:0]
+	canonPool.Put(cs)
+}
+
+// workScratch is the reusable working state of the mutation kernels
+// (PRUNE, garbage collection, COMPRESS). Same pool discipline as
+// canonScratch: single-goroutine use between get/put, nothing escapes.
+type workScratch struct {
+	marks   []bool
+	stack   []int
+	nodeIDs []NodeID
+	edges   []edge
+}
+
+var workPool = sync.Pool{New: func() any {
+	cacheStats.poolNews.Add(1)
+	return new(workScratch)
+}}
+
+func getWorkScratch() *workScratch {
+	cacheStats.poolGets.Add(1)
+	return workPool.Get().(*workScratch)
+}
+
+func putWorkScratch(ws *workScratch) {
+	ws.marks = ws.marks[:0]
+	ws.stack = ws.stack[:0]
+	ws.nodeIDs = ws.nodeIDs[:0]
+	ws.edges = ws.edges[:0]
+	workPool.Put(ws)
+}
+
+// grow returns s resized to n, reusing capacity.
+func growInt32(s []int32, n int) []int32 {
+	if cap(s) < n {
+		return make([]int32, n)
+	}
+	return s[:n]
+}
+
+func growBool(s []bool, n int) []bool {
+	if cap(s) < n {
+		s = make([]bool, n)
+	}
+	s = s[:n]
+	for i := range s {
+		s[i] = false
+	}
+	return s
+}
+
+func growStrings(s []string, n int) []string {
+	if cap(s) < n {
+		return make([]string, n)
+	}
+	return s[:n]
+}
+
+func growSPathSets(s []SPathSet, n int) []SPathSet {
+	if cap(s) < n {
+		s = make([]SPathSet, n)
+	}
+	s = s[:n]
+	for i := range s {
+		s[i] = SPathSet{}
+	}
+	return s
+}

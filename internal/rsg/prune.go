@@ -24,78 +24,62 @@ package rsg
 //     link left.
 //  4. Unreachable nodes are garbage collected.
 func Prune(g *Graph) bool {
+	ws := getWorkScratch()
+	defer putWorkScratch(ws)
 	for {
 		changed := false
 
-		// Rule 1: NL_PRUNE.
-		for _, l := range g.Links() {
-			if !g.HasLink(l.Src, l.Sel, l.Dst) {
-				continue // removed by an earlier iteration this round
-			}
-			n1 := g.Node(l.Src)
-			if n1 == nil {
+		// Rule 1: NL_PRUNE. Iterate a snapshot of the links; removal
+		// mutates the live slices.
+		ws.edges = append(ws.edges[:0], g.outE...)
+		for _, e := range ws.edges {
+			n1 := g.Node(e.a)
+			if n1 == nil || n1.Cycle.Empty() {
 				continue
 			}
-			for pair := range n1.Cycle {
-				if pair.Out != l.Sel {
+			if !g.HasLinkSym(e.a, e.sel, e.b) {
+				continue // removed by an earlier iteration this round
+			}
+			selName := selTab.name(e.sel)
+			for _, pair := range n1.Cycle.Sorted() {
+				if pair.Out != selName {
 					continue
 				}
-				if !g.HasLink(l.Dst, pair.In, l.Src) {
-					g.RemoveLink(l.Src, l.Sel, l.Dst)
+				if !g.HasLinkSym(e.b, selTab.lookup(pair.In), e.a) {
+					g.RemoveLinkSym(e.a, e.sel, e.b)
 					changed = true
 					break
 				}
 			}
 		}
 
-		// Rule 2: share pruning.
-		for _, id := range g.NodeIDs() {
-			b := g.Node(id)
-			if b == nil || !b.Singleton {
+		// Rule 2: share pruning. Only links are removed here, so the
+		// node slices are stable.
+		for pos := 0; pos < len(g.ids); pos++ {
+			id := g.ids[pos]
+			b := g.nodes[pos]
+			if !b.Singleton {
 				continue
 			}
-			for _, sel := range g.InSelectors(id) {
-				if b.SharedBy(sel) {
-					continue
-				}
-				srcs := g.Sources(id, sel)
-				if len(srcs) < 2 {
-					continue
-				}
-				var definite NodeID = -1
-				for _, s := range srcs {
-					if g.DefiniteLink(s, sel, id) {
-						definite = s
-						break
-					}
-				}
-				if definite < 0 {
-					continue
-				}
-				for _, s := range srcs {
-					if s != definite {
-						g.RemoveLink(s, sel, id)
-						changed = true
-					}
-				}
+			if g.shareProneSelPrune(id, b, ws) {
+				changed = true
 			}
 			if !b.Shared {
 				// At most one heap reference in total: a definite link
 				// evicts every other incoming link.
-				inLinks := g.InLinks(id)
-				if len(inLinks) >= 2 {
-					var keep *Link
-					for i := range inLinks {
-						l := inLinks[i]
-						if g.DefiniteLink(l.Src, l.Sel, l.Dst) {
-							keep = &inLinks[i]
+				ws.edges = append(ws.edges[:0], g.inRun(id)...)
+				if len(ws.edges) >= 2 {
+					keep := -1
+					for i, e := range ws.edges {
+						if g.definiteLinkSym(e.b, e.sel, id) {
+							keep = i
 							break
 						}
 					}
-					if keep != nil {
-						for _, l := range inLinks {
-							if l != *keep {
-								g.RemoveLink(l.Src, l.Sel, l.Dst)
+					if keep >= 0 {
+						for i, e := range ws.edges {
+							if i != keep {
+								g.RemoveLinkSym(e.b, e.sel, id)
 								changed = true
 							}
 						}
@@ -104,8 +88,9 @@ func Prune(g *Graph) bool {
 			}
 		}
 
-		// Rule 3: N_PRUNE.
-		for _, id := range g.NodeIDs() {
+		// Rule 3: N_PRUNE. Snapshot the IDs; nodes are removed inside.
+		ws.nodeIDs = append(ws.nodeIDs[:0], g.ids...)
+		for _, id := range ws.nodeIDs {
 			n := g.Node(id)
 			if n == nil {
 				continue
@@ -113,7 +98,7 @@ func Prune(g *Graph) bool {
 			if !nPrune(g, n) {
 				continue
 			}
-			if len(g.PvarsOf(id)) > 0 {
+			if g.pvarReferenced(id) {
 				return false // infeasible branch
 			}
 			g.RemoveNode(id)
@@ -131,23 +116,71 @@ func Prune(g *Graph) bool {
 	}
 }
 
+// shareProneSelPrune applies rule 2's per-selector eviction to one
+// singleton node; reports whether a link was removed.
+func (g *Graph) shareProneSelPrune(id NodeID, b *Node, ws *workScratch) bool {
+	changed := false
+	// Distinct incoming selectors; the in run is (src, sel-rank)
+	// ordered, so dedup explicitly. Snapshot the run: we remove links.
+	ws.edges = append(ws.edges[:0], g.inRun(id)...)
+	run := ws.edges
+	for i := 0; i < len(run); i++ {
+		sel := run[i].sel
+		dup := false
+		for j := 0; j < i; j++ {
+			if run[j].sel == sel {
+				dup = true
+				break
+			}
+		}
+		if dup || b.ShSel.HasSym(sel) {
+			continue
+		}
+		srcs := 0
+		definite := NodeID(-1)
+		for _, e := range run {
+			if e.sel != sel {
+				continue
+			}
+			srcs++
+			if definite < 0 && g.definiteLinkSym(e.b, sel, id) {
+				definite = e.b
+			}
+		}
+		if srcs < 2 || definite < 0 {
+			continue
+		}
+		for _, e := range run {
+			if e.sel == sel && e.b != definite {
+				g.RemoveLinkSym(e.b, sel, id)
+				changed = true
+			}
+		}
+	}
+	return changed
+}
+
 // nPrune is the paper's N_PRUNE(n) predicate.
 func nPrune(g *Graph, n *Node) bool {
-	for sel := range n.SelOut {
-		if n.PosSelOut.Has(sel) {
-			continue
+	prune := false
+	n.SelOut.EachSym(func(sel Sym) {
+		if prune || n.PosSelOut.HasSym(sel) {
+			return
 		}
-		if len(g.Targets(n.ID, sel)) == 0 {
-			return true
+		if !g.hasTarget(n.ID, sel) {
+			prune = true
 		}
+	})
+	if prune {
+		return true
 	}
-	for sel := range n.SelIn {
-		if n.PosSelIn.Has(sel) {
-			continue
+	n.SelIn.EachSym(func(sel Sym) {
+		if prune || n.PosSelIn.HasSym(sel) {
+			return
 		}
-		if len(g.Sources(n.ID, sel)) == 0 {
-			return true
+		if g.countSources(n.ID, sel) == 0 {
+			prune = true
 		}
-	}
-	return false
+	})
+	return prune
 }

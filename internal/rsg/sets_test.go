@@ -119,10 +119,10 @@ func TestSPathBasics(t *testing.T) {
 		t.Error("lengths wrong")
 	}
 	s := NewSPathSet(zero, one, SPath{Pvar: "q", Sel: "prv"})
-	if z := s.ZeroLen(); len(z) != 1 || !z.Has(zero) {
+	if z := s.ZeroLen(); z.Len() != 1 || !z.Has(zero) {
 		t.Errorf("ZeroLen = %s", z)
 	}
-	if o := s.OneLen(); len(o) != 2 {
+	if o := s.OneLen(); o.Len() != 2 {
 		t.Errorf("OneLen = %s", o)
 	}
 	if !s.Intersects(NewSPathSet(one)) {

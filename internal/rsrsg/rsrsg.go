@@ -160,7 +160,10 @@ func New() *Set {
 // FromGraphs builds a reduced set from the given graphs at the given
 // level: graphs are deduplicated, then compatible graphs are joined.
 func FromGraphs(lvl rsg.Level, graphs []*rsg.Graph, opts Options) *Set {
-	s := New()
+	s := &Set{
+		entries: make([]entry, 0, len(graphs)),
+		byDig:   make(map[rsg.Digest]struct{}, len(graphs)),
+	}
 	for _, g := range graphs {
 		s.Add(g)
 	}
@@ -779,7 +782,16 @@ func mergeBucket(lvl rsg.Level, key string, bucket, queue []entry, jc *JoinCache
 // UnionAll returns a new set holding the graphs of all the given sets,
 // reduced. Cached digests are reused, so no graph is re-canonicalized.
 func UnionAll(lvl rsg.Level, sets []*Set, opts Options) *Set {
-	out := New()
+	total := 0
+	for _, s := range sets {
+		if s != nil {
+			total += len(s.entries)
+		}
+	}
+	out := &Set{
+		entries: make([]entry, 0, total),
+		byDig:   make(map[rsg.Digest]struct{}, total),
+	}
 	for _, s := range sets {
 		if s == nil {
 			continue
@@ -858,7 +870,10 @@ func (s *Set) Clone() *Set {
 // Filter returns a set holding the member graphs satisfying pred,
 // sharing them (and their cached digests) with the receiver.
 func (s *Set) Filter(pred func(*rsg.Graph) bool) *Set {
-	out := New()
+	out := &Set{
+		entries: make([]entry, 0, len(s.entries)),
+		byDig:   make(map[rsg.Digest]struct{}, len(s.entries)),
+	}
 	for _, e := range s.entries {
 		if pred(e.g) {
 			out.addEntry(e)
