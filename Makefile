@@ -6,9 +6,9 @@
 
 GO ?= go
 
-.PHONY: ci vet build test test-race bench-smoke bench-compare bench tidy
+.PHONY: ci vet build test test-race bench-smoke bench-compare bench fuzz tidy
 
-ci: vet build test test-race bench-smoke bench-compare
+ci: vet build test test-race bench-smoke bench-compare fuzz-short
 
 vet:
 	$(GO) vet ./...
@@ -49,3 +49,17 @@ bench-compare:
 # unbounded Table 1 cells.
 bench:
 	$(GO) test -run xxx -bench . -benchtime=1x ./...
+
+# Soundness fuzzing: randomized mini-C programs cross-validated against
+# the concrete interpreter at L1/L2/L3, plus the regression corpus.
+# Override the generator seed with FUZZ_SEED=N (the nightly job rotates
+# it); on a failure, replay the find with
+#   go run ./cmd/shapetriage -genseed <printed genseed>
+# and shrink it into internal/concrete/testdata/ (DESIGN.md §11).
+# `fuzz-short` is the CI slice: corpus sweep + a reduced fuzz pass.
+.PHONY: fuzz-short
+fuzz:
+	FUZZ_SEED=$(FUZZ_SEED) $(GO) test -run 'TestFuzzSoundness|TestCorpusSoundness' -count=1 -v ./internal/concrete/
+
+fuzz-short:
+	FUZZ_SEED=$(FUZZ_SEED) $(GO) test -run 'TestFuzzSoundness|TestCorpusSoundness' -count=1 -short ./internal/concrete/

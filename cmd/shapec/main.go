@@ -22,6 +22,11 @@
 //	-nodelta        disable the semi-naïve delta engine and recompute
 //	                every statement transfer from the full in-state
 //	                (results are identical; A/B escape hatch)
+//	-explain        cross-validate the result against randomized concrete
+//	                executions; on a cover failure print the triage report
+//	                (failing statement + rejecting node property) and exit 1.
+//	                cmd/shapetriage offers the full triage toolkit
+//	                (trace seeds, legacy engine, DOT pair, shrinking)
 //	-cpuprofile F   write a pprof CPU profile of the run to F
 //	-memprofile F   write a pprof allocation profile to F on exit
 //
@@ -43,6 +48,7 @@ import (
 	"repro/internal/cminic"
 	"repro/internal/ir"
 	"repro/internal/rsg"
+	"repro/internal/triage"
 )
 
 func main() {
@@ -56,6 +62,7 @@ func main() {
 	stats := flag.Bool("stats", false, "print memoization/digest-cache counters")
 	workers := flag.Int("workers", 0, "worker goroutines (0 = GOMAXPROCS, 1 = sequential)")
 	noDelta := flag.Bool("nodelta", false, "disable semi-naïve delta propagation (full recompute per visit)")
+	explain := flag.Bool("explain", false, "cross-validate against concrete traces; print the triage report on a cover failure")
 	cpuProfile := flag.String("cpuprofile", "", "write a pprof CPU profile of the analysis to this file")
 	memProfile := flag.String("memprofile", "", "write a pprof allocation profile to this file on exit")
 	flag.Parse()
@@ -140,6 +147,9 @@ func main() {
 				fmt.Println("\nloop dependence report:")
 				fmt.Print(checker.FormatLoopReports(checker.AnalyzeLoops(res)))
 			}
+			if *explain {
+				explainResult(prog, res)
+			}
 		}
 		return
 	}
@@ -168,6 +178,26 @@ func main() {
 		fmt.Println("\nloop dependence report:")
 		fmt.Print(checker.FormatLoopReports(checker.AnalyzeLoops(res)))
 	}
+	if *explain {
+		explainResult(prog, res)
+	}
+}
+
+// explainResult cross-validates the analysis result against randomized
+// concrete executions (fixed budget; cmd/shapetriage exposes the knobs)
+// and exits 1 with the triage report when a heap escapes coverage.
+func explainResult(prog *ir.Program, res *analysis.Result) {
+	const runs, seed = 50, 1
+	rep, err := triage.Explain(prog, res, runs, seed)
+	if err != nil {
+		fatal(err)
+	}
+	if rep == nil {
+		fmt.Printf("\nexplain: %s covers all heaps observed over %d runs\n", res.Level, runs)
+		return
+	}
+	fmt.Printf("\nexplain: SOUNDNESS VIOLATION\n%s", rep.Text())
+	os.Exit(1)
 }
 
 func printResult(res *analysis.Result, dot bool, stmtID int) {

@@ -46,6 +46,12 @@ type Context struct {
 	// NoCompress skips per-statement compression; only the ablation
 	// benchmarks set it.
 	NoCompress bool
+	// LegacyUnsound restores the engine's two historical soundness bugs:
+	// PRUNE is routed to rsg.PruneLegacyShare (pre-anchoring share
+	// eviction) and re-linking keeps the stale vacuous CYCLELINKS pairs
+	// JOIN can leave behind. Only the triage tooling sets it, to
+	// reproduce and regression-test historical soundness failures.
+	LegacyUnsound bool
 }
 
 // Diagnostics counts noteworthy abstract events.
@@ -154,7 +160,12 @@ func EraseTouch(ctx *Context, in *rsrsg.Set, ipvars rsg.PvarSet) *rsrsg.Set {
 }
 
 func divide(ctx *Context, g *rsg.Graph, x, sel rsg.Sym) []rsg.Division {
-	divs := rsg.DivideSym(g, x, sel)
+	var divs []rsg.Division
+	if ctx.LegacyUnsound {
+		divs = rsg.DivideLegacyShareSym(g, x, sel)
+	} else {
+		divs = rsg.DivideSym(g, x, sel)
+	}
 	if ctx.Diags != nil {
 		// Count branches the division pruned away as infeasible.
 		n := g.PvarTargetSym(x)
@@ -182,10 +193,14 @@ func materialize(ctx *Context, g *rsg.Graph, src rsg.NodeID, sel rsg.Sym) rsg.No
 }
 
 func prune(ctx *Context, g *rsg.Graph) bool {
-	if ctx.DisableCyclePrune {
-		return pruneWithoutCycles(g)
+	pruneFn := rsg.Prune
+	if ctx.LegacyUnsound {
+		pruneFn = rsg.PruneLegacyShare
 	}
-	ok := rsg.Prune(g)
+	if ctx.DisableCyclePrune {
+		return pruneWithoutCycles(g, pruneFn)
+	}
+	ok := pruneFn(g)
 	if !ok && ctx.Diags != nil {
 		ctx.Diags.InfeasibleBranches++
 	}
@@ -194,13 +209,13 @@ func prune(ctx *Context, g *rsg.Graph) bool {
 
 // pruneWithoutCycles is the ablation variant: it blanks the CYCLELINKS
 // sets so NL_PRUNE never fires, then restores them.
-func pruneWithoutCycles(g *rsg.Graph) bool {
+func pruneWithoutCycles(g *rsg.Graph, pruneFn func(*rsg.Graph) bool) bool {
 	saved := make(map[rsg.NodeID]rsg.CycleSet)
 	for _, n := range g.Nodes() {
 		saved[n.ID] = n.Cycle
 		n.Cycle = rsg.NewCycleSet()
 	}
-	ok := rsg.Prune(g)
+	ok := pruneFn(g)
 	for _, n := range g.Nodes() {
 		if c, found := saved[n.ID]; found {
 			n.Cycle = c

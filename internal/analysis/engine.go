@@ -43,6 +43,12 @@ type Options struct {
 	// TouchAllPvars widens TOUCH eligibility from induction pvars to
 	// every pvar (ablation of the paper's restriction).
 	TouchAllPvars bool
+	// LegacyUnsound restores the engine's historical soundness bugs
+	// (pre-anchoring PRUNE share eviction and stale vacuous CYCLELINKS
+	// pairs on re-link; see absem.Context.LegacyUnsound). Only the
+	// triage tooling sets it, to reproduce historical failures on
+	// demand.
+	LegacyUnsound bool
 	// Timeout aborts the run with ErrTimeout when the fixed point takes
 	// longer than this wall-clock duration. 0 = no limit.
 	Timeout time.Duration
@@ -295,6 +301,7 @@ func Run(prog *ir.Program, opts Options) (*Result, error) {
 			Diags:             &res.Diags,
 			DisableCyclePrune: opts.DisableCyclePrune,
 			NoCompress:        opts.NoCompress,
+			LegacyUnsound:     opts.LegacyUnsound,
 		}
 		if opts.Level.UseTouch() {
 			if opts.TouchAllPvars {

@@ -1,0 +1,174 @@
+package cminic
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Format renders the AST back to parseable mini-C source. The triage
+// shrinker edits the AST (dropping statements and fields) and re-emits
+// each candidate through here before re-running the compile → analysis
+// → trace-check predicate.
+//
+// The emission normalizes what the parser abstracts anyway: scalar
+// members and locals all come back as `int`, scalar right-hand sides as
+// `0`, and opaque conditions as their recorded token text. Pointer
+// structure — the only thing the analysis sees — round-trips exactly.
+func Format(f *File) string {
+	var b strings.Builder
+	for _, s := range f.Structs {
+		fmt.Fprintf(&b, "struct %s {", s.Name)
+		for _, fd := range s.Fields {
+			if fd.PointsTo != "" {
+				fmt.Fprintf(&b, " struct %s *%s;", fd.PointsTo, fd.Name)
+			} else {
+				fmt.Fprintf(&b, " int %s;", fd.Name)
+			}
+		}
+		b.WriteString(" };\n")
+	}
+	for _, fn := range f.Funcs {
+		fmt.Fprintf(&b, "void %s(void) {\n", fn.Name)
+		emitStmts(&b, fn.Body.Stmts, 1)
+		b.WriteString("}\n")
+	}
+	return b.String()
+}
+
+func emitStmts(b *strings.Builder, stmts []Stmt, depth int) {
+	for _, s := range stmts {
+		emitStmt(b, s, depth)
+	}
+}
+
+func emitStmt(b *strings.Builder, s Stmt, depth int) {
+	ind := strings.Repeat("    ", depth)
+	switch v := s.(type) {
+	case *Block:
+		b.WriteString(ind + "{\n")
+		emitStmts(b, v.Stmts, depth+1)
+		b.WriteString(ind + "}\n")
+	case *DeclStmt:
+		if v.PointsTo != "" {
+			fmt.Fprintf(b, "%sstruct %s *%s", ind, v.PointsTo, v.Name)
+		} else {
+			fmt.Fprintf(b, "%sint %s", ind, v.Name)
+		}
+		if v.Init != nil {
+			fmt.Fprintf(b, " = %s", emitExpr(v.Init))
+		}
+		b.WriteString(";\n")
+	case *AssignStmt:
+		fmt.Fprintf(b, "%s%s;\n", ind, emitAssign(v))
+	case *IfStmt:
+		fmt.Fprintf(b, "%sif (%s) {\n", ind, emitCond(v.Cond))
+		emitBody(b, v.Then, depth+1)
+		if v.Else != nil {
+			b.WriteString(ind + "} else {\n")
+			emitBody(b, v.Else, depth+1)
+		}
+		b.WriteString(ind + "}\n")
+	case *WhileStmt:
+		if v.DoWhile {
+			b.WriteString(ind + "do {\n")
+			emitBody(b, v.Body, depth+1)
+			fmt.Fprintf(b, "%s} while (%s);\n", ind, emitCond(v.Cond))
+		} else {
+			fmt.Fprintf(b, "%swhile (%s) {\n", ind, emitCond(v.Cond))
+			emitBody(b, v.Body, depth+1)
+			b.WriteString(ind + "}\n")
+		}
+	case *ForStmt:
+		init, post := "", ""
+		if a, ok := v.Init.(*AssignStmt); ok {
+			init = emitAssign(a)
+		}
+		if a, ok := v.Post.(*AssignStmt); ok {
+			post = emitAssign(a)
+		}
+		cond := ""
+		if v.Cond != nil {
+			cond = emitCond(v.Cond)
+		}
+		fmt.Fprintf(b, "%sfor (%s; %s; %s) {\n", ind, init, cond, post)
+		emitBody(b, v.Body, depth+1)
+		b.WriteString(ind + "}\n")
+	case *FreeStmt:
+		fmt.Fprintf(b, "%sfree(%s);\n", ind, v.Arg)
+	case *BreakStmt:
+		b.WriteString(ind + "break;\n")
+	case *ContinueStmt:
+		b.WriteString(ind + "continue;\n")
+	case *ReturnStmt:
+		b.WriteString(ind + "return;\n")
+	case *EmptyStmt:
+		b.WriteString(ind + ";\n")
+	}
+}
+
+// emitBody emits a statement that syntactically sits inside braces the
+// caller already printed, flattening a Block one level.
+func emitBody(b *strings.Builder, s Stmt, depth int) {
+	if blk, ok := s.(*Block); ok {
+		emitStmts(b, blk.Stmts, depth)
+		return
+	}
+	if s != nil {
+		emitStmt(b, s, depth)
+	}
+}
+
+// emitAssign renders an assignment without the terminating semicolon
+// (for-header clauses reuse it).
+func emitAssign(v *AssignStmt) string {
+	if v.IsScalar {
+		// The parser records scalar right-hand sides opaquely; any
+		// scalar value round-trips to the same IR noop.
+		return fmt.Sprintf("%s = 0", v.LHS)
+	}
+	return fmt.Sprintf("%s = %s", v.LHS, emitExpr(v.RHS))
+}
+
+func emitExpr(e Expr) string {
+	switch v := e.(type) {
+	case *NullExpr:
+		return "NULL"
+	case *MallocExpr:
+		return fmt.Sprintf("malloc(sizeof(struct %s))", v.Type)
+	case *PathExpr:
+		return v.Path.String()
+	case *OpaqueExpr:
+		if v.Text == "" {
+			return "0"
+		}
+		return v.Text
+	default:
+		return "0"
+	}
+}
+
+func emitCond(e Expr) string {
+	switch v := e.(type) {
+	case *CmpNullExpr:
+		op := "!="
+		if v.Equal {
+			op = "=="
+		}
+		return fmt.Sprintf("%s %s NULL", v.Path, op)
+	case *CmpPathExpr:
+		op := "!="
+		if v.Equal {
+			op = "=="
+		}
+		return fmt.Sprintf("%s %s %s", v.A, op, v.B)
+	case *OpaqueExpr:
+		if v.Text == "" {
+			return "cond"
+		}
+		return v.Text
+	case nil:
+		return "cond"
+	default:
+		return "cond"
+	}
+}

@@ -1,0 +1,131 @@
+package cminic
+
+import (
+	"testing"
+)
+
+// emitRoundtripSrc exercises every construct the emitter handles:
+// structs with scalar and pointer fields, declarations, the six pointer
+// statements, if/else, while, do-while, for, free, break/continue,
+// return, and opaque scalar code.
+const emitRoundtripSrc = `
+struct node { int v; struct node *nxt; struct node *prv; };
+struct leaf { int w; };
+
+void main(void) {
+    struct node *p;
+    struct node *q;
+    int i;
+    p = malloc(sizeof(struct node));
+    q = NULL;
+    p->nxt = p;
+    p->prv = NULL;
+    q = p->nxt;
+    i = 0;
+    if (p != NULL) {
+        q = p;
+    } else {
+        q = NULL;
+    }
+    while (p->nxt != NULL) {
+        p = p->nxt;
+        if (cond) { break; }
+        continue;
+    }
+    do {
+        i = i + 1;
+    } while (i < 10);
+    for (p = q; p != NULL; p = p->nxt) {
+        free(p->prv);
+    }
+    free(q);
+    return;
+}
+`
+
+// TestFormatRoundtrip checks that Format output parses and that a
+// second parse → Format cycle is a fixed point: the shrinker depends on
+// structural candidate diffs being stable under re-emission.
+func TestFormatRoundtrip(t *testing.T) {
+	f1, err := Parse(emitRoundtripSrc)
+	if err != nil {
+		t.Fatalf("parse input: %v", err)
+	}
+	out1 := Format(f1)
+	f2, err := Parse(out1)
+	if err != nil {
+		t.Fatalf("re-parse emitted source: %v\n%s", err, out1)
+	}
+	out2 := Format(f2)
+	if out1 != out2 {
+		t.Fatalf("Format is not a fixed point:\nfirst:\n%s\nsecond:\n%s", out1, out2)
+	}
+}
+
+// TestFormatPreservesStructure compares the parse trees across the
+// roundtrip: same structs, fields, and statement counts.
+func TestFormatPreservesStructure(t *testing.T) {
+	f1, err := Parse(emitRoundtripSrc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f2, err := Parse(Format(f1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(f1.Structs) != len(f2.Structs) {
+		t.Fatalf("struct count changed: %d -> %d", len(f1.Structs), len(f2.Structs))
+	}
+	for i := range f1.Structs {
+		if f1.Structs[i].Name != f2.Structs[i].Name {
+			t.Errorf("struct %d renamed: %s -> %s", i, f1.Structs[i].Name, f2.Structs[i].Name)
+		}
+		if len(f1.Structs[i].Fields) != len(f2.Structs[i].Fields) {
+			t.Errorf("struct %s field count changed: %d -> %d", f1.Structs[i].Name,
+				len(f1.Structs[i].Fields), len(f2.Structs[i].Fields))
+		}
+	}
+	if n1, n2 := countStmts(f1), countStmts(f2); n1 != n2 {
+		t.Fatalf("statement count changed across roundtrip: %d -> %d", n1, n2)
+	}
+}
+
+func countStmts(f *File) int {
+	n := 0
+	var walk func(s Stmt)
+	walkBlock := func(blk *Block) {
+		if blk == nil {
+			return
+		}
+		for _, s := range blk.Stmts {
+			walk(s)
+		}
+	}
+	walk = func(s Stmt) {
+		n++
+		switch v := s.(type) {
+		case *Block:
+			n-- // the wrapper itself is not a statement unit
+			walkBlock(v)
+		case *IfStmt:
+			if b, ok := v.Then.(*Block); ok {
+				walkBlock(b)
+			}
+			if b, ok := v.Else.(*Block); ok {
+				walkBlock(b)
+			}
+		case *WhileStmt:
+			if b, ok := v.Body.(*Block); ok {
+				walkBlock(b)
+			}
+		case *ForStmt:
+			if b, ok := v.Body.(*Block); ok {
+				walkBlock(b)
+			}
+		}
+	}
+	for _, fn := range f.Funcs {
+		walkBlock(fn.Body)
+	}
+	return n
+}

@@ -77,28 +77,18 @@ func TestSoundnessOnList(t *testing.T) {
 }
 
 // CheckTraces runs `runs` randomized concrete executions and asserts
-// coverage of every step's heap by the per-statement RSRSG.
+// coverage of every step's heap by the per-statement RSRSG. It
+// delegates to FindCoverFailure, so a failure prints the structured
+// cover-diff report (frontier statement, best partial embedding,
+// rejecting node property) instead of a bare verdict.
 func CheckTraces(t *testing.T, prog *ir.Program, res *analysis.Result, runs int, seed int64) {
 	t.Helper()
-	rng := rand.New(rand.NewSource(seed))
-	for r := 0; r < runs; r++ {
-		it := &Interp{Prog: prog, Rng: rand.New(rand.NewSource(rng.Int63())), MaxSteps: 1500}
-		tr, err := it.Run()
-		if err != nil {
-			t.Fatalf("run %d: %v", r, err)
-		}
-		for i, step := range tr.Steps {
-			set := res.Out[step.StmtID]
-			if set == nil {
-				t.Fatalf("run %d step %d: no RSRSG for statement %d (%s)",
-					r, i, step.StmtID, prog.Stmt(step.StmtID))
-			}
-			ok, why := Covers(set, step.Heap)
-			if !ok {
-				t.Fatalf("run %d step %d: statement %d (%s) not covered at %s: %s",
-					r, i, step.StmtID, prog.Stmt(step.StmtID), res.Level, why)
-			}
-		}
+	fail, err := FindCoverFailure(prog, res.Out, res.Level, runs, seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fail != nil {
+		t.Fatalf("%s", fail)
 	}
 }
 

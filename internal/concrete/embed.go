@@ -3,28 +3,191 @@ package concrete
 import (
 	"fmt"
 	"sort"
+	"strings"
 
 	"repro/internal/rsg"
 	"repro/internal/rsrsg"
 )
 
+// RejectKind names the embedding constraint that rejected a candidate
+// cell-to-node match (or a whole graph). The kinds mirror the node
+// properties of the paper: the reference-pattern sets SELIN/SELOUT,
+// the share flags SHARED/SHSEL, CYCLELINKS, and the pvar paths (SPATH).
+// TOUCH never rejects: it records traversal history across a loop, not
+// a constraint any single heap snapshot can violate.
+type RejectKind string
+
+const (
+	// RejectPvarNull: a pvar is non-NULL concretely but NULL in PL.
+	RejectPvarNull RejectKind = "PVAR-NULL"
+	// RejectPvarBound: a pvar is NULL concretely but bound in PL.
+	RejectPvarBound RejectKind = "PVAR-BOUND"
+	// RejectSPath: the node PL forces for a pvar-referenced cell does
+	// not accept the cell, so no pvar-respecting assignment exists.
+	RejectSPath RejectKind = "SPATH"
+	// RejectType: the TYPE property differs from the cell's type.
+	RejectType RejectKind = "TYPE"
+	// RejectShared: SHARED(n) = false but the cell has 2+ incoming
+	// heap references.
+	RejectShared RejectKind = "SHARED"
+	// RejectShSel: SHSEL(n, sel) = false but the cell has 2+ incoming
+	// sel references.
+	RejectShSel RejectKind = "SHSEL"
+	// RejectSelOut: sel is in the definite SELOUT pattern but the
+	// cell's sel field is NULL.
+	RejectSelOut RejectKind = "SELOUT"
+	// RejectSelOutPattern: the cell's sel field is non-NULL but sel is
+	// in neither SELOUT nor PosSELOUT — the node claims no represented
+	// location has the reference.
+	RejectSelOutPattern RejectKind = "SELOUT-PATTERN"
+	// RejectSelIn: sel is in the definite SELIN pattern but nothing
+	// references the cell through sel.
+	RejectSelIn RejectKind = "SELIN"
+	// RejectCycle: a CYCLELINKS pair <out,in> does not close on the
+	// cell (cell.out.in != cell).
+	RejectCycle RejectKind = "CYCLELINKS"
+	// RejectSingleton: the node is a singleton already carrying another
+	// cell in the current partial assignment.
+	RejectSingleton RejectKind = "SINGLETON"
+	// RejectLink: a concrete reference between two assigned cells has
+	// no corresponding NL link between their nodes.
+	RejectLink RejectKind = "LINK"
+)
+
+// Reject pinpoints one rejected match: which concrete cell, which
+// abstract node, and the property that refused it.
+type Reject struct {
+	Cell Loc        // concrete cell (0 when the reject is not cell-specific)
+	Node rsg.NodeID // abstract node (-1 when no node is involved)
+	Kind RejectKind
+	Sel  string // selector involved, when the property is per-selector
+	// Detail is a short human-readable elaboration.
+	Detail string
+}
+
+func (r Reject) String() string {
+	var b strings.Builder
+	b.WriteString(string(r.Kind))
+	if r.Cell != 0 || r.Node >= 0 {
+		b.WriteString(" [")
+		if r.Cell != 0 {
+			fmt.Fprintf(&b, "L%d", r.Cell)
+		}
+		if r.Node >= 0 {
+			if r.Cell != 0 {
+				b.WriteString(" vs ")
+			}
+			fmt.Fprintf(&b, "n%d", r.Node)
+		}
+		b.WriteString("]")
+	}
+	if r.Sel != "" {
+		fmt.Fprintf(&b, " sel=%s", r.Sel)
+	}
+	if r.Detail != "" {
+		b.WriteString(": ")
+		b.WriteString(r.Detail)
+	}
+	return b.String()
+}
+
+// EmbedFailure explains why one RSG admits no embedding of a heap. The
+// search records the deepest consistent partial embedding it reached
+// and the rejections observed at that frontier, so the report can name
+// the exact node property that broke the match.
+type EmbedFailure struct {
+	// GraphIndex is the RSG's position in the RSRSG (-1 for a direct
+	// ExplainEmbedding call).
+	GraphIndex int
+	Graph      *rsg.Graph
+	// Headline is the most informative rejection: the reason at the
+	// deepest point the search reached.
+	Headline Reject
+	// Rejects lists every distinct rejection observed at the failure
+	// frontier (all for the same cell): one per candidate node in the
+	// candidate phase, one per tried assignment in the search phase.
+	Rejects []Reject
+	// BestAssign is the deepest consistent partial embedding
+	// (cell -> node), and BestDepth its size; Cells is the number of
+	// live cells that needed assignment. Both are only tracked in
+	// explain mode (ExplainEmbedding / ExplainCover) and stay nil/0 for
+	// the fast path.
+	BestAssign map[Loc]rsg.NodeID
+	BestDepth  int
+	Cells      int
+	// FrontierCell is the first cell the best partial embedding could
+	// not extend to (0 when the failure precedes the search).
+	FrontierCell Loc
+}
+
+// Summary renders the failure as one line.
+func (f *EmbedFailure) Summary() string { return f.Headline.String() }
+
+// Format renders the failure with the partial embedding.
+func (f *EmbedFailure) Format() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "rejected by %s\n", f.Headline)
+	if f.BestAssign != nil {
+		fmt.Fprintf(&b, "best partial embedding (%d of %d cells):\n", f.BestDepth, f.Cells)
+		var ls []Loc
+		for l := range f.BestAssign {
+			ls = append(ls, l)
+		}
+		sort.Slice(ls, func(i, j int) bool { return ls[i] < ls[j] })
+		for _, l := range ls {
+			fmt.Fprintf(&b, "  L%d -> n%d\n", l, f.BestAssign[l])
+		}
+		if f.FrontierCell != 0 {
+			fmt.Fprintf(&b, "frontier cell L%d admits no node:\n", f.FrontierCell)
+		}
+	}
+	for _, r := range f.Rejects {
+		if r == f.Headline && len(f.Rejects) == 1 {
+			continue // already printed
+		}
+		fmt.Fprintf(&b, "  %s\n", r)
+	}
+	return b.String()
+}
+
 // Covers reports whether the RSRSG covers the concrete heap: some
 // member RSG admits an embedding of the heap. detail explains a
-// negative verdict.
+// negative verdict with one line per rejecting RSG; ExplainCover gives
+// the full structured account.
 func Covers(set *rsrsg.Set, h *Heap) (bool, string) {
 	if set == nil {
 		return false, "nil RSRSG"
 	}
 	var reasons []string
 	for i, g := range set.Graphs() {
-		if ok, why := Embeds(g, h); ok {
+		f := embed(g, h, false)
+		if f == nil {
 			return true, ""
-		} else {
-			reasons = append(reasons, fmt.Sprintf("rsg#%d: %s", i, why))
 		}
+		reasons = append(reasons, fmt.Sprintf("rsg#%d: %s", i, f.Summary()))
 	}
 	return false, fmt.Sprintf("no RSG embeds the heap (%d candidates): %v\nheap:\n%s",
 		set.Len(), reasons, h)
+}
+
+// ExplainCover replays the embedding search against every RSG of the
+// set with full introspection. It returns one EmbedFailure per RSG (in
+// set order); nil when some RSG embeds the heap, i.e. the heap is
+// covered. An empty (or nil) set yields an empty, non-nil slice.
+func ExplainCover(set *rsrsg.Set, h *Heap) []*EmbedFailure {
+	fails := []*EmbedFailure{}
+	if set == nil {
+		return fails
+	}
+	for i, g := range set.Graphs() {
+		f := embed(g, h, true)
+		if f == nil {
+			return nil
+		}
+		f.GraphIndex = i
+		fails = append(fails, f)
+	}
+	return fails
 }
 
 // Embeds reports whether the RSG admits an embedding of the concrete
@@ -46,186 +209,327 @@ func Covers(set *rsrsg.Set, h *Heap) (bool, string) {
 // Nodes may be unmapped (embeddings are not surjective; see the
 // materialization notes in the rsg package).
 func Embeds(g *rsg.Graph, h *Heap) (bool, string) {
+	if f := embed(g, h, false); f != nil {
+		return false, f.Summary()
+	}
+	return true, ""
+}
+
+// ExplainEmbedding is Embeds with full introspection: nil when the
+// graph embeds the heap, otherwise the structured failure including the
+// best partial embedding the search reached.
+func ExplainEmbedding(g *rsg.Graph, h *Heap) *EmbedFailure {
+	return embed(g, h, true)
+}
+
+// embedSearch carries the state of one embedding attempt.
+type embedSearch struct {
+	g     *rsg.Graph
+	h     *Heap
+	cells []*Cell
+	// sels[i] holds cells[i]'s selectors in sorted order, so rejection
+	// reports do not depend on map iteration order.
+	sels   [][]string
+	cand   map[Loc][]rsg.NodeID
+	assign map[Loc]rsg.NodeID
+	// explain enables frontier tracking; fail accumulates the result.
+	explain bool
+	fail    *EmbedFailure
+}
+
+// embed runs the embedding check; nil means the graph embeds the heap.
+// In fast mode (explain=false) the failure carries only the headline.
+func embed(g *rsg.Graph, h *Heap, explain bool) *EmbedFailure {
+	s := &embedSearch{
+		g: g, h: h, explain: explain,
+		fail: &EmbedFailure{GraphIndex: -1, Graph: g, Headline: Reject{Node: -1}},
+	}
 	reach := h.Reachable()
-	var cells []*Cell
 	for l := range reach {
 		if c := h.Cell(l); c != nil {
-			cells = append(cells, c)
+			s.cells = append(s.cells, c)
 		}
 	}
-	sort.Slice(cells, func(i, j int) bool { return cells[i].Loc < cells[j].Loc })
+	sort.Slice(s.cells, func(i, j int) bool { return s.cells[i].Loc < s.cells[j].Loc })
+	s.sels = make([][]string, len(s.cells))
+	for i, c := range s.cells {
+		for sel := range c.Fields {
+			s.sels[i] = append(s.sels[i], sel)
+		}
+		sort.Strings(s.sels[i])
+	}
+	s.fail.Cells = len(s.cells)
 
-	// Pvar agreement first (cheap rejection).
-	for p, l := range h.Pvars {
-		if l != 0 && g.PvarTarget(p) == nil {
-			return false, fmt.Sprintf("pvar %s non-NULL concretely but NULL in RSG", p)
+	// Pvar agreement first (cheap rejection). Sorted for deterministic
+	// reports.
+	var ps []string
+	for p := range h.Pvars {
+		ps = append(ps, p)
+	}
+	sort.Strings(ps)
+	for _, p := range ps {
+		if h.Pvars[p] != 0 && g.PvarTarget(p) == nil {
+			s.fail.Headline = Reject{Node: -1, Kind: RejectPvarNull,
+				Detail: fmt.Sprintf("pvar %s non-NULL concretely but NULL in RSG", p)}
+			s.fail.Rejects = []Reject{s.fail.Headline}
+			return s.fail
 		}
 	}
 	for _, p := range g.Pvars() {
 		if h.Get(p) == 0 {
-			return false, fmt.Sprintf("pvar %s NULL concretely but bound in RSG", p)
+			s.fail.Headline = Reject{Node: -1, Kind: RejectPvarBound,
+				Detail: fmt.Sprintf("pvar %s NULL concretely but bound in RSG", p)}
+			s.fail.Rejects = []Reject{s.fail.Headline}
+			return s.fail
 		}
 	}
 
 	total, bySel := h.InDegree()
 
 	// Candidate nodes per cell.
-	cand := make(map[Loc][]rsg.NodeID)
-	for _, c := range cells {
+	s.cand = make(map[Loc][]rsg.NodeID)
+	for i, c := range s.cells {
 		var ns []rsg.NodeID
+		var rejects []Reject
 		for _, n := range g.Nodes() {
-			if cellFitsNode(g, h, c, n, total[c.Loc], bySel[c.Loc]) {
+			rej, ok := cellReject(s.h, c, s.sels[i], n, total[c.Loc], bySel[c.Loc])
+			if ok {
 				ns = append(ns, n.ID)
+			} else if explain {
+				rejects = append(rejects, rej)
+			} else if s.fail.Headline.Kind == "" || (s.fail.Headline.Kind == RejectType && rej.Kind != RejectType) {
+				// Fast mode: keep one representative, preferring a
+				// property reject over a plain type mismatch.
+				s.fail.Headline = rej
 			}
 		}
 		if len(ns) == 0 {
-			return false, fmt.Sprintf("cell L%d (%s) fits no node", c.Loc, c.Type)
+			if explain {
+				s.fail.Headline = pickHeadline(rejects)
+				s.fail.Rejects = rejects
+				s.fail.BestAssign = map[Loc]rsg.NodeID{}
+				s.fail.FrontierCell = c.Loc
+			}
+			return s.fail
 		}
 		// Pvar-forced assignment.
-		for p, l := range h.Pvars {
-			if l == c.Loc {
-				want := g.PvarTarget(p)
-				found := false
-				for _, id := range ns {
-					if id == want.ID {
-						found = true
-						break
-					}
-				}
-				if !found {
-					return false, fmt.Sprintf("cell L%d bound to %s cannot map to its PL node", c.Loc, p)
-				}
-				ns = []rsg.NodeID{want.ID}
+		for _, p := range ps {
+			if h.Pvars[p] != c.Loc {
+				continue
 			}
+			want := g.PvarTarget(p)
+			found := false
+			for _, id := range ns {
+				if id == want.ID {
+					found = true
+					break
+				}
+			}
+			if !found {
+				rej, _ := cellReject(s.h, c, s.sels[i], want, total[c.Loc], bySel[c.Loc])
+				rej = Reject{Cell: c.Loc, Node: want.ID, Kind: RejectSPath, Sel: rej.Sel,
+					Detail: fmt.Sprintf("PL forces %s -> n%d, which rejects L%d by %s", p, want.ID, c.Loc, rej.Kind)}
+				s.fail.Headline = rej
+				s.fail.Rejects = []Reject{rej}
+				if explain {
+					s.fail.BestAssign = map[Loc]rsg.NodeID{}
+					s.fail.FrontierCell = c.Loc
+				}
+				return s.fail
+			}
+			ns = []rsg.NodeID{want.ID}
 		}
-		cand[c.Loc] = ns
+		s.cand[c.Loc] = ns
 	}
 
-	// Backtracking search for a consistent assignment.
-	assign := make(map[Loc]rsg.NodeID, len(cells))
-	if ok := assignCells(g, h, cells, 0, cand, assign); !ok {
-		return false, "no consistent cell-to-node assignment"
+	// Backtracking search for a consistent assignment. Link coverage is
+	// enforced incrementally as each cell is placed, so a completed
+	// assignment needs no final pass.
+	s.assign = make(map[Loc]rsg.NodeID, len(s.cells))
+	if s.place(0) {
+		return nil
 	}
-	return true, ""
+	if s.fail.Headline.Kind == "" {
+		s.fail.Headline = Reject{Node: -1, Kind: RejectLink,
+			Detail: "no consistent cell-to-node assignment"}
+	}
+	return s.fail
 }
 
-// cellFitsNode checks the per-cell constraints against one node.
-func cellFitsNode(g *rsg.Graph, h *Heap, c *Cell, n *rsg.Node, inTotal int, inBySel map[string]int) bool {
+// pickHeadline selects the most informative rejection: the first whose
+// kind is not TYPE (a type mismatch against an unrelated node explains
+// nothing), falling back to the first.
+func pickHeadline(rejects []Reject) Reject {
+	for _, r := range rejects {
+		if r.Kind != RejectType {
+			return r
+		}
+	}
+	return rejects[0]
+}
+
+// cellReject checks the per-cell constraints against one node; ok=false
+// comes with the rejecting property. sels is the cell's sorted selector
+// list (determinism), inTotal/inBySel its concrete in-degrees.
+func cellReject(h *Heap, c *Cell, sels []string, n *rsg.Node, inTotal int, inBySel map[string]int) (Reject, bool) {
+	rej := func(kind RejectKind, sel, detail string) Reject {
+		return Reject{Cell: c.Loc, Node: n.ID, Kind: kind, Sel: sel, Detail: detail}
+	}
 	if n.Type != c.Type {
-		return false
+		return rej(RejectType, "", fmt.Sprintf("cell type %s vs node type %s", c.Type, n.Type)), false
 	}
 	if !n.Shared && inTotal >= 2 {
-		return false
+		return rej(RejectShared, "", fmt.Sprintf("SHARED(n%d)=false but L%d has %d incoming references", n.ID, c.Loc, inTotal)), false
 	}
-	for sel, cnt := range inBySel {
-		if cnt >= 2 && !n.SharedBy(sel) {
-			return false
+	for _, sel := range sels {
+		if cnt := inBySel[sel]; cnt >= 2 && !n.SharedBy(sel) {
+			return rej(RejectShSel, sel, fmt.Sprintf("SHSEL(n%d,%s)=false but L%d has %d incoming %s references", n.ID, sel, c.Loc, cnt, sel)), false
+		}
+	}
+	// Incoming selectors the cell declares no field for (possible only
+	// with hand-built heaps mixing struct layouts) still carry sharing.
+	var extra []string
+	for sel := range inBySel {
+		if _, known := c.Fields[sel]; !known {
+			extra = append(extra, sel)
+		}
+	}
+	sort.Strings(extra)
+	for _, sel := range extra {
+		if inBySel[sel] >= 2 && !n.SharedBy(sel) {
+			return rej(RejectShSel, sel, fmt.Sprintf("SHSEL(n%d,%s)=false but L%d has %d incoming %s references", n.ID, sel, c.Loc, inBySel[sel], sel)), false
 		}
 	}
 	// Definite SELOUT: the cell must have the reference.
 	for _, sel := range n.SelOut.Sorted() {
 		if c.Fields[sel] == 0 {
-			return false
+			return rej(RejectSelOut, sel, fmt.Sprintf("SELOUT(n%d) requires %s but L%d.%s is NULL", n.ID, sel, c.Loc, sel)), false
 		}
 	}
 	// SELOUT completeness: a non-NULL field requires sel in SELOUT or
-	// PosSELOUT (otherwise the node claims no location has it)...
-	for sel, t := range c.Fields {
-		if t != 0 && !n.SelOut.Has(sel) && !n.PosSelOut.Has(sel) {
-			return false
+	// PosSELOUT (otherwise the node claims no location has it).
+	for _, sel := range sels {
+		if c.Fields[sel] != 0 && !n.SelOut.Has(sel) && !n.PosSelOut.Has(sel) {
+			return rej(RejectSelOutPattern, sel, fmt.Sprintf("L%d.%s is set but %s is in neither SELOUT nor PosSELOUT of n%d", c.Loc, sel, sel, n.ID)), false
 		}
 	}
 	// Definite SELIN: the cell must be referenced through the selector.
-	_, bySel := h.InDegree()
 	for _, sel := range n.SelIn.Sorted() {
-		if bySel[c.Loc][sel] == 0 {
-			return false
+		if inBySel[sel] == 0 {
+			return rej(RejectSelIn, sel, fmt.Sprintf("SELIN(n%d) requires an incoming %s reference into L%d", n.ID, sel, c.Loc)), false
 		}
 	}
 	// Cycle links: following Out then In from the cell returns to it.
+	// A NULL Out field is vacuous: the pair claims the return path only
+	// for existing references (the paper couples it with SELOUT).
 	for _, pair := range n.Cycle.Sorted() {
 		t := c.Fields[pair.Out]
 		if t == 0 {
-			continue // vacuous when the Out field is NULL? No: the pair
-			// claims the reference pattern only for existing refs; the
-			// paper couples it with SELOUT. Treat NULL as vacuous.
+			continue
 		}
 		tc := h.Cell(t)
 		if tc == nil || tc.Fields[pair.In] != c.Loc {
-			return false
+			return rej(RejectCycle, pair.Out, fmt.Sprintf("CYCLELINKS(n%d) pair <%s,%s> does not close: L%d.%s.%s != L%d", n.ID, pair.Out, pair.In, c.Loc, pair.Out, pair.In, c.Loc)), false
 		}
 	}
-	return true
+	return Reject{}, true
 }
 
-// assignCells backtracks over candidate assignments, enforcing link
-// coverage and singleton capacity.
-func assignCells(g *rsg.Graph, h *Heap, cells []*Cell, idx int, cand map[Loc][]rsg.NodeID, assign map[Loc]rsg.NodeID) bool {
-	if idx == len(cells) {
-		return checkLinks(g, h, assign)
+// place extends the assignment to cells[idx:]; true on success.
+func (s *embedSearch) place(idx int) bool {
+	if idx == len(s.cells) {
+		return true
 	}
-	c := cells[idx]
-	for _, id := range cand[c.Loc] {
-		if g.Node(id).Singleton {
+	c := s.cells[idx]
+	for _, id := range s.cand[c.Loc] {
+		if s.g.Node(id).Singleton {
 			used := false
-			for _, a := range assign {
+			for _, a := range s.assign {
 				if a == id {
 					used = true
 					break
 				}
 			}
 			if used {
+				s.note(idx, Reject{Cell: c.Loc, Node: id, Kind: RejectSingleton,
+					Detail: fmt.Sprintf("singleton n%d already carries another cell", id)})
 				continue
 			}
 		}
-		assign[c.Loc] = id
-		if partialLinksOK(g, h, cells[:idx+1], assign) && assignCells(g, h, cells, idx+1, cand, assign) {
+		s.assign[c.Loc] = id
+		if rej, bad := s.linkViolation(idx, c, id); bad {
+			delete(s.assign, c.Loc)
+			s.note(idx, rej)
+			continue
+		}
+		if s.place(idx + 1) {
 			return true
 		}
-		delete(assign, c.Loc)
+		delete(s.assign, c.Loc)
 	}
 	return false
 }
 
-// partialLinksOK verifies link coverage among already-assigned cells.
-func partialLinksOK(g *rsg.Graph, h *Heap, done []*Cell, assign map[Loc]rsg.NodeID) bool {
-	for _, c := range done {
-		src, ok := assign[c.Loc]
+// linkViolation checks the concrete references between the newly placed
+// cell c (cells[idx], mapped to id) and every already-assigned cell;
+// references among earlier cells were checked when the later endpoint
+// was placed, so the incremental check covers all pairs.
+func (s *embedSearch) linkViolation(idx int, c *Cell, id rsg.NodeID) (Reject, bool) {
+	for _, sel := range s.sels[idx] {
+		t := c.Fields[sel]
+		if t == 0 {
+			continue
+		}
+		dst, ok := s.assign[t]
 		if !ok {
 			continue
 		}
-		for sel, t := range c.Fields {
-			if t == 0 {
+		if !s.g.HasLink(id, sel, dst) {
+			return Reject{Cell: c.Loc, Node: id, Kind: RejectLink, Sel: sel,
+				Detail: fmt.Sprintf("L%d.%s = L%d but <n%d,%s,n%d> is not in NL", c.Loc, sel, t, id, sel, dst)}, true
+		}
+	}
+	for j, d := range s.cells {
+		if d.Loc == c.Loc {
+			continue
+		}
+		src, ok := s.assign[d.Loc]
+		if !ok {
+			continue
+		}
+		for _, sel := range s.sels[j] {
+			if d.Fields[sel] != c.Loc {
 				continue
 			}
-			dst, ok := assign[t]
-			if !ok {
-				continue
-			}
-			if !g.HasLink(src, sel, dst) {
-				return false
+			if !s.g.HasLink(src, sel, id) {
+				return Reject{Cell: c.Loc, Node: id, Kind: RejectLink, Sel: sel,
+					Detail: fmt.Sprintf("L%d.%s = L%d but <n%d,%s,n%d> is not in NL", d.Loc, sel, c.Loc, src, sel, id)}, true
 			}
 		}
 	}
-	return true
+	return Reject{}, false
 }
 
-// checkLinks verifies full link coverage.
-func checkLinks(g *rsg.Graph, h *Heap, assign map[Loc]rsg.NodeID) bool {
-	for l, src := range assign {
-		c := h.Cell(l)
-		for sel, t := range c.Fields {
-			if t == 0 {
-				continue
-			}
-			dst, ok := assign[t]
-			if !ok {
-				return false
-			}
-			if !g.HasLink(src, sel, dst) {
-				return false
-			}
-		}
+// note records a rejection at search depth idx (idx cells are assigned,
+// cells[idx] was refused). The deepest frontier wins; rejections at the
+// same depth accumulate.
+func (s *embedSearch) note(idx int, rej Reject) {
+	if s.fail.Headline.Kind == "" || idx >= s.fail.BestDepth {
+		s.fail.Headline = rej
 	}
-	return true
+	if !s.explain {
+		return
+	}
+	if s.fail.BestAssign == nil || idx > s.fail.BestDepth {
+		s.fail.BestDepth = idx
+		s.fail.BestAssign = make(map[Loc]rsg.NodeID, idx)
+		for l, n := range s.assign {
+			s.fail.BestAssign[l] = n
+		}
+		s.fail.FrontierCell = s.cells[idx].Loc
+		s.fail.Rejects = s.fail.Rejects[:0]
+	}
+	if idx == s.fail.BestDepth && len(s.fail.Rejects) < 16 {
+		s.fail.Rejects = append(s.fail.Rejects, rej)
+	}
 }

@@ -1,0 +1,230 @@
+package concrete
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"strings"
+
+	"repro/internal/ir"
+	"repro/internal/rsg"
+	"repro/internal/rsrsg"
+)
+
+// CoverFailure is the structured account of one soundness violation: a
+// concrete heap, observed after a statement on a randomized execution,
+// that no RSG of the statement's RSRSG embeds. It records where
+// coverage broke (run/step/statement) and, per RSG, why the embedding
+// search rejected the heap.
+type CoverFailure struct {
+	// Run and StepIndex locate the violation in the trace sweep; StmtID
+	// and Stmt name the statement whose post-state failed.
+	Run       int
+	StepIndex int
+	StmtID    int
+	Stmt      string
+	Level     rsg.Level
+	// Heap is the uncovered concrete configuration.
+	Heap *Heap
+	// Set is the statement's RSRSG; nil when the analysis produced no
+	// RSRSG for a statement the interpreter reached (itself a
+	// violation — EmptySet distinguishes a missing set from an empty
+	// one).
+	Set      *rsrsg.Set
+	EmptySet bool
+	// Graphs holds one EmbedFailure per RSG, in set order.
+	Graphs []*EmbedFailure
+}
+
+// Nearest returns the EmbedFailure whose search got furthest — the
+// "nearest RSG" the reports and DOT output focus on. Ties break toward
+// the lower graph index; nil when the set was missing or empty.
+func (f *CoverFailure) Nearest() *EmbedFailure {
+	var best *EmbedFailure
+	for _, ef := range f.Graphs {
+		if best == nil || ef.BestDepth > best.BestDepth {
+			best = ef
+		}
+	}
+	return best
+}
+
+// String renders the failure report.
+func (f *CoverFailure) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "soundness violation at %s: statement %d (%s) not covered (run %d, step %d)\n",
+		f.Level, f.StmtID, f.Stmt, f.Run, f.StepIndex)
+	b.WriteString("concrete heap:\n")
+	for _, line := range strings.Split(strings.TrimRight(f.Heap.String(), "\n"), "\n") {
+		b.WriteString("  " + line + "\n")
+	}
+	switch {
+	case f.Set == nil && f.EmptySet:
+		b.WriteString("the analysis computed no RSRSG for the statement\n")
+	case len(f.Graphs) == 0:
+		b.WriteString("the statement's RSRSG is empty: every abstract branch was pruned as infeasible\n")
+	default:
+		fmt.Fprintf(&b, "none of the %d RSGs embeds the heap:\n", len(f.Graphs))
+		nearest := f.Nearest()
+		for _, ef := range f.Graphs {
+			marker := " "
+			if ef == nearest {
+				marker = "*"
+			}
+			fmt.Fprintf(&b, "%s rsg#%d: %s\n", marker, ef.GraphIndex, ef.Summary())
+		}
+		if nearest != nil {
+			fmt.Fprintf(&b, "nearest RSG (rsg#%d):\n", nearest.GraphIndex)
+			for _, line := range strings.Split(strings.TrimRight(nearest.Format(), "\n"), "\n") {
+				b.WriteString("  " + line + "\n")
+			}
+		}
+	}
+	return b.String()
+}
+
+// HeapDOT renders the uncovered heap in Graphviz dot syntax, annotated
+// with the nearest RSG's best partial embedding: mapped cells are green
+// and tagged with their node, the frontier cell is red. When cluster is
+// set, the output is a subgraph cluster for side-by-side drawings.
+func (f *CoverFailure) HeapDOT(cluster bool) string {
+	nearest := f.Nearest()
+	var b strings.Builder
+	if cluster {
+		b.WriteString("subgraph cluster_heap {\n  label=\"concrete heap\";\n")
+	} else {
+		b.WriteString("digraph \"concrete heap\" {\n")
+	}
+	b.WriteString("  rankdir=LR;\n  node [shape=record, fontsize=10];\n")
+	var ps []string
+	for p := range f.Heap.Pvars {
+		ps = append(ps, p)
+	}
+	sort.Strings(ps)
+	for _, p := range ps {
+		fmt.Fprintf(&b, "  hpv_%s [shape=plaintext, label=%q];\n", p, p)
+	}
+	var ls []Loc
+	for l := range f.Heap.Cells {
+		ls = append(ls, l)
+	}
+	sort.Slice(ls, func(i, j int) bool { return ls[i] < ls[j] })
+	for _, l := range ls {
+		c := f.Heap.Cells[l]
+		label := fmt.Sprintf("L%d: %s", l, c.Type)
+		var attrs []string
+		if nearest != nil {
+			if n, ok := nearest.BestAssign[l]; ok {
+				label += fmt.Sprintf("\\n-> n%d", n)
+				attrs = append(attrs, `style=filled`, `fillcolor="#d5f5e3"`)
+			} else if l == nearest.FrontierCell {
+				label += "\\n(unplaceable)"
+				attrs = append(attrs, `style=filled`, `fillcolor="#f5b7b1"`)
+			}
+		}
+		attrs = append(attrs, fmt.Sprintf("label=%q", label))
+		fmt.Fprintf(&b, "  hL%d [%s];\n", l, strings.Join(attrs, ", "))
+	}
+	for _, p := range ps {
+		if t := f.Heap.Pvars[p]; t != 0 {
+			fmt.Fprintf(&b, "  hpv_%s -> hL%d;\n", p, t)
+		}
+	}
+	for _, l := range ls {
+		c := f.Heap.Cells[l]
+		var sels []string
+		for sel := range c.Fields {
+			sels = append(sels, sel)
+		}
+		sort.Strings(sels)
+		for _, sel := range sels {
+			if t := c.Fields[sel]; t != 0 {
+				fmt.Fprintf(&b, "  hL%d -> hL%d [label=%q];\n", l, t, sel)
+			}
+		}
+	}
+	b.WriteString("}\n")
+	return b.String()
+}
+
+// DOT renders the side-by-side pair — concrete heap on the left,
+// nearest RSG on the right, partial embedding highlighted on both — as
+// one Graphviz digraph with two clusters.
+func (f *CoverFailure) DOT() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "digraph \"cover-failure stmt %d\" {\n", f.StmtID)
+	b.WriteString(indent(f.HeapDOT(true)))
+	if nearest := f.Nearest(); nearest != nil {
+		styles := make(map[rsg.NodeID]rsg.DOTStyle)
+		var ls []Loc
+		for l := range nearest.BestAssign {
+			ls = append(ls, l)
+		}
+		sort.Slice(ls, func(i, j int) bool { return ls[i] < ls[j] })
+		for _, l := range ls {
+			id := nearest.BestAssign[l]
+			st := styles[id]
+			st.Fill = "#d5f5e3"
+			if st.Tag == "" {
+				st.Tag = fmt.Sprintf("<- L%d", l)
+			} else {
+				st.Tag += fmt.Sprintf(",L%d", l)
+			}
+			styles[id] = st
+		}
+		if n := nearest.Headline.Node; n >= 0 {
+			st := styles[n]
+			st.Fill = "#f5b7b1"
+			if st.Tag == "" {
+				st.Tag = "(" + string(nearest.Headline.Kind) + ")"
+			}
+			styles[n] = st
+		}
+		b.WriteString(indent(rsg.DOTWith(nearest.Graph, fmt.Sprintf("nearest RSG %d", nearest.GraphIndex), styles, true)))
+	}
+	b.WriteString("}\n")
+	return b.String()
+}
+
+func indent(s string) string {
+	lines := strings.Split(strings.TrimRight(s, "\n"), "\n")
+	for i, l := range lines {
+		lines[i] = "  " + l
+	}
+	return strings.Join(lines, "\n") + "\n"
+}
+
+// FindCoverFailure replays `runs` randomized concrete executions of the
+// program against the per-statement RSRSGs and returns the first
+// soundness violation with the full embedding introspection, or nil
+// when every observed heap is covered. An interpreter error (not a
+// coverage failure) is returned as err.
+func FindCoverFailure(prog *ir.Program, out map[int]*rsrsg.Set, lvl rsg.Level, runs int, seed int64) (*CoverFailure, error) {
+	rng := rand.New(rand.NewSource(seed))
+	for r := 0; r < runs; r++ {
+		it := &Interp{Prog: prog, Rng: rand.New(rand.NewSource(rng.Int63())), MaxSteps: 1500}
+		tr, err := it.Run()
+		if err != nil {
+			return nil, fmt.Errorf("run %d: %w", r, err)
+		}
+		for i, step := range tr.Steps {
+			set := out[step.StmtID]
+			if set == nil {
+				return &CoverFailure{
+					Run: r, StepIndex: i, StmtID: step.StmtID,
+					Stmt: prog.Stmt(step.StmtID).String(), Level: lvl,
+					Heap: step.Heap, EmptySet: true,
+				}, nil
+			}
+			if ok, _ := Covers(set, step.Heap); !ok {
+				return &CoverFailure{
+					Run: r, StepIndex: i, StmtID: step.StmtID,
+					Stmt: prog.Stmt(step.StmtID).String(), Level: lvl,
+					Heap: step.Heap, Set: set,
+					Graphs: ExplainCover(set, step.Heap),
+				}, nil
+			}
+		}
+	}
+	return nil, nil
+}

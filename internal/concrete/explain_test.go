@@ -1,0 +1,258 @@
+package concrete
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/rsg"
+)
+
+// The tests below hand-build one near-miss embedding per rejecting
+// property: a heap and an RSG that agree everywhere except for the
+// property under test, so ExplainEmbedding must name exactly that
+// property in its headline.
+
+// heapCell allocates a cell and returns its Loc.
+func heapCell(h *Heap, typ string, fields map[string]Loc) Loc {
+	var sels []string
+	for s := range fields {
+		sels = append(sels, s)
+	}
+	l := h.Alloc(typ, sels)
+	c := h.Cell(l)
+	for s, t := range fields {
+		c.Fields[s] = t
+	}
+	return l
+}
+
+func wantHeadline(t *testing.T, g *rsg.Graph, h *Heap, kind RejectKind) *EmbedFailure {
+	t.Helper()
+	f := ExplainEmbedding(g, h)
+	if f == nil {
+		t.Fatalf("graph unexpectedly embeds the heap")
+	}
+	if f.Headline.Kind != kind {
+		t.Fatalf("headline kind = %s, want %s\n%s", f.Headline.Kind, kind, f.Format())
+	}
+	if f.Headline.Detail == "" {
+		t.Fatalf("headline has no detail: %s", f.Headline)
+	}
+	return f
+}
+
+func TestExplainPvarNull(t *testing.T) {
+	h := NewHeap()
+	h.Set("p", heapCell(h, "node", nil))
+	g := rsg.NewGraph()
+	g.AddNode(rsg.NewNode("node"))
+	wantHeadline(t, g, h, RejectPvarNull)
+}
+
+func TestExplainPvarBound(t *testing.T) {
+	h := NewHeap() // p is NULL concretely
+	g := rsg.NewGraph()
+	n := g.AddNode(rsg.NewNode("node"))
+	g.SetPvar("p", n.ID)
+	wantHeadline(t, g, h, RejectPvarBound)
+}
+
+func TestExplainType(t *testing.T) {
+	h := NewHeap()
+	h.Set("p", heapCell(h, "node", nil))
+	g := rsg.NewGraph()
+	n := g.AddNode(rsg.NewNode("other"))
+	g.SetPvar("p", n.ID)
+	f := wantHeadline(t, g, h, RejectType)
+	if f.FrontierCell != 1 {
+		t.Errorf("frontier cell = L%d, want L1", f.FrontierCell)
+	}
+}
+
+func TestExplainShared(t *testing.T) {
+	h := NewHeap()
+	tail := heapCell(h, "node", nil)
+	hub := heapCell(h, "hub", map[string]Loc{"a": tail, "b": tail})
+	h.Set("p", hub)
+
+	g := rsg.NewGraph()
+	n0 := g.AddNode(rsg.NewNode("hub"))
+	n1 := g.AddNode(rsg.NewNode("node")) // Shared stays false: the near-miss
+	g.SetPvar("p", n0.ID)
+	g.AddLink(n0.ID, "a", n1.ID)
+	g.AddLink(n0.ID, "b", n1.ID)
+	n0.MarkPossibleOut("a")
+	n0.MarkPossibleOut("b")
+	wantHeadline(t, g, h, RejectShared)
+}
+
+func TestExplainShSel(t *testing.T) {
+	h := NewHeap()
+	tail := heapCell(h, "node", nil)
+	h.Set("p", heapCell(h, "a", map[string]Loc{"nxt": tail}))
+	h.Set("q", heapCell(h, "b", map[string]Loc{"nxt": tail}))
+
+	g := rsg.NewGraph()
+	n0 := g.AddNode(rsg.NewNode("a"))
+	n2 := g.AddNode(rsg.NewNode("b"))
+	n1 := g.AddNode(rsg.NewNode("node"))
+	g.SetPvar("p", n0.ID)
+	g.SetPvar("q", n2.ID)
+	g.AddLink(n0.ID, "nxt", n1.ID)
+	g.AddLink(n2.ID, "nxt", n1.ID)
+	n0.MarkPossibleOut("nxt")
+	n2.MarkPossibleOut("nxt")
+	n1.Shared = true // total sharing admitted, per-selector sharing not
+	f := wantHeadline(t, g, h, RejectShSel)
+	if f.Headline.Sel != "nxt" {
+		t.Errorf("headline selector = %q, want nxt", f.Headline.Sel)
+	}
+}
+
+func TestExplainSelOut(t *testing.T) {
+	h := NewHeap()
+	l := h.Alloc("node", []string{"nxt"}) // nxt stays NULL
+	h.Set("p", l)
+	g := rsg.NewGraph()
+	n := g.AddNode(rsg.NewNode("node"))
+	g.SetPvar("p", n.ID)
+	n.MarkDefiniteOut("nxt") // claims every location has the reference
+	f := wantHeadline(t, g, h, RejectSelOut)
+	if f.Headline.Sel != "nxt" {
+		t.Errorf("headline selector = %q, want nxt", f.Headline.Sel)
+	}
+}
+
+func TestExplainSelOutPattern(t *testing.T) {
+	h := NewHeap()
+	tail := heapCell(h, "tail", nil)
+	h.Set("p", heapCell(h, "node", map[string]Loc{"nxt": tail}))
+	g := rsg.NewGraph()
+	n0 := g.AddNode(rsg.NewNode("node")) // nxt in neither SELOUT nor PosSELOUT
+	n1 := g.AddNode(rsg.NewNode("tail"))
+	g.SetPvar("p", n0.ID)
+	g.AddLink(n0.ID, "nxt", n1.ID)
+	wantHeadline(t, g, h, RejectSelOutPattern)
+}
+
+func TestExplainSelIn(t *testing.T) {
+	h := NewHeap()
+	h.Set("p", heapCell(h, "node", nil)) // nothing references the cell
+	g := rsg.NewGraph()
+	n := g.AddNode(rsg.NewNode("node"))
+	g.SetPvar("p", n.ID)
+	n.MarkDefiniteIn("nxt")
+	wantHeadline(t, g, h, RejectSelIn)
+}
+
+func TestExplainCycle(t *testing.T) {
+	h := NewHeap()
+	fwd := h.Alloc("node", []string{"nxt", "prv"}) // prv does not point back
+	head := heapCell(h, "node", map[string]Loc{"nxt": fwd, "prv": 0})
+	h.Set("p", head)
+	g := rsg.NewGraph()
+	n0 := g.AddNode(rsg.NewNode("node"))
+	n1 := g.AddNode(rsg.NewNode("node"))
+	g.SetPvar("p", n0.ID)
+	g.AddLink(n0.ID, "nxt", n1.ID)
+	n0.MarkPossibleOut("nxt")
+	n0.Cycle.Add(rsg.CyclePair{Out: "nxt", In: "prv"})
+	f := wantHeadline(t, g, h, RejectCycle)
+	if !strings.Contains(f.Headline.Detail, "<nxt,prv>") {
+		t.Errorf("headline does not name the pair: %s", f.Headline)
+	}
+}
+
+func TestExplainSingleton(t *testing.T) {
+	h := NewHeap()
+	h.Set("p", heapCell(h, "node", nil))
+	h.Set("q", heapCell(h, "node", nil))
+	g := rsg.NewGraph()
+	n := g.AddNode(rsg.NewNode("node"))
+	n.Singleton = true
+	g.SetPvar("p", n.ID)
+	g.SetPvar("q", n.ID) // both pvars force the one singleton
+	f := wantHeadline(t, g, h, RejectSingleton)
+	if f.BestDepth != 1 {
+		t.Errorf("best partial embedding depth = %d, want 1", f.BestDepth)
+	}
+}
+
+func TestExplainLink(t *testing.T) {
+	h := NewHeap()
+	b := heapCell(h, "b", nil)
+	a := heapCell(h, "a", map[string]Loc{"nxt": b})
+	h.Set("p", a)
+	h.Set("q", b)
+	g := rsg.NewGraph()
+	n0 := g.AddNode(rsg.NewNode("a"))
+	n1 := g.AddNode(rsg.NewNode("b"))
+	g.SetPvar("p", n0.ID)
+	g.SetPvar("q", n1.ID)
+	n0.MarkPossibleOut("nxt") // pattern admits the field, NL has no link
+	f := wantHeadline(t, g, h, RejectLink)
+	if f.Headline.Sel != "nxt" {
+		t.Errorf("headline selector = %q, want nxt", f.Headline.Sel)
+	}
+}
+
+func TestExplainSPath(t *testing.T) {
+	h := NewHeap()
+	h.Set("p", heapCell(h, "node", nil))
+	g := rsg.NewGraph()
+	free := g.AddNode(rsg.NewNode("node")) // would accept the cell
+	forced := g.AddNode(rsg.NewNode("node"))
+	forced.MarkDefiniteIn("nxt") // rejects it
+	g.SetPvar("p", forced.ID)
+	_ = free
+	f := wantHeadline(t, g, h, RejectSPath)
+	if !strings.Contains(f.Headline.Detail, string(RejectSelIn)) {
+		t.Errorf("SPATH detail does not name the underlying property: %s", f.Headline)
+	}
+}
+
+// TestExplainTouchNeverRejects pins the documented exception: TOUCH
+// records traversal history, not a constraint a single heap snapshot
+// can violate, so a touched node must still accept a matching cell.
+func TestExplainTouchNeverRejects(t *testing.T) {
+	h := NewHeap()
+	h.Set("p", heapCell(h, "node", nil))
+	g := rsg.NewGraph()
+	n := g.AddNode(rsg.NewNode("node"))
+	g.SetPvar("p", n.ID)
+	n.Touch.Add("p")
+	if f := ExplainEmbedding(g, h); f != nil {
+		t.Fatalf("TOUCH rejected an embedding:\n%s", f.Format())
+	}
+}
+
+// TestExplainDeepestFrontier checks that the report carries the deepest
+// consistent partial embedding, not the first dead end.
+func TestExplainDeepestFrontier(t *testing.T) {
+	h := NewHeap()
+	// Allocation order fixes Loc order, which is the placement order.
+	a := h.Alloc("a", []string{"nxt"})
+	b := h.Alloc("b", []string{"nxt"})
+	c := h.Alloc("c", nil)
+	h.Cell(a).Fields["nxt"] = b
+	h.Cell(b).Fields["nxt"] = c
+	h.Set("p", a)
+	g := rsg.NewGraph()
+	n0 := g.AddNode(rsg.NewNode("a"))
+	n1 := g.AddNode(rsg.NewNode("b"))
+	g.AddNode(rsg.NewNode("c")) // no link n1 -> n2: the chain breaks at c
+	g.SetPvar("p", n0.ID)
+	g.AddLink(n0.ID, "nxt", n1.ID)
+	n0.MarkPossibleOut("nxt")
+	n1.MarkPossibleOut("nxt")
+	f := wantHeadline(t, g, h, RejectLink)
+	if f.BestDepth != 2 || f.Cells != 3 {
+		t.Errorf("best depth %d of %d cells, want 2 of 3\n%s", f.BestDepth, f.Cells, f.Format())
+	}
+	if f.FrontierCell != c {
+		t.Errorf("frontier cell = L%d, want L%d", f.FrontierCell, c)
+	}
+	if f.BestAssign[a] != n0.ID || f.BestAssign[b] != n1.ID {
+		t.Errorf("best assignment wrong: %v", f.BestAssign)
+	}
+}

@@ -1,90 +1,28 @@
 package concrete
 
 import (
-	"fmt"
 	"math/rand"
 	"os"
 	"path/filepath"
-	"strings"
+	"strconv"
 	"testing"
 
 	"repro/internal/analysis"
 	"repro/internal/rsg"
 )
 
-// genProgram emits a random mini-C program over three node pointers and
-// two selectors, with one loop in the middle. Dereferences through
-// possibly-NULL pvars are fine: the interpreter stops the trace and the
-// analysis drops the branch, and both must agree.
-func genProgram(r *rand.Rand) string {
-	sels := []string{"nxt", "prv"}
-	return genProgramOver(r, "node", sels, sels)
-}
-
-// genWideProgram is genProgram over a struct with 68 pointer fields, so
-// the interned selector Syms run past the 64-bit inline mask and the
-// random statements hit the bitset spill slice. The statements draw
-// from the four highest-numbered selectors to make spills certain
-// regardless of what earlier tests interned.
-func genWideProgram(r *rand.Rand) string {
-	all := make([]string, 68)
-	for i := range all {
-		all[i] = fmt.Sprintf("w%02d", i)
-	}
-	return genProgramOver(r, "wide", all, all[64:])
-}
-
-// genProgramOver emits the random program skeleton over a struct named
-// structName declaring the given pointer fields; the generated
-// statements draw selectors from sels (a subset of fields).
-func genProgramOver(r *rand.Rand, structName string, fields, sels []string) string {
-	var b strings.Builder
-	fmt.Fprintf(&b, "struct %s { int v;", structName)
-	for _, f := range fields {
-		fmt.Fprintf(&b, " struct %s *%s;", structName, f)
-	}
-	b.WriteString(" };\n")
-	b.WriteString("void main(void) {\n")
-	fmt.Fprintf(&b, "    struct %s *p;\n    struct %s *q;\n    struct %s *r;\n",
-		structName, structName, structName)
-
-	pvars := []string{"p", "q", "r"}
-	stmt := func() string {
-		x := pvars[r.Intn(3)]
-		y := pvars[r.Intn(3)]
-		sel := sels[r.Intn(len(sels))]
-		switch r.Intn(12) {
-		case 0, 1, 2:
-			return fmt.Sprintf("%s = malloc(sizeof(struct %s));", x, structName)
-		case 3:
-			return fmt.Sprintf("%s = NULL;", x)
-		case 4, 5:
-			return fmt.Sprintf("%s = %s;", x, y)
-		case 6, 7:
-			return fmt.Sprintf("if (%s != NULL) { %s->%s = %s; }", x, x, sel, y)
-		case 8:
-			return fmt.Sprintf("if (%s != NULL) { %s->%s = NULL; }", x, x, sel)
-		case 9, 10:
-			return fmt.Sprintf("if (%s != NULL) { %s = %s->%s; }", y, x, y, sel)
-		default:
-			return fmt.Sprintf("%s->%s = %s;", x, sel, y) // may NULL-deref
+// fuzzSeed returns the master generator seed: the FUZZ_SEED environment
+// variable when set (the nightly sweep rotates it; `make fuzz
+// FUZZ_SEED=...` replays a rotation), else the committed default.
+func fuzzSeed(t *testing.T) int64 {
+	if env := os.Getenv("FUZZ_SEED"); env != "" {
+		seed, err := strconv.ParseInt(env, 10, 64)
+		if err != nil {
+			t.Fatalf("invalid FUZZ_SEED %q: %v", env, err)
 		}
+		return seed
 	}
-	n := 4 + r.Intn(5)
-	for i := 0; i < n; i++ {
-		fmt.Fprintf(&b, "    %s\n", stmt())
-	}
-	b.WriteString("    while (cond) {\n")
-	m := 3 + r.Intn(4)
-	for i := 0; i < m; i++ {
-		fmt.Fprintf(&b, "        %s\n", stmt())
-	}
-	b.WriteString("    }\n")
-	for i := 0; i < 3; i++ {
-		fmt.Fprintf(&b, "    %s\n", stmt())
-	}
-	b.WriteString("}\n")
-	return b.String()
+	return 20260706
 }
 
 // TestFuzzSoundness cross-validates the analysis against the concrete
@@ -95,29 +33,34 @@ func genProgramOver(r *rand.Rand, structName string, fields, sels []string) stri
 // (they are digest-identical to sequential by the determinism
 // property, so a divergence here is a determinism bug as much as a
 // soundness one).
+//
+// On a failure, re-run the per-program seed printed in the message
+// through `shapetriage -genseed N` for the structured cover-diff
+// report, and `-shrink` to distill a corpus case (DESIGN.md §11).
 func TestFuzzSoundness(t *testing.T) {
 	programs := 30
 	traces := 10
 	if testing.Short() {
 		programs, traces = 4, 4
 	}
-	seedRng := rand.New(rand.NewSource(20260706))
+	seedRng := rand.New(rand.NewSource(fuzzSeed(t)))
 	for i := 0; i < programs; i++ {
-		gen := genProgram
+		gen := GenProgram
 		if i%5 == 4 { // every fifth program sweeps the spill path
-			gen = genWideProgram
+			gen = GenWideProgram
 		}
-		src := gen(rand.New(rand.NewSource(seedRng.Int63())))
+		genSeed := seedRng.Int63()
+		src := gen(rand.New(rand.NewSource(genSeed)))
 		prog := compile(t, src)
-		for _, lvl := range []rsg.Level{rsg.L1, rsg.L3} {
+		for _, lvl := range []rsg.Level{rsg.L1, rsg.L2, rsg.L3} {
 			res, err := analysis.Run(prog, analysis.Options{Level: lvl, MaxVisits: 50000, Workers: 4})
 			if err != nil {
-				t.Fatalf("program %d at %s: %v\n%s", i, lvl, err, src)
+				t.Fatalf("program %d (genseed %d) at %s: %v\n%s", i, genSeed, lvl, err, src)
 			}
 			func() {
 				defer func() {
 					if r := recover(); r != nil {
-						t.Fatalf("program %d at %s panicked: %v\n%s", i, lvl, r, src)
+						t.Fatalf("program %d (genseed %d) at %s panicked: %v\n%s", i, genSeed, lvl, r, src)
 					}
 				}()
 				CheckTraces(t, prog, res, traces, int64(1000+i))
@@ -127,10 +70,11 @@ func TestFuzzSoundness(t *testing.T) {
 }
 
 // TestCorpusSoundness replays the regression corpus under testdata/:
-// programs distilled from past fuzzer finds and hand-written stress
-// shapes (cycles, sharing, NULL-deref branch drops). Unlike the fuzz
-// sweep, the corpus is stable across seed-RNG changes, so a regression
-// on a previously-found case cannot hide behind a reshuffled sweep.
+// programs distilled from past fuzzer finds (several by the triage
+// shrinker) and hand-written stress shapes (cycles, sharing, NULL-deref
+// branch drops). Unlike the fuzz sweep, the corpus is stable across
+// seed-RNG changes, so a regression on a previously-found case cannot
+// hide behind a reshuffled sweep.
 func TestCorpusSoundness(t *testing.T) {
 	files, err := filepath.Glob(filepath.Join("testdata", "*.c"))
 	if err != nil {
@@ -146,7 +90,7 @@ func TestCorpusSoundness(t *testing.T) {
 		}
 		t.Run(filepath.Base(file), func(t *testing.T) {
 			prog := compile(t, string(src))
-			for _, lvl := range []rsg.Level{rsg.L1, rsg.L3} {
+			for _, lvl := range []rsg.Level{rsg.L1, rsg.L2, rsg.L3} {
 				res, err := analysis.Run(prog, analysis.Options{Level: lvl, MaxVisits: 50000, Workers: 4})
 				if err != nil {
 					t.Fatalf("%s at %s: %v", file, lvl, err)

@@ -1,0 +1,84 @@
+package concrete
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+)
+
+// GenProgram emits a random mini-C program over three node pointers and
+// two selectors, with one loop in the middle. Dereferences through
+// possibly-NULL pvars are fine: the interpreter stops the trace and the
+// analysis drops the branch, and both must agree. The fuzz sweep and
+// shapetriage's seed mode share this generator, so a failing sweep seed
+// can be replayed and triaged outside the test harness.
+func GenProgram(r *rand.Rand) string {
+	sels := []string{"nxt", "prv"}
+	return genProgramOver(r, "node", sels, sels)
+}
+
+// GenWideProgram is GenProgram over a struct with 68 pointer fields, so
+// the interned selector Syms run past the 64-bit inline mask and the
+// random statements hit the bitset spill slice. The statements draw
+// from the four highest-numbered selectors to make spills certain
+// regardless of what earlier tests interned.
+func GenWideProgram(r *rand.Rand) string {
+	all := make([]string, 68)
+	for i := range all {
+		all[i] = fmt.Sprintf("w%02d", i)
+	}
+	return genProgramOver(r, "wide", all, all[64:])
+}
+
+// genProgramOver emits the random program skeleton over a struct named
+// structName declaring the given pointer fields; the generated
+// statements draw selectors from sels (a subset of fields).
+func genProgramOver(r *rand.Rand, structName string, fields, sels []string) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "struct %s { int v;", structName)
+	for _, f := range fields {
+		fmt.Fprintf(&b, " struct %s *%s;", structName, f)
+	}
+	b.WriteString(" };\n")
+	b.WriteString("void main(void) {\n")
+	fmt.Fprintf(&b, "    struct %s *p;\n    struct %s *q;\n    struct %s *r;\n",
+		structName, structName, structName)
+
+	pvars := []string{"p", "q", "r"}
+	stmt := func() string {
+		x := pvars[r.Intn(3)]
+		y := pvars[r.Intn(3)]
+		sel := sels[r.Intn(len(sels))]
+		switch r.Intn(12) {
+		case 0, 1, 2:
+			return fmt.Sprintf("%s = malloc(sizeof(struct %s));", x, structName)
+		case 3:
+			return fmt.Sprintf("%s = NULL;", x)
+		case 4, 5:
+			return fmt.Sprintf("%s = %s;", x, y)
+		case 6, 7:
+			return fmt.Sprintf("if (%s != NULL) { %s->%s = %s; }", x, x, sel, y)
+		case 8:
+			return fmt.Sprintf("if (%s != NULL) { %s->%s = NULL; }", x, x, sel)
+		case 9, 10:
+			return fmt.Sprintf("if (%s != NULL) { %s = %s->%s; }", y, x, y, sel)
+		default:
+			return fmt.Sprintf("%s->%s = %s;", x, sel, y) // may NULL-deref
+		}
+	}
+	n := 4 + r.Intn(5)
+	for i := 0; i < n; i++ {
+		fmt.Fprintf(&b, "    %s\n", stmt())
+	}
+	b.WriteString("    while (cond) {\n")
+	m := 3 + r.Intn(4)
+	for i := 0; i < m; i++ {
+		fmt.Fprintf(&b, "        %s\n", stmt())
+	}
+	b.WriteString("    }\n")
+	for i := 0; i < 3; i++ {
+		fmt.Fprintf(&b, "    %s\n", stmt())
+	}
+	b.WriteString("}\n")
+	return b.String()
+}

@@ -86,6 +86,7 @@ void main(void) {
         q->s68 = p;
         p->s67 = q;
         h->s66 = q;
+        p = q;
     }
     h->s65 = NULL;
     p->s64 = NULL;

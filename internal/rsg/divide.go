@@ -28,6 +28,17 @@ func Divide(g *Graph, x string, sel string) []Division {
 
 // DivideSym is Divide addressed by interned pvar and selector.
 func DivideSym(g *Graph, x, sel Sym) []Division {
+	return divideSym(g, x, sel, Prune)
+}
+
+// DivideLegacyShareSym is DivideSym with the pre-anchoring PRUNE on the
+// division branches (see PruneLegacyShare); only the triage ablation
+// routes here.
+func DivideLegacyShareSym(g *Graph, x, sel Sym) []Division {
+	return divideSym(g, x, sel, PruneLegacyShare)
+}
+
+func divideSym(g *Graph, x, sel Sym, pruneFn func(*Graph) bool) []Division {
 	n := g.PvarTargetSym(x)
 	if n == nil {
 		return nil
@@ -52,7 +63,7 @@ func DivideSym(g *Graph, x, sel Sym) []Division {
 		} else {
 			dst.MarkPossibleInSym(sel)
 		}
-		if Prune(gi) {
+		if pruneFn(gi) {
 			out = append(out, Division{G: gi, Target: t})
 		}
 	}
@@ -70,7 +81,7 @@ func DivideSym(g *Graph, x, sel Sym) []Division {
 				gi.RefreshSingleton(t)
 			}
 		}
-		if Prune(gi) {
+		if pruneFn(gi) {
 			out = append(out, Division{G: gi, Target: -1})
 		}
 	}

@@ -9,18 +9,48 @@ import (
 // with doubled borders; shared nodes are shaded; pvars appear as
 // plaintext sources.
 func DOT(g *Graph, name string) string {
+	return DOTWith(g, name, nil, false)
+}
+
+// DOTStyle overrides the rendering of one node in DOTWith.
+type DOTStyle struct {
+	// Fill replaces the fill color (shared nodes default to a red
+	// shade, every other node to unfilled).
+	Fill string
+	// Tag is an extra label line, e.g. the concrete cells a partial
+	// embedding maps onto the node.
+	Tag string
+}
+
+// DOTWith renders like DOT with per-node style overrides; the triage
+// explainer uses it to highlight the partial embedding on the nearest
+// RSG. When cluster is set, the output is a `subgraph cluster_<name>`
+// block (no digraph wrapper) so the caller can place several graphs
+// side by side in one drawing; node names are prefixed with the cluster
+// name to keep them distinct.
+func DOTWith(g *Graph, name string, styles map[NodeID]DOTStyle, cluster bool) string {
 	var b strings.Builder
-	fmt.Fprintf(&b, "digraph %q {\n", name)
+	prefix := ""
+	if cluster {
+		prefix = sanitizeDot(name) + "_"
+		fmt.Fprintf(&b, "subgraph cluster_%s {\n  label=%q;\n", sanitizeDot(name), name)
+	} else {
+		fmt.Fprintf(&b, "digraph %q {\n", name)
+	}
 	b.WriteString("  rankdir=LR;\n  node [shape=record, fontsize=10];\n")
 	for _, p := range g.Pvars() {
-		fmt.Fprintf(&b, "  pv_%s [shape=plaintext, label=%q];\n", sanitizeDot(p), p)
+		fmt.Fprintf(&b, "  %spv_%s [shape=plaintext, label=%q];\n", prefix, sanitizeDot(p), p)
 	}
 	for _, n := range g.Nodes() {
 		var attrs []string
 		if !n.Singleton {
 			attrs = append(attrs, "peripheries=2")
 		}
-		if n.Shared {
+		st := styles[n.ID]
+		switch {
+		case st.Fill != "":
+			attrs = append(attrs, `style=filled`, fmt.Sprintf("fillcolor=%q", st.Fill))
+		case n.Shared:
 			attrs = append(attrs, `style=filled`, `fillcolor="#f2d7d5"`)
 		}
 		label := fmt.Sprintf("n%d: %s", n.ID, n.Type)
@@ -37,14 +67,17 @@ func DOT(g *Graph, name string) string {
 		if len(props) > 0 {
 			label += "\\n" + strings.Join(props, " ")
 		}
+		if st.Tag != "" {
+			label += "\\n" + st.Tag
+		}
 		attrs = append(attrs, fmt.Sprintf("label=%q", label))
-		fmt.Fprintf(&b, "  n%d [%s];\n", n.ID, strings.Join(attrs, ", "))
+		fmt.Fprintf(&b, "  %sn%d [%s];\n", prefix, n.ID, strings.Join(attrs, ", "))
 	}
 	for _, p := range g.Pvars() {
-		fmt.Fprintf(&b, "  pv_%s -> n%d;\n", sanitizeDot(p), g.PvarTarget(p).ID)
+		fmt.Fprintf(&b, "  %spv_%s -> %sn%d;\n", prefix, sanitizeDot(p), prefix, g.PvarTarget(p).ID)
 	}
 	for _, l := range g.Links() {
-		fmt.Fprintf(&b, "  n%d -> n%d [label=%q];\n", l.Src, l.Dst, l.Sel)
+		fmt.Fprintf(&b, "  %sn%d -> %sn%d [label=%q];\n", prefix, l.Src, prefix, l.Dst, l.Sel)
 	}
 	b.WriteString("}\n")
 	return b.String()

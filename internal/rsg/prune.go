@@ -23,9 +23,23 @@ package rsg
 //     entry (SELIN/SELOUT minus the possible sets) has no witnessing
 //     link left.
 //  4. Unreachable nodes are garbage collected.
-func Prune(g *Graph) bool {
+func Prune(g *Graph) bool { return prune(g, false) }
+
+// PruneLegacyShare is Prune without the anchoring restriction on rule
+// 2: any definite incoming link evicts its siblings, even when its
+// source node is an unmatched JOIN copy that exists only in some of the
+// covered configurations. That was the pre-anchoring behavior and it is
+// unsound (it loses links of the configurations the copy is absent
+// from); the variant is kept as an ablation so the triage tooling can
+// reproduce and regression-test historical failures. Only
+// absem.Context.LegacyUnsound routes here.
+func PruneLegacyShare(g *Graph) bool { return prune(g, true) }
+
+func prune(g *Graph, legacyShare bool) bool {
 	ws := getWorkScratch()
 	defer putWorkScratch(ws)
+	anchored := ws.marks
+	defer func() { ws.marks = anchored }()
 	for {
 		changed := false
 
@@ -54,14 +68,28 @@ func Prune(g *Graph) bool {
 		}
 
 		// Rule 2: share pruning. Only links are removed here, so the
-		// node slices are stable.
+		// node slices are stable. The rule may only trust a definite
+		// link whose source node is anchored: guaranteed to represent a
+		// location in *every* configuration the graph covers. After
+		// JOIN, nodes copied unmatched from one operand exist only in
+		// that operand's configurations (embeddings are not surjective),
+		// so a definite link out of such a node proves nothing about the
+		// other configurations and must not evict their links.
+		anchored = growBool(anchored[:0], len(g.ids))
+		if legacyShare {
+			for i := range anchored {
+				anchored[i] = true
+			}
+		} else {
+			g.anchoredByPos(anchored)
+		}
 		for pos := 0; pos < len(g.ids); pos++ {
 			id := g.ids[pos]
 			b := g.nodes[pos]
 			if !b.Singleton {
 				continue
 			}
-			if g.shareProneSelPrune(id, b, ws) {
+			if g.shareProneSelPrune(id, b, ws, anchored) {
 				changed = true
 			}
 			if !b.Shared {
@@ -71,7 +99,7 @@ func Prune(g *Graph) bool {
 				if len(ws.edges) >= 2 {
 					keep := -1
 					for i, e := range ws.edges {
-						if g.definiteLinkSym(e.b, e.sel, id) {
+						if anchored[g.posOf(e.b)] && g.definiteLinkSym(e.b, e.sel, id) {
 							keep = i
 							break
 						}
@@ -116,9 +144,46 @@ func Prune(g *Graph) bool {
 	}
 }
 
+// anchoredByPos marks marks[pos] (parallel to g.ids, pre-zeroed) for
+// every node guaranteed to represent at least one location in every
+// concrete configuration the graph covers. Pvar-referenced nodes are
+// anchored (PL agreement forces the binding concretely); from there, a
+// definite out-reference of an anchored node with a single candidate
+// target proves the target is materialized too, so anchoring propagates
+// until a fixed point.
+func (g *Graph) anchoredByPos(marks []bool) {
+	for _, e := range g.pl {
+		marks[g.posOf(e.id)] = true
+	}
+	for {
+		changed := false
+		for pos, ok := range marks {
+			if !ok {
+				continue
+			}
+			n := g.nodes[pos]
+			n.SelOut.EachSym(func(sel Sym) {
+				t, sole := g.soleTarget(n.ID, sel)
+				if !sole {
+					return
+				}
+				if tp := g.posOf(t); tp >= 0 && !marks[tp] {
+					marks[tp] = true
+					changed = true
+				}
+			})
+		}
+		if !changed {
+			return
+		}
+	}
+}
+
 // shareProneSelPrune applies rule 2's per-selector eviction to one
-// singleton node; reports whether a link was removed.
-func (g *Graph) shareProneSelPrune(id NodeID, b *Node, ws *workScratch) bool {
+// singleton node; reports whether a link was removed. A definite link
+// counts as an eviction witness only when its source is anchored (see
+// anchoredByPos).
+func (g *Graph) shareProneSelPrune(id NodeID, b *Node, ws *workScratch, anchored []bool) bool {
 	changed := false
 	// Distinct incoming selectors; the in run is (src, sel-rank)
 	// ordered, so dedup explicitly. Snapshot the run: we remove links.
@@ -143,7 +208,7 @@ func (g *Graph) shareProneSelPrune(id NodeID, b *Node, ws *workScratch) bool {
 				continue
 			}
 			srcs++
-			if definite < 0 && g.definiteLinkSym(e.b, sel, id) {
+			if definite < 0 && anchored[g.posOf(e.b)] && g.definiteLinkSym(e.b, sel, id) {
 				definite = e.b
 			}
 		}

@@ -1,0 +1,327 @@
+package triage
+
+import (
+	"fmt"
+
+	"repro/internal/analysis"
+	"repro/internal/cminic"
+	"repro/internal/concrete"
+	"repro/internal/ir"
+)
+
+// Predicate reports whether a candidate source still exhibits the
+// failure being distilled. Candidates that do not compile must return
+// false. Predicates must be deterministic: the shrinker assumes a
+// candidate that failed once fails always.
+type Predicate func(src string) bool
+
+// SoundnessPredicate builds the standard shrinking predicate: compile →
+// analysis at opts → FindCoverFailure over `runs` traces. It holds when
+// the program still demonstrates a soundness violation. Analysis errors
+// (non-convergence, budget) count as "does not fail": the shrinker must
+// not wander from a soundness bug to a resource bug.
+func SoundnessPredicate(opts analysis.Options, runs int, seed int64) Predicate {
+	return func(src string) bool {
+		file, err := cminic.Parse(src)
+		if err != nil {
+			return false
+		}
+		prog, err := ir.LowerMain(file)
+		if err != nil {
+			return false
+		}
+		res, err := analysis.Run(prog, opts)
+		if err != nil {
+			return false
+		}
+		fail, err := concrete.FindCoverFailure(prog, res.Out, res.Level, runs, seed)
+		return err == nil && fail != nil
+	}
+}
+
+// Shrink delta-debugs src at statement and struct-field granularity to
+// a smaller program that still satisfies fails. Three passes iterate to
+// a fixed point: ddmin over removable statements, unwrapping of
+// control-flow wrappers (if/while/for replaced by their body), and
+// unused-field elimination. Every candidate is re-emitted through
+// cminic.Format and re-tested from source, so the result is a
+// committable corpus case. The output is 1-minimal at statement level:
+// removing any single remaining statement stops the failure.
+func Shrink(src string, fails Predicate) (string, error) {
+	if _, err := cminic.Parse(src); err != nil {
+		return "", fmt.Errorf("triage: input does not parse: %w", err)
+	}
+	if !fails(src) {
+		return "", fmt.Errorf("triage: input does not fail the predicate")
+	}
+	// Normalize through the emitter so candidate diffs are structural.
+	if norm := reemit(src); norm != "" && fails(norm) {
+		src = norm
+	}
+	for {
+		next, c1 := shrinkStatements(src, fails)
+		next, c2 := unwrapWrappers(next, fails)
+		next, c3 := dropFields(next, fails)
+		src = next
+		if !c1 && !c2 && !c3 {
+			return src, nil
+		}
+	}
+}
+
+// StmtCount returns the number of statement units in the program (the
+// metric Shrink minimizes); the shrinker's property test uses it.
+func StmtCount(src string) (int, error) {
+	file, err := cminic.Parse(src)
+	if err != nil {
+		return 0, err
+	}
+	return countUnits(file), nil
+}
+
+func reemit(src string) string {
+	file, err := cminic.Parse(src)
+	if err != nil {
+		return ""
+	}
+	return cminic.Format(file)
+}
+
+// shrinkStatements is ddmin over the statement units: repeatedly try
+// dropping chunks of halving size; after any success restart at coarse
+// granularity on the reduced program.
+func shrinkStatements(src string, fails Predicate) (string, bool) {
+	changed := false
+	for {
+		file, err := cminic.Parse(src)
+		if err != nil {
+			return src, changed
+		}
+		n := countUnits(file)
+		if n == 0 {
+			return src, changed
+		}
+		improved := false
+		for gran := 2; ; gran *= 2 {
+			if gran > n {
+				gran = n
+			}
+			for c := 0; c < gran && !improved; c++ {
+				lo, hi := c*n/gran, (c+1)*n/gran
+				if lo == hi {
+					continue
+				}
+				cand := emitWithout(file, lo, hi)
+				if fails(cand) {
+					src = cand
+					changed, improved = true, true
+				}
+			}
+			if improved || gran == n {
+				break
+			}
+		}
+		if !improved {
+			return src, changed
+		}
+	}
+}
+
+// unwrapWrappers tries replacing each if/while/for by its body.
+func unwrapWrappers(src string, fails Predicate) (string, bool) {
+	changed := false
+	for {
+		file, err := cminic.Parse(src)
+		if err != nil {
+			return src, changed
+		}
+		n := countUnits(file)
+		improved := false
+		for i := 0; i < n && !improved; i++ {
+			cand, ok := emitUnwrapped(file, i)
+			if ok && fails(cand) {
+				src = cand
+				changed, improved = true, true
+			}
+		}
+		if !improved {
+			return src, changed
+		}
+	}
+}
+
+// dropFields tries removing each struct field (the statement passes
+// have already removed the statements that used it, or the candidate
+// simply stops failing and is discarded).
+func dropFields(src string, fails Predicate) (string, bool) {
+	changed := false
+	for {
+		file, err := cminic.Parse(src)
+		if err != nil {
+			return src, changed
+		}
+		improved := false
+		for si := 0; si < len(file.Structs) && !improved; si++ {
+			for fi := 0; fi < len(file.Structs[si].Fields) && !improved; fi++ {
+				cand := emitWithoutField(file, si, fi)
+				if fails(cand) {
+					src = cand
+					changed, improved = true, true
+				}
+			}
+		}
+		if !improved {
+			return src, changed
+		}
+	}
+}
+
+// rebuilder walks a File in pre-order, numbering every statement slot
+// (a statement inside any block, recursively) and rebuilding the tree
+// with the drop/unwrap edits applied. Child slots are numbered even
+// under a dropped parent so slot indices agree across candidates built
+// from the same parse.
+type rebuilder struct {
+	idx       int
+	keepLo    int // slots in [keepLo, keepHi) are dropped
+	keepHi    int
+	unwrap    int // slot replaced by its body (-1 = none)
+	unwrapped bool
+	// dropStruct/dropField name one struct field to remove (-1 = none).
+	dropStruct int
+	dropField  int
+}
+
+func newRebuilder() *rebuilder {
+	return &rebuilder{keepLo: -1, keepHi: -1, unwrap: -1, dropStruct: -1, dropField: -1}
+}
+
+func (r *rebuilder) dropping(si, fi int) bool {
+	return si == r.dropStruct && fi == r.dropField
+}
+
+func countUnits(f *cminic.File) int {
+	r := newRebuilder()
+	r.file(f)
+	return r.idx
+}
+
+func emitWithout(f *cminic.File, lo, hi int) string {
+	r := newRebuilder()
+	r.keepLo, r.keepHi = lo, hi
+	return cminic.Format(r.file(f))
+}
+
+// emitUnwrapped replaces slot i by its body; ok=false when slot i is
+// not an if/while/for.
+func emitUnwrapped(f *cminic.File, i int) (string, bool) {
+	r := newRebuilder()
+	r.unwrap = i
+	out := cminic.Format(r.file(f))
+	return out, r.unwrapped
+}
+
+func emitWithoutField(f *cminic.File, si, fi int) string {
+	r := newRebuilder()
+	r.dropStruct, r.dropField = si, fi
+	return cminic.Format(r.file(f))
+}
+
+func (r *rebuilder) file(f *cminic.File) *cminic.File {
+	out := &cminic.File{}
+	for si, s := range f.Structs {
+		ns := &cminic.StructDecl{Name: s.Name, Line: s.Line}
+		for fi, fd := range s.Fields {
+			if r.dropping(si, fi) {
+				continue
+			}
+			ns.Fields = append(ns.Fields, fd)
+		}
+		out.Structs = append(out.Structs, ns)
+	}
+	for _, fn := range f.Funcs {
+		out.Funcs = append(out.Funcs, &cminic.FuncDecl{
+			Name: fn.Name, Body: r.block(fn.Body), Line: fn.Line,
+		})
+	}
+	return out
+}
+
+func (r *rebuilder) block(blk *cminic.Block) *cminic.Block {
+	out := &cminic.Block{Line: blk.Line}
+	for _, s := range blk.Stmts {
+		i := r.idx
+		r.idx++
+		ns := r.stmt(s) // always recurse: child slot numbering is positional
+		if i >= r.keepLo && i < r.keepHi {
+			continue
+		}
+		if i == r.unwrap {
+			if body := wrapperBody(ns); body != nil {
+				r.unwrapped = true
+				out.Stmts = append(out.Stmts, body.Stmts...)
+				continue
+			}
+		}
+		out.Stmts = append(out.Stmts, ns)
+	}
+	return out
+}
+
+func (r *rebuilder) stmt(s cminic.Stmt) cminic.Stmt {
+	switch v := s.(type) {
+	case *cminic.Block:
+		return r.block(v)
+	case *cminic.IfStmt:
+		ns := &cminic.IfStmt{Cond: v.Cond, Line: v.Line}
+		ns.Then = r.stmtAsBlock(v.Then)
+		if v.Else != nil {
+			ns.Else = r.stmtAsBlock(v.Else)
+		}
+		return ns
+	case *cminic.WhileStmt:
+		return &cminic.WhileStmt{Cond: v.Cond, Body: r.stmtAsBlock(v.Body),
+			DoWhile: v.DoWhile, Line: v.Line}
+	case *cminic.ForStmt:
+		// Init and Post travel with the loop: they are not separate
+		// slots (removing them alone rarely preserves parseability of
+		// the intent, and the whole loop is already one removable slot).
+		return &cminic.ForStmt{Init: v.Init, Cond: v.Cond, Post: v.Post,
+			Body: r.stmtAsBlock(v.Body), Line: v.Line}
+	default:
+		return s
+	}
+}
+
+func (r *rebuilder) stmtAsBlock(s cminic.Stmt) *cminic.Block {
+	if blk, ok := s.(*cminic.Block); ok {
+		return r.block(blk)
+	}
+	if s == nil {
+		return &cminic.Block{}
+	}
+	// The parser normalizes all wrapper bodies to *Block; defensive.
+	blk := &cminic.Block{Stmts: []cminic.Stmt{s}}
+	return r.block(blk)
+}
+
+// wrapperBody extracts the body of an unwrappable statement (the Then
+// branch for an if: the Else variant would be a second candidate, but
+// the statement passes already remove else-less wrappers whole).
+func wrapperBody(s cminic.Stmt) *cminic.Block {
+	switch v := s.(type) {
+	case *cminic.IfStmt:
+		if b, ok := v.Then.(*cminic.Block); ok {
+			return b
+		}
+	case *cminic.WhileStmt:
+		if b, ok := v.Body.(*cminic.Block); ok {
+			return b
+		}
+	case *cminic.ForStmt:
+		if b, ok := v.Body.(*cminic.Block); ok {
+			return b
+		}
+	}
+	return nil
+}

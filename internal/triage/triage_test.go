@@ -1,0 +1,176 @@
+package triage
+
+import (
+	"os"
+	"strings"
+	"testing"
+
+	"repro/internal/analysis"
+	"repro/internal/cminic"
+	"repro/internal/ir"
+	"repro/internal/rsg"
+)
+
+// hubRelinkSrc is the undistilled reproducer of the L1 hub-rotation
+// soundness gap: a hub with two selectors into one target, a loop that
+// links back into the hub and rotates `p = q`. Under the legacy
+// (pre-anchoring) PRUNE it yields an RSRSG that misses reachable heaps;
+// the fixed engine covers them. The committed corpus case
+// internal/concrete/testdata/hub_rotation.c is this program after
+// Shrink.
+const hubRelinkSrc = `
+struct node { int v; struct node *nxt; struct node *prv; };
+
+void main(void) {
+    struct node *h;
+    struct node *p;
+    struct node *q;
+    h = malloc(sizeof(struct node));
+    p = malloc(sizeof(struct node));
+    h->nxt = p;
+    h->prv = p;
+    while (cond) {
+        q = malloc(sizeof(struct node));
+        q->nxt = h;
+        p->nxt = q;
+        h->prv = q;
+        p = q;
+    }
+}
+`
+
+func compileSrc(t *testing.T, src string) *ir.Program {
+	t.Helper()
+	file, err := cminic.Parse(src)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	prog, err := ir.LowerMain(file)
+	if err != nil {
+		t.Fatalf("lower: %v", err)
+	}
+	return prog
+}
+
+func legacyOpts() analysis.Options {
+	return analysis.Options{Level: rsg.L1, MaxVisits: 50000, LegacyUnsound: true}
+}
+
+func fixedOpts() analysis.Options {
+	return analysis.Options{Level: rsg.L1, MaxVisits: 50000}
+}
+
+// TestExplainNamesLegacyFailure drives the explainer over the legacy
+// engine's unsound result: the report must name the failing statement
+// and the node property that rejected the nearest embedding, and the
+// DOT pair must carry both clusters.
+func TestExplainNamesLegacyFailure(t *testing.T) {
+	prog := compileSrc(t, hubRelinkSrc)
+	res, err := analysis.Run(prog, legacyOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := Explain(prog, res, 25, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep == nil {
+		t.Fatal("legacy engine unexpectedly covers the hub-rotation heaps; the ablation lost its bug")
+	}
+	text := rep.Text()
+	if !strings.Contains(text, rep.Fail.Stmt) {
+		t.Errorf("report does not name the failing statement %q:\n%s", rep.Fail.Stmt, text)
+	}
+	if !strings.Contains(text, "statement context:") || !strings.Contains(text, ">>") {
+		t.Errorf("report lacks the statement context:\n%s", text)
+	}
+	nearest := rep.Fail.Nearest()
+	if nearest == nil && !rep.Fail.EmptySet && len(rep.Fail.Graphs) > 0 {
+		t.Fatalf("no nearest RSG in a non-empty failure")
+	}
+	if nearest != nil {
+		if nearest.Headline.Kind == "" {
+			t.Errorf("nearest RSG has no rejecting property")
+		}
+		if !strings.Contains(text, string(nearest.Headline.Kind)) {
+			t.Errorf("report does not name the rejecting property %s:\n%s", nearest.Headline.Kind, text)
+		}
+	}
+	dot := rep.DOT()
+	if !strings.Contains(dot, "cluster_heap") {
+		t.Errorf("DOT pair lacks the concrete-heap cluster:\n%s", dot)
+	}
+	if nearest != nil && !strings.Contains(dot, "cluster_nearest") {
+		t.Errorf("DOT pair lacks the nearest-RSG cluster:\n%s", dot)
+	}
+}
+
+// TestFixedEngineCoversHubRelink pins the fix: the same program under
+// the current engine has no cover failure at any level.
+func TestFixedEngineCoversHubRelink(t *testing.T) {
+	prog := compileSrc(t, hubRelinkSrc)
+	for _, lvl := range []rsg.Level{rsg.L1, rsg.L2, rsg.L3} {
+		res, err := analysis.Run(prog, analysis.Options{Level: lvl, MaxVisits: 50000})
+		if err != nil {
+			t.Fatalf("%s: %v", lvl, err)
+		}
+		rep, err := Explain(prog, res, 25, 42)
+		if err != nil {
+			t.Fatalf("%s: %v", lvl, err)
+		}
+		if rep != nil {
+			t.Fatalf("%s: unexpected cover failure:\n%s", lvl, rep.Text())
+		}
+	}
+}
+
+// TestShrinkerProperties is the shrinker's contract on the hub-rotation
+// find: the output still fails the pre-fix (legacy) engine, no longer
+// fails the fixed engine, and is no larger than the input in
+// statements.
+func TestShrinkerProperties(t *testing.T) {
+	if testing.Short() {
+		t.Skip("shrinking runs the analysis per candidate")
+	}
+	legacy := SoundnessPredicate(legacyOpts(), 10, 42)
+	fixed := SoundnessPredicate(fixedOpts(), 10, 42)
+	out, err := Shrink(hubRelinkSrc, legacy)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !legacy(out) {
+		t.Fatalf("shrunk program no longer fails the legacy engine:\n%s", out)
+	}
+	if fixed(out) {
+		t.Fatalf("shrunk program still fails the fixed engine:\n%s", out)
+	}
+	nIn, err := StmtCount(hubRelinkSrc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	nOut, err := StmtCount(out)
+	if err != nil {
+		t.Fatalf("shrunk program does not parse: %v\n%s", err, out)
+	}
+	if nOut > nIn {
+		t.Fatalf("shrunk program grew: %d -> %d statements\n%s", nIn, nOut, out)
+	}
+	t.Logf("shrunk %d -> %d statements:\n%s", nIn, nOut, out)
+}
+
+// TestHubRotationCorpusBeforeAfter pins the committed corpus case:
+// failing on the legacy engine, covered by the fixed one (the fixed
+// side is also swept by TestCorpusSoundness at L1/L2/L3).
+func TestHubRotationCorpusBeforeAfter(t *testing.T) {
+	b, err := os.ReadFile("../concrete/testdata/hub_rotation.c")
+	if err != nil {
+		t.Fatal(err)
+	}
+	src := string(b)
+	if !SoundnessPredicate(legacyOpts(), 10, 42)(src) {
+		t.Fatalf("hub_rotation.c no longer fails the legacy engine")
+	}
+	if SoundnessPredicate(fixedOpts(), 10, 42)(src) {
+		t.Fatalf("hub_rotation.c fails the fixed engine")
+	}
+}
