@@ -6,9 +6,9 @@
 
 GO ?= go
 
-.PHONY: ci vet build test test-race bench-smoke bench-compare bench fuzz tidy
+.PHONY: ci vet build test test-race bench-smoke bench-compare bench fuzz corpus corpus-short tidy
 
-ci: vet build test test-race bench-smoke bench-compare fuzz-short
+ci: vet build test test-race bench-smoke bench-compare fuzz-short corpus-short
 
 vet:
 	$(GO) vet ./...
@@ -63,3 +63,15 @@ fuzz:
 
 fuzz-short:
 	FUZZ_SEED=$(FUZZ_SEED) $(GO) test -run 'TestFuzzSoundness|TestCorpusSoundness' -count=1 -short ./internal/concrete/
+
+# Memory-safety verdict corpus: every expected-verdict task under
+# internal/verdict/testdata/corpus must settle exactly its declared
+# verdicts, the per-checker escalation tasks must escalate, and no SAFE
+# claim may contradict the interpreter (DESIGN.md §12). `corpus` runs
+# the full verdict suite verbosely plus the differential fuzz hook;
+# `corpus-short` is the CI slice.
+corpus:
+	FUZZ_SEED=$(FUZZ_SEED) $(GO) test -run 'TestCorpus|TestFuzzDifferentialVerdicts|TestVerdictDeterminism' -count=1 -v ./internal/verdict/
+
+corpus-short:
+	FUZZ_SEED=$(FUZZ_SEED) $(GO) test -run 'TestCorpus|TestFuzzDifferentialVerdicts' -count=1 -short ./internal/verdict/

@@ -1,0 +1,178 @@
+// Command shapecheck is the memory-safety verdict client CLI: it runs
+// the null-dereference, use-after-free and memory-leak checkers over
+// the progressive shape analysis and reports one verdict per property
+// (safe@Lk, unsafe, unknown).
+//
+// Usage:
+//
+//	shapecheck [flags] <file.c | corpus-dir>
+//
+//	-v          also print the per-level goal details and, for unsafe
+//	            verdicts, the concrete witness trace
+//	-alarms     print the surviving alarms of unknown/unsafe verdicts
+//	-runs N     concrete executions used to confirm surviving alarms
+//	            (default 64)
+//	-seed N     base seed of the confirmation executions (default 1)
+//	-workers N  analysis worker goroutines (0 = GOMAXPROCS)
+//
+// A task file may carry an expected-verdict header:
+//
+//	// VERDICT: null-deref=safe@L1 use-after-free=safe leak=unsafe
+//
+// With a header (or a corpus directory, where every task must have
+// one), shapecheck compares the settled verdicts against it and exits
+// with the number of mismatching tasks (capped at 125). Without a
+// header it prints the verdicts and exits 0 unless a verdict is unsafe.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/analysis"
+	"repro/internal/verdict"
+)
+
+func main() {
+	verbose := flag.Bool("v", false, "print per-level details and witnesses")
+	alarms := flag.Bool("alarms", false, "print surviving alarms")
+	runs := flag.Int("runs", 64, "concrete confirmation executions")
+	seed := flag.Int64("seed", 1, "confirmation seed")
+	workers := flag.Int("workers", 0, "analysis workers (0 = GOMAXPROCS)")
+	flag.Parse()
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: shapecheck [flags] <file.c | corpus-dir>")
+		os.Exit(2)
+	}
+	opts := verdict.Options{
+		Analysis:    analysis.Options{Workers: *workers},
+		ConfirmRuns: *runs,
+		ConfirmSeed: *seed,
+	}
+
+	target := flag.Arg(0)
+	info, err := os.Stat(target)
+	if err != nil {
+		fatal(err)
+	}
+	if info.IsDir() {
+		os.Exit(runCorpus(target, opts, *verbose, *alarms))
+	}
+	os.Exit(runFile(target, opts, *verbose, *alarms))
+}
+
+func runFile(path string, opts verdict.Options, verbose, alarms bool) int {
+	src, err := os.ReadFile(path)
+	if err != nil {
+		fatal(err)
+	}
+	if _, ok, _ := verdict.ParseHeader(string(src)); ok {
+		tr, err := verdict.RunTask(path, string(src), opts)
+		if err != nil {
+			fatal(err)
+		}
+		printTask(tr, verbose, alarms)
+		if len(tr.Mismatches) > 0 {
+			return 1
+		}
+		return 0
+	}
+	// No header: report-only mode.
+	prog, err := verdict.Compile(string(src))
+	if err != nil {
+		fatal(err)
+	}
+	rep := verdict.Check(prog, opts)
+	if rep.Err != nil {
+		fatal(rep.Err)
+	}
+	fmt.Printf("%s:\n", path)
+	printReport(rep, verbose, alarms)
+	for _, v := range rep.Verdicts {
+		if v.Status == verdict.Unsafe {
+			return 1
+		}
+	}
+	return 0
+}
+
+func runCorpus(dir string, opts verdict.Options, verbose, alarms bool) int {
+	results, err := verdict.RunCorpus(dir, opts)
+	if err != nil {
+		fatal(err)
+	}
+	bad := 0
+	for _, tr := range results {
+		printTask(tr, verbose, alarms)
+		if len(tr.Mismatches) > 0 {
+			bad++
+		}
+	}
+	fmt.Printf("%d/%d tasks match their expected verdicts\n", len(results)-bad, len(results))
+	if bad > 125 {
+		bad = 125
+	}
+	return bad
+}
+
+func printTask(tr *verdict.TaskResult, verbose, alarms bool) {
+	status := "ok"
+	if len(tr.Mismatches) > 0 {
+		status = "MISMATCH"
+	}
+	fmt.Printf("%s: %s\n", tr.Path, status)
+	printReport(tr.Report, verbose, alarms)
+	for _, m := range tr.Mismatches {
+		fmt.Printf("    mismatch %s\n", m)
+	}
+}
+
+func printReport(rep *verdict.Report, verbose, alarms bool) {
+	for _, v := range rep.Verdicts {
+		fmt.Printf("    %-16s %s\n", v.Class.String()+":", v)
+		if alarms {
+			for _, a := range v.Alarms {
+				fmt.Printf("        alarm: %s\n", a)
+			}
+		}
+		if verbose && v.Witness != nil {
+			for _, line := range splitLines(v.Witness.Text()) {
+				fmt.Printf("        %s\n", line)
+			}
+		}
+	}
+	if verbose {
+		fmt.Print(indent(rep.Progressive.Summary()))
+	}
+}
+
+func splitLines(s string) []string {
+	var out []string
+	start := 0
+	for i := 0; i < len(s); i++ {
+		if s[i] == '\n' {
+			out = append(out, s[start:i])
+			start = i + 1
+		}
+	}
+	if start < len(s) {
+		out = append(out, s[start:])
+	}
+	return out
+}
+
+func indent(s string) string {
+	var b []byte
+	for _, line := range splitLines(s) {
+		b = append(b, "    "...)
+		b = append(b, line...)
+		b = append(b, '\n')
+	}
+	return string(b)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "shapecheck:", err)
+	os.Exit(2)
+}

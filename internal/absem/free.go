@@ -1,0 +1,55 @@
+package absem
+
+import (
+	"repro/internal/rsg"
+	"repro/internal/rsrsg"
+)
+
+// StepFree is the per-graph semantics of "free(x)". sels lists the
+// pointer selectors of the freed struct type.
+func StepFree(ctx *Context, g *rsg.Graph, x string, sels []string) []*rsg.Graph {
+	syms := make([]rsg.Sym, len(sels))
+	for i, sel := range sels {
+		syms[i] = rsg.SelSym(sel)
+	}
+	return StepFreeSym(ctx, g, rsg.PvarSym(x), syms)
+}
+
+// StepFreeSym is StepFree addressed by interned symbols.
+//
+// free(NULL) is a no-op (as in C). Otherwise the freed cell's outgoing
+// references die with it, which is exactly the effect of "x->sel =
+// NULL" for every selector of its type — so the transfer composes the
+// proven-sound StepSelNilSym over the selector list (division fixes
+// SELIN on the former targets, PRUNE discards infeasible branches, and
+// garbage collection drops structure that was only reachable through
+// the freed cell, mirroring the concrete interpreter's GC of cells
+// stranded by the free). Finally the dialect nullifies x itself
+// (StepNilSym), so a subsequent dereference of x is an ordinary NULL
+// dereference. The freed cell's node survives only while other
+// (dangling) references keep it reachable; it then over-approximates a
+// deallocated cell, which is sound — embeddings never require nodes to
+// be populated.
+func StepFreeSym(ctx *Context, g *rsg.Graph, x rsg.Sym, sels []rsg.Sym) []*rsg.Graph {
+	if g.PvarTargetSym(x) == nil {
+		return []*rsg.Graph{g}
+	}
+	cur := []*rsg.Graph{g}
+	for _, sel := range sels {
+		var next []*rsg.Graph
+		for _, h := range cur {
+			next = append(next, StepSelNilSym(ctx, h, x, sel)...)
+		}
+		cur = next
+	}
+	var out []*rsg.Graph
+	for _, h := range cur {
+		out = append(out, StepNilSym(ctx, h, x)...)
+	}
+	return out
+}
+
+// XFree is the abstract semantics of "free(x)" over an RSRSG.
+func XFree(ctx *Context, in *rsrsg.Set, x string, sels []string) *rsrsg.Set {
+	return mapStep(ctx, in, func(g *rsg.Graph) []*rsg.Graph { return StepFree(ctx, g, x, sels) })
+}

@@ -547,6 +547,8 @@ func stepGraph(ctx *absem.Context, s *ir.Stmt, g *rsg.Graph) []*rsg.Graph {
 		return absem.StepSelCopySym(ctx, g, s.XSym, s.SelSym, s.YSym)
 	case ir.OpLoad:
 		return absem.StepLoadSym(ctx, g, s.XSym, s.YSym, s.SelSym)
+	case ir.OpFree:
+		return absem.StepFreeSym(ctx, g, s.XSym, s.SelSyms)
 	}
 	return []*rsg.Graph{g}
 }

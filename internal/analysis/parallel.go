@@ -246,7 +246,7 @@ func (e *engineRun) transfer(ctx *absem.Context, s *ir.Stmt, in *rsrsg.Set) (*rs
 	case ir.OpAssumeNonNull:
 		e.fullRecomputes++
 		return absem.AssumeNonNullSym(ctx, in, s.XSym), nil
-	case ir.OpNil, ir.OpMalloc, ir.OpCopy, ir.OpSelNil, ir.OpSelCopy, ir.OpLoad:
+	case ir.OpNil, ir.OpMalloc, ir.OpCopy, ir.OpSelNil, ir.OpSelCopy, ir.OpLoad, ir.OpFree:
 		e.fullRecomputes++
 		parts, err := e.partsFor(ctx, s, in.Graphs())
 		if err != nil {
@@ -288,7 +288,7 @@ func (e *engineRun) transferDelta(ctx *absem.Context, s *ir.Stmt, in *rsrsg.Set,
 		}
 		e.deltaTransfers++
 		return ds.filtered.Clone(), true, nil
-	case ir.OpNil, ir.OpMalloc, ir.OpCopy, ir.OpSelNil, ir.OpSelCopy, ir.OpLoad:
+	case ir.OpNil, ir.OpMalloc, ir.OpCopy, ir.OpSelNil, ir.OpSelCopy, ir.OpLoad, ir.OpFree:
 		ds := e.deltaState(s.ID)
 		if ds.acc == nil {
 			ds.acc = rsrsg.NewAccum(e.opts.Level)

@@ -47,6 +47,28 @@ void main(void) {
 }
 `
 
+// popFreeSource builds a list and deallocates it by popping the head —
+// the free-heavy counterpart of fig1 for the determinism matrix.
+const popFreeSource = `
+struct node { struct node *nxt; };
+void main(void) {
+    struct node *p;
+    struct node *q;
+    p = NULL;
+    while (cond) {
+        q = malloc(sizeof(struct node));
+        q->nxt = p;
+        p = q;
+    }
+    q = NULL;
+    while (p != NULL) {
+        q = p->nxt;
+        free(p);
+        p = q;
+    }
+}
+`
+
 // fingerprint renders the per-statement RSRSG membership as sorted
 // canonical digests — the object the determinism property quantifies
 // over. Digests are sorted so the fingerprint is independent of the
@@ -87,6 +109,10 @@ func TestParallelDeterminism(t *testing.T) {
 		{"fig1", func(t *testing.T) *ir.Program { return compileSrc(t, fig1PipelineSource) }, 0},
 		{"barneshut", func(t *testing.T) *ir.Program { p, _ := compileKernel(t, "barneshut"); return p }, 300},
 		{"lu", func(t *testing.T) *ir.Program { p, _ := compileKernel(t, "lu"); return p }, 300},
+		// popFreeSource exercises the OpFree transfer (and its delta memo
+		// path) in the matrix: deallocation must be just as schedule-
+		// independent as the constructive sentences.
+		{"popfree", func(t *testing.T) *ir.Program { return compileSrc(t, popFreeSource) }, 0},
 	}
 	type config struct {
 		workers int

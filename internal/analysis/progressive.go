@@ -23,6 +23,17 @@ type Goal interface {
 	Met(res *Result) (ok bool, detail string)
 }
 
+// LevelGated marks a goal that is undefined below a minimum analysis
+// level (e.g. a TOUCH-based criterion below L3). The progressive
+// driver reports such a goal as unmet below its minimum level without
+// evaluating it, and callers that pin a single level can skip gated
+// goals outright instead of guessing from the failure detail.
+type LevelGated interface {
+	Goal
+	// MinLevel is the lowest level at which Met is meaningful.
+	MinLevel() rsg.Level
+}
+
 // LevelReport describes one level's run within a progressive analysis.
 type LevelReport struct {
 	Level rsg.Level
@@ -131,6 +142,12 @@ func RunLevel(prog *ir.Program, lvl rsg.Level, goals []Goal, opts Options) Level
 	}
 	rep.GoalsMet = true
 	for _, g := range goals {
+		if lg, isGated := g.(LevelGated); isGated && lvl < lg.MinLevel() {
+			rep.GoalsMet = false
+			rep.GoalDetail = append(rep.GoalDetail,
+				fmt.Sprintf("%-30s %-5v requires %s", g.Name(), false, lg.MinLevel()))
+			continue
+		}
 		ok, detail := g.Met(res)
 		rep.GoalDetail = append(rep.GoalDetail,
 			fmt.Sprintf("%-30s %-5v %s", g.Name(), ok, detail))

@@ -93,6 +93,10 @@ func (g UnsharedDuringLoop) Name() string {
 	return fmt.Sprintf("loop@%d-parallel(%s,%s)", g.Line, g.Struct, g.Sel)
 }
 
+// MinLevel implements analysis.LevelGated: the goal is defined only
+// where TOUCH sets are tracked.
+func (g UnsharedDuringLoop) MinLevel() rsg.Level { return rsg.L3 }
+
 // Met implements Goal.
 func (g UnsharedDuringLoop) Met(res *analysis.Result) (bool, string) {
 	if !res.Level.UseTouch() {

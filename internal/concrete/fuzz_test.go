@@ -46,6 +46,9 @@ func TestFuzzSoundness(t *testing.T) {
 	seedRng := rand.New(rand.NewSource(fuzzSeed(t)))
 	for i := 0; i < programs; i++ {
 		gen := GenProgram
+		if i%3 == 2 { // every third program mixes in free()
+			gen = GenFreeProgram
+		}
 		if i%5 == 4 { // every fifth program sweeps the spill path
 			gen = GenWideProgram
 		}

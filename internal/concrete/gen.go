@@ -14,7 +14,19 @@ import (
 // can be replayed and triaged outside the test harness.
 func GenProgram(r *rand.Rand) string {
 	sels := []string{"nxt", "prv"}
-	return genProgramOver(r, "node", sels, sels)
+	return genProgramOver(r, "node", sels, sels, false)
+}
+
+// GenFreeProgram is GenProgram with deallocation in the statement mix:
+// free() of a possibly-NULL, possibly-dangling pvar. Traces may fault
+// (double free, use-after-free) exactly like NULL dereferences — the
+// interpreter stops and the analysis drops the branch — and cells may
+// leak; the soundness sweep must cover the surviving prefixes, and the
+// verdict fuzzer cross-checks the checkers' SAFE claims against the
+// observed faults.
+func GenFreeProgram(r *rand.Rand) string {
+	sels := []string{"nxt", "prv"}
+	return genProgramOver(r, "node", sels, sels, true)
 }
 
 // GenWideProgram is GenProgram over a struct with 68 pointer fields, so
@@ -27,13 +39,14 @@ func GenWideProgram(r *rand.Rand) string {
 	for i := range all {
 		all[i] = fmt.Sprintf("w%02d", i)
 	}
-	return genProgramOver(r, "wide", all, all[64:])
+	return genProgramOver(r, "wide", all, all[64:], false)
 }
 
 // genProgramOver emits the random program skeleton over a struct named
 // structName declaring the given pointer fields; the generated
-// statements draw selectors from sels (a subset of fields).
-func genProgramOver(r *rand.Rand, structName string, fields, sels []string) string {
+// statements draw selectors from sels (a subset of fields). withFree
+// adds free() to the statement mix.
+func genProgramOver(r *rand.Rand, structName string, fields, sels []string, withFree bool) string {
 	var b strings.Builder
 	fmt.Fprintf(&b, "struct %s { int v;", structName)
 	for _, f := range fields {
@@ -49,6 +62,9 @@ func genProgramOver(r *rand.Rand, structName string, fields, sels []string) stri
 		x := pvars[r.Intn(3)]
 		y := pvars[r.Intn(3)]
 		sel := sels[r.Intn(len(sels))]
+		if withFree && r.Intn(6) == 0 {
+			return fmt.Sprintf("free(%s);", x) // free(NULL) is a no-op; stale aliases fault
+		}
 		switch r.Intn(12) {
 		case 0, 1, 2:
 			return fmt.Sprintf("%s = malloc(sizeof(struct %s));", x, structName)

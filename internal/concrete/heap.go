@@ -26,6 +26,10 @@ type Cell struct {
 type Heap struct {
 	Cells map[Loc]*Cell
 	Pvars map[string]Loc // pvar -> cell (absent or 0 = NULL)
+	// Freed records the locations released by free(); allocation never
+	// reuses a Loc, so a nonzero reference to a freed location is a
+	// dangling pointer and dereferencing it a use-after-free.
+	Freed map[Loc]bool
 	next  Loc
 }
 
@@ -34,7 +38,15 @@ func NewHeap() *Heap {
 	return &Heap{
 		Cells: make(map[Loc]*Cell),
 		Pvars: make(map[string]Loc),
+		Freed: make(map[Loc]bool),
 	}
+}
+
+// Free releases the cell at l: the cell (and its outgoing references)
+// disappears from the heap and the location is recorded as freed.
+func (h *Heap) Free(l Loc) {
+	delete(h.Cells, l)
+	h.Freed[l] = true
 }
 
 // Alloc creates a fresh cell of the given type with NULL fields.
@@ -95,14 +107,20 @@ func (h *Heap) Reachable() map[Loc]struct{} {
 }
 
 // GC drops unreachable cells (mirrors the abstraction's garbage
-// collection so embeddings compare live structure only).
-func (h *Heap) GC() {
+// collection so embeddings compare live structure only) and returns
+// the collected locations. A collected cell was still allocated when
+// it became unreachable — in C terms its storage leaked.
+func (h *Heap) GC() []Loc {
 	reach := h.Reachable()
+	var leaked []Loc
 	for l := range h.Cells {
 		if _, ok := reach[l]; !ok {
 			delete(h.Cells, l)
+			leaked = append(leaked, l)
 		}
 	}
+	sort.Slice(leaked, func(i, j int) bool { return leaked[i] < leaked[j] })
+	return leaked
 }
 
 // Clone returns a deep copy of the heap.
@@ -118,6 +136,9 @@ func (h *Heap) Clone() *Heap {
 	}
 	for p, l := range h.Pvars {
 		c.Pvars[p] = l
+	}
+	for l := range h.Freed {
+		c.Freed[l] = true
 	}
 	return c
 }

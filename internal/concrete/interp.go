@@ -7,6 +7,38 @@ import (
 	"repro/internal/ir"
 )
 
+// Fault classifies how an execution went wrong. The interpreter stops
+// the trace at the faulting statement (the post-state of a fault is
+// undefined behaviour, so there is nothing to record or cover).
+type Fault int
+
+const (
+	// FaultNone: the execution completed (or ran out of its budget).
+	FaultNone Fault = iota
+	// FaultNullDeref: a statement dereferenced a NULL pvar.
+	FaultNullDeref
+	// FaultUseAfterFree: a statement dereferenced a dangling pvar — a
+	// nonzero binding to a location released by free().
+	FaultUseAfterFree
+	// FaultDoubleFree: free() of an already-freed location.
+	FaultDoubleFree
+)
+
+// String returns the fault mnemonic.
+func (f Fault) String() string {
+	switch f {
+	case FaultNone:
+		return "none"
+	case FaultNullDeref:
+		return "null-deref"
+	case FaultUseAfterFree:
+		return "use-after-free"
+	case FaultDoubleFree:
+		return "double-free"
+	}
+	return "?"
+}
+
 // Trace is one recorded execution: the statements executed and the heap
 // after each.
 type Trace struct {
@@ -14,8 +46,22 @@ type Trace struct {
 	// after it (already garbage collected).
 	Steps []Step
 	// NullDeref is set when the execution dereferenced NULL; the trace
-	// stops at that point.
+	// stops at that point. (Kept alongside Fault for the established
+	// callers; NullDeref == (Fault == FaultNullDeref).)
 	NullDeref bool
+	// Fault records how the execution stopped, FaultNone when it
+	// completed. FaultStmt is the faulting statement ID (-1 when none).
+	Fault     Fault
+	FaultStmt int
+	// Leaks records every cell that became unreachable while still
+	// allocated, keyed by the statement that stranded it.
+	Leaks []Leak
+}
+
+// Leak is one leaked cell: the statement whose execution stranded it.
+type Leak struct {
+	StmtID int
+	Loc    Loc
 }
 
 // Step is one executed statement and the resulting heap.
@@ -41,19 +87,23 @@ func (it *Interp) Run() (*Trace, error) {
 		maxSteps = 4000
 	}
 	h := NewHeap()
-	tr := &Trace{}
+	tr := &Trace{FaultStmt: -1}
 	cur := it.Prog.Entry
 	for steps := 0; steps < maxSteps; steps++ {
 		s := it.Prog.Stmt(cur)
-		ok, err := it.exec(s, h)
+		fault, err := it.exec(s, h)
 		if err != nil {
 			return nil, err
 		}
-		if !ok {
-			tr.NullDeref = true
+		if fault != FaultNone {
+			tr.Fault = fault
+			tr.FaultStmt = cur
+			tr.NullDeref = fault == FaultNullDeref
 			return tr, nil
 		}
-		h.GC()
+		for _, l := range h.GC() {
+			tr.Leaks = append(tr.Leaks, Leak{StmtID: cur, Loc: l})
+		}
 		tr.Steps = append(tr.Steps, Step{StmtID: cur, Heap: h.Clone()})
 		if s.Op == ir.OpExit {
 			return tr, nil
@@ -69,8 +119,31 @@ func (it *Interp) Run() (*Trace, error) {
 	return tr, nil
 }
 
-// exec applies one statement; ok=false signals a NULL dereference.
-func (it *Interp) exec(s *ir.Stmt, h *Heap) (bool, error) {
+// RunSeed executes the program once with a deterministic branch seed
+// and the default step budget.
+func RunSeed(prog *ir.Program, seed int64) (*Trace, error) {
+	it := &Interp{Prog: prog, Rng: rand.New(rand.NewSource(seed))}
+	return it.Run()
+}
+
+// exec applies one statement; a non-FaultNone result stops the trace.
+func (it *Interp) exec(s *ir.Stmt, h *Heap) (Fault, error) {
+	// deref resolves the dereferenced pvar p to its cell, classifying
+	// NULL and dangling bindings.
+	deref := func(p string) (*Cell, Fault, error) {
+		l := h.Get(p)
+		if l == 0 {
+			return nil, FaultNullDeref, nil
+		}
+		c := h.Cell(l)
+		if c == nil {
+			if h.Freed[l] {
+				return nil, FaultUseAfterFree, nil
+			}
+			return nil, FaultNone, fmt.Errorf("concrete: dangling pvar %s (never freed)", p)
+		}
+		return c, FaultNone, nil
+	}
 	switch s.Op {
 	case ir.OpNil:
 		h.Set(s.X, 0)
@@ -80,40 +153,41 @@ func (it *Interp) exec(s *ir.Stmt, h *Heap) (bool, error) {
 	case ir.OpCopy:
 		h.Set(s.X, h.Get(s.Y))
 	case ir.OpSelNil:
-		l := h.Get(s.X)
-		if l == 0 {
-			return false, nil
-		}
-		c := h.Cell(l)
-		if c == nil {
-			return false, fmt.Errorf("concrete: dangling pvar %s", s.X)
+		c, fault, err := deref(s.X)
+		if fault != FaultNone || err != nil {
+			return fault, err
 		}
 		c.Fields[s.Sel] = 0
 	case ir.OpSelCopy:
-		l := h.Get(s.X)
-		if l == 0 {
-			return false, nil
-		}
-		c := h.Cell(l)
-		if c == nil {
-			return false, fmt.Errorf("concrete: dangling pvar %s", s.X)
+		c, fault, err := deref(s.X)
+		if fault != FaultNone || err != nil {
+			return fault, err
 		}
 		c.Fields[s.Sel] = h.Get(s.Y)
 	case ir.OpLoad:
-		l := h.Get(s.Y)
-		if l == 0 {
-			return false, nil
-		}
-		c := h.Cell(l)
-		if c == nil {
-			return false, fmt.Errorf("concrete: dangling pvar %s", s.Y)
+		c, fault, err := deref(s.Y)
+		if fault != FaultNone || err != nil {
+			return fault, err
 		}
 		h.Set(s.X, c.Fields[s.Sel])
+	case ir.OpFree:
+		l := h.Get(s.X)
+		if l == 0 {
+			break // free(NULL) is a no-op
+		}
+		if h.Cell(l) == nil {
+			if h.Freed[l] {
+				return FaultDoubleFree, nil
+			}
+			return FaultNone, fmt.Errorf("concrete: dangling pvar %s (never freed)", s.X)
+		}
+		h.Free(l)
+		h.Set(s.X, 0) // the dialect nullifies the freed pvar
 	case ir.OpAssumeNull, ir.OpAssumeNonNull,
 		ir.OpNoop, ir.OpEntry, ir.OpExit:
 		// Assumes are handled by successor selection; no heap effect.
 	}
-	return true, nil
+	return FaultNone, nil
 }
 
 // pick chooses the successor, respecting assume statements.

@@ -31,7 +31,13 @@ const (
 	OpSelCopy
 	// OpLoad is "x = y->sel".
 	OpLoad
-	// OpNoop has no pointer effect (scalar statements, free, labels).
+	// OpFree is "free(x)": the cell x references is deallocated, its
+	// outgoing references die with it, and x itself becomes NULL (the
+	// dialect nullifies the freed pvar so the abstract and concrete
+	// semantics agree on the pvar layer; aliases of x keep their now
+	// dangling bindings).
+	OpFree
+	// OpNoop has no pointer effect (scalar statements, labels).
 	OpNoop
 	// OpAssumeNull filters configurations where X is non-NULL (the true
 	// edge of an `x == NULL` condition).
@@ -59,6 +65,8 @@ func (o Op) String() string {
 		return "selcopy"
 	case OpLoad:
 		return "load"
+	case OpFree:
+		return "free"
 	case OpNoop:
 		return "noop"
 	case OpAssumeNull:
@@ -90,6 +98,10 @@ type Stmt struct {
 	YSym    rsg.Sym
 	SelSym  rsg.Sym
 	TypeSym rsg.Sym
+	// SelSyms holds, for OpFree, the interned selectors of the freed
+	// struct type (declaration order): the abstract semantics unlinks
+	// every outgoing reference of the freed cell.
+	SelSyms []rsg.Sym
 	// Succs are the IDs of the successor statements.
 	Succs []int
 	// Preds are the IDs of the predecessor statements (computed).
@@ -114,6 +126,8 @@ func (s *Stmt) String() string {
 		return fmt.Sprintf("%s->%s = %s", s.X, s.Sel, s.Y)
 	case OpLoad:
 		return fmt.Sprintf("%s = %s->%s", s.X, s.Y, s.Sel)
+	case OpFree:
+		return fmt.Sprintf("free(%s)", s.X)
 	case OpAssumeNull:
 		return fmt.Sprintf("assume %s == NULL", s.X)
 	case OpAssumeNonNull:
@@ -186,6 +200,13 @@ func (p *Program) ResolveSyms() {
 		}
 		if s.Type != "" {
 			s.TypeSym = rsg.TypeSym(s.Type)
+		}
+		if s.Op == OpFree {
+			sels := p.Selectors[s.Type]
+			s.SelSyms = make([]rsg.Sym, len(sels))
+			for i, sel := range sels {
+				s.SelSyms[i] = rsg.SelSym(sel)
+			}
 		}
 	}
 }

@@ -175,9 +175,7 @@ func (l *lowerer) lowerStmt(s cminic.Stmt) {
 	case *cminic.AssignStmt:
 		l.lowerAssign(st)
 	case *cminic.FreeStmt:
-		// free(x) releases storage but does not change the shape of the
-		// remaining live structure; modelled as a no-op (see DESIGN.md).
-		l.emit(&Stmt{Op: OpNoop, Line: st.Line})
+		l.lowerFree(st)
 	case *cminic.IfStmt:
 		l.lowerIf(st)
 	case *cminic.WhileStmt:
@@ -232,6 +230,31 @@ func (l *lowerer) lowerAssign(a *cminic.AssignStmt) {
 		return
 	}
 	l.lowerPtrAssign(a.LHS, a.RHS, a.Line)
+}
+
+// lowerFree lowers `free(path)`: the path is evaluated into a pvar
+// (loading through a temp when it has selectors) and an OpFree is
+// emitted for it. The freed struct type rides on the statement so the
+// abstract semantics knows which outgoing selectors die with the cell.
+func (l *lowerer) lowerFree(st *cminic.FreeStmt) {
+	if _, ok := l.prog.PtrVars[st.Arg.Base]; !ok {
+		l.fail(st.Line, "free of %s: not a declared struct pointer", st.Arg.Base)
+		return
+	}
+	if l.isScalarPath(st.Arg, st.Line) {
+		l.fail(st.Line, "free of a scalar path")
+		return
+	}
+	var cleanup []string
+	x := l.evalPathValue(st.Arg, st.Line, &cleanup)
+	if l.err != nil {
+		return
+	}
+	l.emit(&Stmt{Op: OpFree, X: x, Type: l.prog.PtrVars[x], Line: st.Line})
+	for _, t := range cleanup {
+		l.emit(&Stmt{Op: OpNil, X: t, Line: st.Line})
+		l.releaseTemp(t)
+	}
 }
 
 // isScalarPath reports whether the path denotes scalar data (so the

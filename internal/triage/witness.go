@@ -1,0 +1,81 @@
+package triage
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/concrete"
+	"repro/internal/ir"
+)
+
+// Witness is a concrete counterexample backing an UNSAFE memory-safety
+// verdict: one recorded execution that faults (null dereference,
+// use-after-free, double free) or strands still-allocated cells.
+type Witness struct {
+	Prog  *ir.Program
+	Trace *concrete.Trace
+	// Seed reproduces the execution via concrete.RunSeed.
+	Seed int64
+}
+
+// NewWitness wraps a faulting or leaking trace for reporting.
+func NewWitness(prog *ir.Program, tr *concrete.Trace, seed int64) *Witness {
+	return &Witness{Prog: prog, Trace: tr, Seed: seed}
+}
+
+// Text renders the witness: the violation kind, the faulting statement
+// in its IR neighborhood, and the tail of the execution with the heap
+// the fault ran into.
+func (w *Witness) Text() string {
+	var b strings.Builder
+	tr := w.Trace
+	switch {
+	case tr.Fault != concrete.FaultNone:
+		fmt.Fprintf(&b, "%s at stmt %d (seed %d): %s\n",
+			tr.Fault, tr.FaultStmt, w.Seed, w.Prog.Stmt(tr.FaultStmt))
+		w.stmtContext(&b, tr.FaultStmt)
+	case len(tr.Leaks) > 0:
+		l := tr.Leaks[0]
+		fmt.Fprintf(&b, "leak at stmt %d (seed %d): %s strands cell L%d",
+			l.StmtID, w.Seed, w.Prog.Stmt(l.StmtID), l.Loc)
+		if len(tr.Leaks) > 1 {
+			fmt.Fprintf(&b, " (+%d more)", len(tr.Leaks)-1)
+		}
+		b.WriteString("\n")
+		w.stmtContext(&b, l.StmtID)
+	default:
+		fmt.Fprintf(&b, "trace (seed %d): no violation recorded\n", w.Seed)
+		return b.String()
+	}
+	if n := len(tr.Steps); n > 0 {
+		b.WriteString("execution tail:\n")
+		lo := n - 5
+		if lo < 0 {
+			lo = 0
+		}
+		for _, st := range tr.Steps[lo:] {
+			fmt.Fprintf(&b, "    %4d: %s\n", st.StmtID, w.Prog.Stmt(st.StmtID))
+		}
+		b.WriteString("heap before the violation:\n")
+		for _, line := range strings.Split(strings.TrimRight(tr.Steps[n-1].Heap.String(), "\n"), "\n") {
+			fmt.Fprintf(&b, "    %s\n", line)
+		}
+	}
+	return b.String()
+}
+
+// stmtContext prints the statement in its IR neighborhood, mirroring
+// Report.Text.
+func (w *Witness) stmtContext(b *strings.Builder, stmtID int) {
+	b.WriteString("statement context:\n")
+	for id := stmtID - 2; id <= stmtID+2; id++ {
+		if id < 0 || id >= len(w.Prog.Stmts) {
+			continue
+		}
+		marker := "   "
+		if id == stmtID {
+			marker = ">> "
+		}
+		fmt.Fprintf(b, "%s%4d: %s\n", marker, id, w.Prog.Stmt(id))
+	}
+}

@@ -1,0 +1,209 @@
+package verdict
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+
+	"repro/internal/cminic"
+	"repro/internal/ir"
+	"repro/internal/rsg"
+)
+
+// Expectation is one class's expected verdict, parsed from a corpus
+// header.
+type Expectation struct {
+	Status Status
+	// Level constrains a safe expectation to the exact level that must
+	// settle it ("safe@L2"); 0 accepts any level ("safe").
+	Level rsg.Level
+}
+
+// String renders the expectation in header syntax.
+func (e Expectation) String() string {
+	if e.Status == Safe && e.Level != 0 {
+		return fmt.Sprintf("safe@%s", e.Level)
+	}
+	return e.Status.String()
+}
+
+// Matches reports whether a settled verdict satisfies the expectation.
+func (e Expectation) Matches(v Verdict) bool {
+	if v.Status != e.Status {
+		return false
+	}
+	return e.Status != Safe || e.Level == 0 || e.Level == v.Level
+}
+
+// Expectations maps each class to its expected verdict.
+type Expectations map[Class]Expectation
+
+// ParseHeader extracts the expected-verdict header from a corpus task:
+//
+//	// VERDICT: null-deref=safe@L1 use-after-free=safe leak=unsafe
+//
+// Every class must be assigned exactly once; the verdict values are
+// "safe", "safe@L1".."safe@L3", "unsafe" and "unknown". The header may
+// appear on any comment line of the file. ok is false when no header is
+// present.
+func ParseHeader(src string) (Expectations, bool, error) {
+	const marker = "VERDICT:"
+	for _, line := range strings.Split(src, "\n") {
+		line = strings.TrimSpace(line)
+		if !strings.HasPrefix(line, "//") {
+			continue
+		}
+		body := strings.TrimSpace(strings.TrimPrefix(line, "//"))
+		if !strings.HasPrefix(body, marker) {
+			continue
+		}
+		exp := make(Expectations, numClasses)
+		for _, field := range strings.Fields(strings.TrimPrefix(body, marker)) {
+			k, val, found := strings.Cut(field, "=")
+			if !found {
+				return nil, true, fmt.Errorf("verdict header: %q is not class=verdict", field)
+			}
+			var class Class
+			switch k {
+			case NullDeref.String():
+				class = NullDeref
+			case UseAfterFree.String():
+				class = UseAfterFree
+			case Leak.String():
+				class = Leak
+			default:
+				return nil, true, fmt.Errorf("verdict header: unknown class %q", k)
+			}
+			if _, dup := exp[class]; dup {
+				return nil, true, fmt.Errorf("verdict header: class %q assigned twice", k)
+			}
+			e, err := parseExpectation(val)
+			if err != nil {
+				return nil, true, err
+			}
+			exp[class] = e
+		}
+		for _, c := range Classes() {
+			if _, ok := exp[c]; !ok {
+				return nil, true, fmt.Errorf("verdict header: class %q missing", c)
+			}
+		}
+		return exp, true, nil
+	}
+	return nil, false, nil
+}
+
+func parseExpectation(val string) (Expectation, error) {
+	status, level, _ := strings.Cut(val, "@")
+	var e Expectation
+	switch status {
+	case "safe":
+		e.Status = Safe
+	case "unsafe":
+		e.Status = Unsafe
+	case "unknown":
+		e.Status = Unknown
+	default:
+		return e, fmt.Errorf("verdict header: unknown verdict %q", val)
+	}
+	switch level {
+	case "":
+	case "L1":
+		e.Level = rsg.L1
+	case "L2":
+		e.Level = rsg.L2
+	case "L3":
+		e.Level = rsg.L3
+	default:
+		return e, fmt.Errorf("verdict header: unknown level in %q", val)
+	}
+	if e.Level != 0 && e.Status != Safe {
+		return e, fmt.Errorf("verdict header: %q — only safe verdicts carry a level", val)
+	}
+	return e, nil
+}
+
+// Compile parses and lowers a mini-C source.
+func Compile(src string) (*ir.Program, error) {
+	file, err := cminic.Parse(src)
+	if err != nil {
+		return nil, err
+	}
+	return ir.LowerMain(file)
+}
+
+// TaskResult is the outcome of one corpus task.
+type TaskResult struct {
+	Path   string
+	Report *Report
+	Expect Expectations
+	// Mismatches lists the classes whose settled verdict contradicts
+	// the expectation, one line each.
+	Mismatches []string
+}
+
+// RunTask compiles one task source, checks it, and compares the
+// verdicts against the expected-verdict header. An error means the
+// task could not be evaluated (parse failure, missing header).
+func RunTask(path, src string, opts Options) (*TaskResult, error) {
+	exp, ok, err := ParseHeader(src)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	if !ok {
+		return nil, fmt.Errorf("%s: no `// VERDICT:` header", path)
+	}
+	prog, err := Compile(src)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	rep := Check(prog, opts)
+	if rep.Err != nil {
+		return nil, fmt.Errorf("%s: analysis failed: %w", path, rep.Err)
+	}
+	tr := &TaskResult{Path: path, Report: rep, Expect: exp}
+	for _, c := range Classes() {
+		v := rep.VerdictFor(c)
+		if !exp[c].Matches(v) {
+			tr.Mismatches = append(tr.Mismatches,
+				fmt.Sprintf("%s: expected %s, got %s", c, exp[c], v))
+		}
+	}
+	return tr, nil
+}
+
+// CorpusFiles lists the .c tasks of a corpus directory, sorted.
+func CorpusFiles(dir string) ([]string, error) {
+	paths, err := filepath.Glob(filepath.Join(dir, "*.c"))
+	if err != nil {
+		return nil, err
+	}
+	sort.Strings(paths)
+	return paths, nil
+}
+
+// RunCorpus sweeps a corpus directory and returns one result per task.
+func RunCorpus(dir string, opts Options) ([]*TaskResult, error) {
+	paths, err := CorpusFiles(dir)
+	if err != nil {
+		return nil, err
+	}
+	if len(paths) == 0 {
+		return nil, fmt.Errorf("no .c tasks in %s", dir)
+	}
+	var out []*TaskResult
+	for _, p := range paths {
+		src, err := os.ReadFile(p)
+		if err != nil {
+			return nil, err
+		}
+		tr, err := RunTask(p, string(src), opts)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, tr)
+	}
+	return out, nil
+}

@@ -1,0 +1,119 @@
+package verdict
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/concrete"
+	"repro/internal/rsg"
+)
+
+const corpusDir = "testdata/corpus"
+
+// corpusResults runs the whole corpus once and caches the results for
+// the package's tests.
+var corpusResults = func() func(t *testing.T) []*TaskResult {
+	var cached []*TaskResult
+	return func(t *testing.T) []*TaskResult {
+		t.Helper()
+		if cached == nil {
+			var err error
+			cached, err = RunCorpus(corpusDir, Options{})
+			if err != nil {
+				t.Fatalf("corpus: %v", err)
+			}
+		}
+		return cached
+	}
+}()
+
+// TestCorpusVerdictsMatch asserts every task settles exactly the
+// verdicts its header declares — statuses and, where the header pins
+// one, the settling level.
+func TestCorpusVerdictsMatch(t *testing.T) {
+	results := corpusResults(t)
+	if len(results) < 20 {
+		t.Fatalf("corpus has %d tasks, want >= 20", len(results))
+	}
+	for _, tr := range results {
+		for _, m := range tr.Mismatches {
+			t.Errorf("%s: %s", filepath.Base(tr.Path), m)
+		}
+	}
+}
+
+// TestCorpusProvesEscalation requires, per checker class, at least one
+// task that is UNKNOWN at L1 but settles SAFE at L2 or L3 — the
+// progressive escalation working per query, not just in aggregate.
+func TestCorpusProvesEscalation(t *testing.T) {
+	results := corpusResults(t)
+	escalated := make(map[Class]string)
+	for _, tr := range results {
+		for _, c := range Classes() {
+			v := tr.Report.VerdictFor(c)
+			if v.Status == Safe && v.Level > rsg.L1 {
+				escalated[c] = filepath.Base(tr.Path)
+			}
+		}
+	}
+	for _, c := range Classes() {
+		if task, ok := escalated[c]; !ok {
+			t.Errorf("no corpus task escalates the %s checker past L1", c)
+		} else {
+			t.Logf("%s escalation: %s", c, task)
+		}
+	}
+}
+
+// TestCorpusCrossValidation replays every task on the concrete
+// interpreter over many seeds and checks the verdicts against the
+// observed executions:
+//
+//   - a checker must never claim SAFE for a class some execution
+//     violates (soundness of the safe verdicts), and
+//   - every UNSAFE expectation must be backed by at least one observed
+//     violation (the witness is real, not a checker artifact).
+func TestCorpusCrossValidation(t *testing.T) {
+	const seeds = 200
+	results := corpusResults(t)
+	for _, tr := range results {
+		name := filepath.Base(tr.Path)
+		src, err := os.ReadFile(tr.Path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		prog, err := Compile(string(src))
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		observed := make(map[Class]bool)
+		for seed := int64(1); seed <= seeds; seed++ {
+			trace, err := concrete.RunSeed(prog, seed)
+			if err != nil {
+				t.Fatalf("%s seed %d: %v", name, seed, err)
+			}
+			if c, ok := faultClass(trace.Fault); ok {
+				observed[c] = true
+			}
+			if len(trace.Leaks) > 0 {
+				observed[Leak] = true
+			}
+		}
+		for _, c := range Classes() {
+			v := tr.Report.VerdictFor(c)
+			if v.Status == Safe && observed[c] {
+				t.Errorf("%s: checker claims %s %s but the interpreter violates it", name, c, v)
+			}
+			if tr.Expect[c].Status == Unsafe && !observed[c] {
+				t.Errorf("%s: expected %s unsafe but no execution in %d seeds violates it", name, c, seeds)
+			}
+			if v.Status == Unsafe && v.Witness == nil {
+				t.Errorf("%s: unsafe %s verdict without a witness", name, c)
+			}
+		}
+	}
+}
+
+// faultClass re-exports classOfFault for the cross-validation loop.
+func faultClass(f concrete.Fault) (Class, bool) { return classOfFault(f) }

@@ -1,0 +1,80 @@
+package verdict
+
+import (
+	"math/rand"
+	"os"
+	"strconv"
+	"testing"
+
+	"repro/internal/analysis"
+	"repro/internal/concrete"
+)
+
+// fuzzSeed mirrors the concrete package's sweep seeding: FUZZ_SEED
+// rotates the master seed, the committed default keeps the run
+// reproducible.
+func fuzzSeed(t *testing.T) int64 {
+	if env := os.Getenv("FUZZ_SEED"); env != "" {
+		seed, err := strconv.ParseInt(env, 10, 64)
+		if err != nil {
+			t.Fatalf("invalid FUZZ_SEED %q: %v", env, err)
+		}
+		return seed
+	}
+	return 20260808
+}
+
+// TestFuzzDifferentialVerdicts is the differential hook between the
+// checkers and the interpreter: on randomly generated free()-heavy
+// programs, a checker must NEVER settle SAFE for a class some concrete
+// execution violates. Unsafe/unknown verdicts are unconstrained (random
+// programs fault all the time); the property under test is one-sided
+// soundness of the SAFE claims — exactly the guarantee the corpus
+// cross-validation pins on the curated tasks, extended here to
+// adversarial inputs.
+func TestFuzzDifferentialVerdicts(t *testing.T) {
+	programs := 25
+	seeds := int64(60)
+	if testing.Short() {
+		programs, seeds = 5, 20
+	}
+	seedRng := rand.New(rand.NewSource(fuzzSeed(t)))
+	for i := 0; i < programs; i++ {
+		gen := concrete.GenFreeProgram
+		if i%4 == 3 { // every fourth program is free-less
+			gen = concrete.GenProgram
+		}
+		genSeed := seedRng.Int63()
+		src := gen(rand.New(rand.NewSource(genSeed)))
+		prog, err := Compile(src)
+		if err != nil {
+			t.Fatalf("program %d (genseed %d): %v\n%s", i, genSeed, err, src)
+		}
+		rep := Check(prog, Options{Analysis: analysis.Options{MaxVisits: 50000, Workers: 4}})
+		if rep.Err != nil {
+			// The bounded analysis did not converge on this program; there
+			// are no SAFE claims to falsify.
+			continue
+		}
+		observed := make(map[Class]bool)
+		for seed := int64(1); seed <= seeds; seed++ {
+			tr, err := concrete.RunSeed(prog, seed)
+			if err != nil {
+				t.Fatalf("program %d (genseed %d) seed %d: %v\n%s", i, genSeed, seed, err, src)
+			}
+			if c, ok := classOfFault(tr.Fault); ok {
+				observed[c] = true
+			}
+			if len(tr.Leaks) > 0 {
+				observed[Leak] = true
+			}
+		}
+		for _, c := range Classes() {
+			v := rep.VerdictFor(c)
+			if v.Status == Safe && observed[c] {
+				t.Errorf("program %d (genseed %d): checker claims %s %s but the interpreter violates it\n%s",
+					i, genSeed, c, v, src)
+			}
+		}
+	}
+}

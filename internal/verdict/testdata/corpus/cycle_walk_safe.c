@@ -1,0 +1,17 @@
+// VERDICT: null-deref=safe@L1 use-after-free=safe@L1 leak=safe@L1
+// Walks a two-cell cycle: the links never read NULL and the cycle
+// stays reachable through p.
+struct node { struct node *nxt; };
+void main(void) {
+    struct node *p;
+    struct node *q;
+    struct node *r;
+    p = malloc(sizeof(struct node));
+    q = malloc(sizeof(struct node));
+    p->nxt = q;
+    q->nxt = p;
+    q = NULL;
+    r = p->nxt;
+    q = r->nxt;
+    r = q->nxt;
+}

@@ -1,0 +1,32 @@
+// VERDICT: null-deref=safe@L2 use-after-free=safe@L1 leak=safe@L2
+// Unlinks and frees a middle cell of a four-cell doubly-linked
+// list; the back-pointer store t->prv=q trips over the L1 summary
+// short-cut (t spuriously NULL) until L2 walks the list exactly.
+struct node { struct node *nxt; struct node *prv; };
+void main(void) {
+    struct node *p;
+    struct node *q;
+    struct node *r;
+    struct node *t;
+    p = malloc(sizeof(struct node));
+    t = malloc(sizeof(struct node));
+    p->nxt = t;
+    t->prv = p;
+    q = malloc(sizeof(struct node));
+    t->nxt = q;
+    q->prv = t;
+    r = malloc(sizeof(struct node));
+    q->nxt = r;
+    r->prv = q;
+    t = NULL;
+    q = NULL;
+    r = NULL;
+    q = p->nxt;
+    r = q->nxt;
+    t = r->nxt;
+    q->nxt = t;
+    t->prv = q;
+    r->nxt = NULL;
+    r->prv = NULL;
+    free(r);
+}

@@ -1,0 +1,11 @@
+// VERDICT: null-deref=safe@L1 use-after-free=safe@L1 leak=safe@L1
+// free(NULL) is a no-op in the dialect, exactly as in C.
+struct node { struct node *nxt; };
+void main(void) {
+    struct node *p;
+    p = NULL;
+    free(p);
+    p = malloc(sizeof(struct node));
+    free(p);
+    free(p);
+}

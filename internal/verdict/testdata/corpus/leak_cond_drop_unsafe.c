@@ -1,0 +1,14 @@
+// VERDICT: null-deref=safe@L1 use-after-free=safe@L1 leak=unsafe
+// One branch strands the cell, the other keeps it: some executions
+// leak, so the verdict is unsafe with a concrete witness.
+struct node { struct node *nxt; };
+void main(void) {
+    struct node *p;
+    struct node *q;
+    p = malloc(sizeof(struct node));
+    q = p;
+    if (cond) {
+        p = NULL;
+        q = NULL;
+    }
+}

@@ -1,0 +1,8 @@
+// VERDICT: null-deref=safe@L1 use-after-free=safe@L1 leak=unsafe
+// Drops the only reference to an allocated cell.
+struct node { struct node *nxt; };
+void main(void) {
+    struct node *p;
+    p = malloc(sizeof(struct node));
+    p = NULL;
+}

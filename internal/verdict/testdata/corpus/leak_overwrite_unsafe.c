@@ -1,0 +1,9 @@
+// VERDICT: null-deref=safe@L1 use-after-free=safe@L1 leak=unsafe
+// Re-binding the only pvar of an allocated cell strands it.
+struct node { struct node *nxt; };
+void main(void) {
+    struct node *p;
+    p = malloc(sizeof(struct node));
+    p = malloc(sizeof(struct node));
+    p->nxt = NULL;
+}

@@ -1,0 +1,20 @@
+// VERDICT: null-deref=safe@L1 use-after-free=safe@L1 leak=safe@L1
+// Deallocates the whole list by popping the head: every free() sees a
+// sole-referenced cell and nothing is stranded.
+struct node { struct node *nxt; };
+void main(void) {
+    struct node *p;
+    struct node *q;
+    p = NULL;
+    while (cond) {
+        q = malloc(sizeof(struct node));
+        q->nxt = p;
+        p = q;
+    }
+    q = NULL;
+    while (p != NULL) {
+        q = p->nxt;
+        free(p);
+        p = q;
+    }
+}

@@ -1,0 +1,28 @@
+// VERDICT: null-deref=safe@L1 use-after-free=safe@L1 leak=safe@L2
+// Unlinks and frees a middle cell. At L1 the bridge store q->nxt=t
+// may spuriously write NULL (t read through the summarized middle),
+// abstractly stranding the tail; L2 walks exactly.
+struct node { struct node *nxt; };
+void main(void) {
+    struct node *p;
+    struct node *q;
+    struct node *r;
+    struct node *t;
+    p = malloc(sizeof(struct node));
+    t = malloc(sizeof(struct node));
+    p->nxt = t;
+    q = malloc(sizeof(struct node));
+    t->nxt = q;
+    r = malloc(sizeof(struct node));
+    q->nxt = r;
+    t = NULL;
+    q = NULL;
+    r = NULL;
+    q = p->nxt;
+    r = q->nxt;
+    t = r->nxt;
+    q->nxt = t;
+    t = NULL;
+    r->nxt = NULL;
+    free(r);
+}

@@ -1,0 +1,20 @@
+// VERDICT: null-deref=safe@L1 use-after-free=safe@L1 leak=safe@L1
+// The loop guard proves p non-NULL before every load.
+struct node { struct node *nxt; };
+void main(void) {
+    struct node *h;
+    struct node *p;
+    struct node *q;
+    h = NULL;
+    while (cond) {
+        q = malloc(sizeof(struct node));
+        q->nxt = h;
+        h = q;
+    }
+    q = NULL;
+    p = h;
+    while (p != NULL) {
+        q = p->nxt;
+        p = q;
+    }
+}

@@ -1,0 +1,10 @@
+// VERDICT: null-deref=unsafe use-after-free=safe@L1 leak=safe@L1
+// Loads the uninitialised (NULL) nxt field and dereferences it.
+struct node { struct node *nxt; };
+void main(void) {
+    struct node *p;
+    struct node *q;
+    p = malloc(sizeof(struct node));
+    q = p->nxt;
+    q->nxt = NULL;
+}

@@ -1,0 +1,8 @@
+// VERDICT: null-deref=unsafe use-after-free=safe@L1 leak=safe@L1
+// Stores through a pvar that is definitely NULL.
+struct node { struct node *nxt; };
+void main(void) {
+    struct node *p;
+    p = NULL;
+    p->nxt = NULL;
+}

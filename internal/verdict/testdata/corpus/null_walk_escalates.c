@@ -1,0 +1,28 @@
+// VERDICT: null-deref=safe@L2 use-after-free=safe@L1 leak=safe@L1
+// Four-cell list walked by repeated loads. At L1 the two middle
+// cells summarize, materialization leaves a possible short-cut to
+// the terminal, and the walk spuriously reads NULL one step early;
+// the L2 spath distinction keeps the walk exact.
+struct node { struct node *nxt; };
+void main(void) {
+    struct node *p;
+    struct node *q;
+    struct node *r;
+    struct node *s;
+    struct node *w;
+    struct node *t;
+    p = malloc(sizeof(struct node));
+    t = malloc(sizeof(struct node));
+    p->nxt = t;
+    q = malloc(sizeof(struct node));
+    t->nxt = q;
+    r = malloc(sizeof(struct node));
+    q->nxt = r;
+    t = NULL;
+    q = NULL;
+    r = NULL;
+    q = p->nxt;
+    r = q->nxt;
+    s = r->nxt;
+    w = s->nxt;
+}

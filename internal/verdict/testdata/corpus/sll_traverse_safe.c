@@ -1,0 +1,20 @@
+// VERDICT: null-deref=safe@L1 use-after-free=safe@L1 leak=safe@L1
+// Push-front construction followed by a guarded traversal: the
+// canonical safe singly-linked-list workload.
+struct node { struct node *nxt; };
+void main(void) {
+    struct node *h;
+    struct node *p;
+    struct node *t;
+    h = NULL;
+    while (cond) {
+        t = malloc(sizeof(struct node));
+        t->nxt = h;
+        h = t;
+    }
+    t = NULL;
+    p = h;
+    while (p != NULL) {
+        p = p->nxt;
+    }
+}

@@ -1,0 +1,20 @@
+// VERDICT: null-deref=safe@L1 use-after-free=safe@L1 leak=safe@L1
+// Grows a binary tree by pushing new roots; everything stays reachable.
+struct tree { struct tree *lft; struct tree *rgt; };
+void main(void) {
+    struct tree *root;
+    struct tree *t;
+    struct tree *l;
+    root = NULL;
+    while (cond) {
+        t = malloc(sizeof(struct tree));
+        t->lft = root;
+        l = malloc(sizeof(struct tree));
+        l->lft = NULL;
+        l->rgt = NULL;
+        t->rgt = l;
+        root = t;
+    }
+    t = NULL;
+    l = NULL;
+}

@@ -1,0 +1,11 @@
+// VERDICT: null-deref=safe@L1 use-after-free=unsafe leak=safe@L1
+// Stores through an alias of a freed cell.
+struct node { struct node *nxt; };
+void main(void) {
+    struct node *p;
+    struct node *q;
+    p = malloc(sizeof(struct node));
+    q = p;
+    free(p);
+    q->nxt = NULL;
+}

@@ -1,0 +1,21 @@
+// VERDICT: null-deref=safe@L1 use-after-free=unknown leak=safe@L1
+// Frees a cell while a heap link into it survives. No execution ever
+// dereferences the dangling link, so the concrete runs cannot confirm
+// the alarm — but the sole-reference criterion rightly refuses to
+// prove the free safe at any level: the code is one load away from a
+// use-after-free.
+struct node { struct node *nxt; };
+void main(void) {
+    struct node *p;
+    struct node *q;
+    struct node *s;
+    p = malloc(sizeof(struct node));
+    q = malloc(sizeof(struct node));
+    s = malloc(sizeof(struct node));
+    p->nxt = s;
+    q->nxt = s;
+    s = NULL;
+    s = q->nxt;
+    q->nxt = NULL;
+    free(s);
+}

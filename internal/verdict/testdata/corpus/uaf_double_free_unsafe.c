@@ -1,0 +1,11 @@
+// VERDICT: null-deref=safe@L1 use-after-free=unsafe leak=safe@L1
+// free() through a stale alias releases the same cell twice.
+struct node { struct node *nxt; };
+void main(void) {
+    struct node *p;
+    struct node *q;
+    p = malloc(sizeof(struct node));
+    q = p;
+    free(p);
+    free(q);
+}

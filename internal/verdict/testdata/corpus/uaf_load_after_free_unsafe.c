@@ -1,0 +1,13 @@
+// VERDICT: null-deref=safe@L1 use-after-free=unsafe leak=safe@L1
+// Loads through a stale alias of a freed cell.
+struct node { struct node *nxt; };
+void main(void) {
+    struct node *p;
+    struct node *q;
+    struct node *r;
+    p = malloc(sizeof(struct node));
+    p->nxt = NULL;
+    q = p;
+    free(p);
+    r = q->nxt;
+}

@@ -1,0 +1,30 @@
+// VERDICT: null-deref=safe@L1 use-after-free=safe@L2 leak=safe@L1
+// Frees the third cell of a four-cell list whose terminal is pinned
+// by pvar w. At L1 the summarized middles let the cursor spuriously
+// alias w one step early, so the freed cell may still be referenced
+// by another pvar; the L2 spath distinction removes the alias.
+struct node { struct node *nxt; };
+void main(void) {
+    struct node *p;
+    struct node *q;
+    struct node *r;
+    struct node *s;
+    struct node *w;
+    p = malloc(sizeof(struct node));
+    q = malloc(sizeof(struct node));
+    p->nxt = q;
+    r = malloc(sizeof(struct node));
+    q->nxt = r;
+    s = malloc(sizeof(struct node));
+    r->nxt = s;
+    w = s;
+    q = NULL;
+    r = NULL;
+    s = NULL;
+    q = p->nxt;
+    r = q->nxt;
+    s = r->nxt;
+    q->nxt = s;
+    r->nxt = NULL;
+    free(r);
+}

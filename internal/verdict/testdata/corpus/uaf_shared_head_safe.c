@@ -1,0 +1,35 @@
+// VERDICT: null-deref=safe@L1 use-after-free=safe@L1 leak=safe@L1
+// Two pvar-held cells converge on a shared head whose tail is then
+// unlinked and freed; the sharing flags keep the shared cell out of
+// every summary, so the free stays provable at L1.
+struct node { struct node *nxt; };
+void main(void) {
+    struct node *p;
+    struct node *q;
+    struct node *r;
+    struct node *s;
+    struct node *t;
+    p = malloc(sizeof(struct node));
+    q = malloc(sizeof(struct node));
+    r = malloc(sizeof(struct node));
+    p->nxt = r;
+    q->nxt = r;
+    s = malloc(sizeof(struct node));
+    r->nxt = s;
+    s->nxt = NULL;
+    while (cond) {
+        t = malloc(sizeof(struct node));
+        t->nxt = NULL;
+        s->nxt = t;
+        s = t;
+    }
+    r = NULL;
+    s = NULL;
+    t = NULL;
+    r = q->nxt;
+    s = r->nxt;
+    t = s->nxt;
+    r->nxt = t;
+    s->nxt = NULL;
+    free(s);
+}

@@ -1,0 +1,24 @@
+// VERDICT: null-deref=safe@L1 use-after-free=safe@L1 leak=safe@L1
+// Unlinks and frees the second cell of a loop-built list: the
+// unshared summary keeps materialization exact even at L1.
+struct node { struct node *nxt; };
+void main(void) {
+    struct node *p;
+    struct node *q;
+    struct node *t;
+    p = malloc(sizeof(struct node));
+    p->nxt = NULL;
+    while (cond) {
+        q = malloc(sizeof(struct node));
+        q->nxt = p;
+        p = q;
+    }
+    q = NULL;
+    q = p->nxt;
+    if (q != NULL) {
+        t = q->nxt;
+        p->nxt = t;
+        q->nxt = NULL;
+        free(q);
+    }
+}
