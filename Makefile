@@ -6,9 +6,9 @@
 
 GO ?= go
 
-.PHONY: ci vet build test test-race bench-smoke bench-compare bench fuzz corpus corpus-short tidy
+.PHONY: ci vet build test test-race bench-smoke bench-compare bench-warm bench fuzz corpus corpus-short tidy
 
-ci: vet build test test-race bench-smoke bench-compare fuzz-short corpus-short
+ci: vet build test test-race bench-smoke bench-compare bench-warm fuzz-short corpus-short
 
 vet:
 	$(GO) vet ./...
@@ -44,6 +44,13 @@ bench-compare:
 	$(GO) run ./cmd/benchtab -kernels barneshut,matvec -levels 1 \
 		-visits 1500 -reps 1 -workers 1 -deltamodes on,off \
 		-compare BENCH_PR4.json
+
+# Persistent-store smoke: the Figure 1 list and Barnes-Hut through the
+# cold -> warm -> one-statement-edit trajectory (DESIGN.md §13). Warm
+# must do zero transfers; the edit must rerun only the changed
+# statement's forward cone. -short keeps Barnes-Hut out of the CI run.
+bench-warm:
+	$(GO) test -run TestWarmStartSmoke -short -count=1 ./internal/benchprog/
 
 # Full micro+macro benchmarks (minutes); REPRO_FULL_BENCH=1 for the
 # unbounded Table 1 cells.

@@ -16,11 +16,23 @@
 // comparable — and the table reports per-cell medians. -json FILE
 // additionally writes the full machine-readable results.
 //
+// -persist adds persistent-store modes alongside the storeless cold
+// baseline: "warm" measures a re-analysis served entirely from a
+// populated store (zero transfers), "edit" measures re-analysis after
+// the canonical one-statement tail edit (only the edit's forward cone
+// reruns). Store files live under -cache-dir (a temp directory when
+// unset) and are populated once per cell before the measurement loop,
+// so every rep of a warm/edit cell measures the steady state.
+//
+// -verdicts appends a memory-safety table: the progressive
+// null-deref / use-after-free / leak verdicts for each kernel.
+//
 // Usage:
 //
 //	benchtab [-kernels matvec,matmat,lu,barneshut] [-levels 1,2,3]
 //	         [-lubudget N] [-timeout d] [-workers N] [-visits N]
-//	         [-deltamodes on|on,off] [-reps N] [-json out.json]
+//	         [-deltamodes on|on,off] [-persist cold|cold,warm,edit]
+//	         [-cache-dir DIR] [-verdicts] [-reps N] [-json out.json]
 package main
 
 import (
@@ -28,6 +40,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"path/filepath"
 	"runtime"
 	"runtime/pprof"
 	"sort"
@@ -37,14 +50,24 @@ import (
 	"repro/internal/analysis"
 	"repro/internal/benchprog"
 	"repro/internal/rsg"
+	"repro/internal/store"
+	"repro/internal/verdict"
 )
 
-// cell is one benchmark configuration: kernel x level x delta mode.
+// cell is one benchmark configuration: kernel x level x delta mode x
+// persistence mode.
 type cell struct {
 	kernel *benchprog.Kernel
 	lvl    rsg.Level
 	delta  bool
-	opts   analysis.Options
+	// persist is "cold" (storeless baseline), "warm" (re-analysis from
+	// a populated store) or "edit" (one-statement tail edit against the
+	// base snapshot).
+	persist string
+	// measured is the kernel each rep compiles and analyzes: the base
+	// kernel, or its tail-edited twin for persist == "edit".
+	measured *benchprog.Kernel
+	opts     analysis.Options
 
 	reps []repMeasurement
 }
@@ -58,27 +81,35 @@ type repMeasurement struct {
 }
 
 // cellResult is the JSON form of one cell's aggregated result.
+// MemoHitRate is a pointer so cells where the rate is meaningless —
+// no memoizable transfer ran, or delta propagation made repeats
+// structurally impossible — emit no memo_hit_rate at all instead of a
+// misleading hard 0 (see aggregate).
 type cellResult struct {
-	Bench            string  `json:"bench"`
-	Level            string  `json:"level"`
-	Workers          int     `json:"workers"`
-	Delta            bool    `json:"delta"`
-	Visits           int     `json:"visits"`
-	Reps             int     `json:"reps"`
-	MedianNs         int64   `json:"median_ns"`
-	MedianAllocBytes uint64  `json:"median_alloc_bytes"`
-	MedianAllocs     uint64  `json:"median_allocs"`
-	MemoHitRate      float64 `json:"memo_hit_rate"`
-	PoolHitRate      float64 `json:"pool_hit_rate"`
-	MaskSpills       uint64  `json:"mask_spills"`
-	DeltaTransfers   int     `json:"delta_transfers"`
-	FullRecomputes   int     `json:"full_recomputes"`
-	DirtyBuckets     int     `json:"dirty_buckets"`
-	MemoFull         int     `json:"memo_full"`
-	VisitsRun        int     `json:"visits_run"`
-	PeakNodes        int     `json:"peak_nodes"`
-	PeakGraphs       int     `json:"peak_graphs"`
-	Outcome          string  `json:"outcome"`
+	Bench            string   `json:"bench"`
+	Level            string   `json:"level"`
+	Workers          int      `json:"workers"`
+	Delta            bool     `json:"delta"`
+	Persist          string   `json:"persist"`
+	Visits           int      `json:"visits"`
+	Reps             int      `json:"reps"`
+	MedianNs         int64    `json:"median_ns"`
+	MedianAllocBytes uint64   `json:"median_alloc_bytes"`
+	MedianAllocs     uint64   `json:"median_allocs"`
+	MemoHitRate      *float64 `json:"memo_hit_rate,omitempty"`
+	PoolHitRate      float64  `json:"pool_hit_rate"`
+	MaskSpills       uint64   `json:"mask_spills"`
+	DeltaTransfers   int      `json:"delta_transfers"`
+	FullRecomputes   int      `json:"full_recomputes"`
+	DirtyBuckets     int      `json:"dirty_buckets"`
+	MemoFull         int      `json:"memo_full"`
+	VisitsRun        int      `json:"visits_run"`
+	StoreMemoHits    int      `json:"store_memo_hits,omitempty"`
+	ReusedStmts      int      `json:"reused_statements,omitempty"`
+	ReseededStmts    int      `json:"reseeded_statements,omitempty"`
+	PeakNodes        int      `json:"peak_nodes"`
+	PeakGraphs       int      `json:"peak_graphs"`
+	Outcome          string   `json:"outcome"`
 }
 
 // jsonDoc is the top-level -json document.
@@ -86,6 +117,9 @@ type jsonDoc struct {
 	Generated  string       `json:"generated"`
 	GoMaxProcs int          `json:"gomaxprocs"`
 	Results    []cellResult `json:"results"`
+	// Verdicts maps kernel name -> class -> settled verdict (only with
+	// -verdicts).
+	Verdicts map[string]map[string]string `json:"verdicts,omitempty"`
 }
 
 func main() {
@@ -96,6 +130,9 @@ func main() {
 	workers := flag.Int("workers", 0, "worker goroutines per cell (0 = GOMAXPROCS, 1 = sequential)")
 	visits := flag.Int("visits", 0, "visit bound per cell (0 = run to the fixed point)")
 	deltaModes := flag.String("deltamodes", "on", "delta propagation modes to measure: on, off, or on,off")
+	persistModes := flag.String("persist", "cold", "persistence modes to measure: any of cold,warm,edit")
+	cacheDir := flag.String("cache-dir", "", "directory for persistent analysis stores (default: a temp dir when warm/edit modes run)")
+	verdicts := flag.Bool("verdicts", false, "append the memory-safety verdict table (null-deref / use-after-free / leak per kernel)")
 	reps := flag.Int("reps", 1, "interleaved repetitions per cell; the table reports medians")
 	jsonOut := flag.String("json", "", "write machine-readable results to this file")
 	compare := flag.String("compare", "", "print per-cell deltas vs a previous -json snapshot")
@@ -146,8 +183,42 @@ func main() {
 			os.Exit(2)
 		}
 	}
+	var persists []string
+	needStore := false
+	for _, p := range strings.Split(*persistModes, ",") {
+		p = strings.TrimSpace(p)
+		switch p {
+		case "cold", "warm", "edit":
+			persists = append(persists, p)
+			needStore = needStore || p != "cold"
+		default:
+			fmt.Fprintf(os.Stderr, "benchtab: bad -persist entry %q (want cold/warm/edit)\n", p)
+			os.Exit(2)
+		}
+	}
+	if needStore && *cacheDir == "" {
+		dir, err := os.MkdirTemp("", "benchtab-store-")
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "benchtab: %v\n", err)
+			os.Exit(1)
+		}
+		defer os.RemoveAll(dir)
+		*cacheDir = dir
+	}
+	if *cacheDir != "" {
+		if err := os.MkdirAll(*cacheDir, 0o755); err != nil {
+			fmt.Fprintf(os.Stderr, "benchtab: %v\n", err)
+			os.Exit(1)
+		}
+	}
 
 	var cells []*cell
+	var stores []*store.Store
+	defer func() {
+		for _, st := range stores {
+			st.Close()
+		}
+	}()
 	for _, name := range strings.Split(*kernels, ",") {
 		k := benchprog.ByName(strings.TrimSpace(name))
 		if k == nil {
@@ -181,16 +252,80 @@ func main() {
 				if k.Name == "lu" && lvl > rsg.L1 {
 					opts.NodeBudget = *luBudget
 				}
-				cells = append(cells, &cell{kernel: k, lvl: lvl, delta: delta, opts: opts})
+				// Warm and edit cells of the same configuration share
+				// one store file, populated by a single cold run below.
+				var st *store.Store
+				for _, persist := range persists {
+					c := &cell{kernel: k, lvl: lvl, delta: delta, persist: persist, measured: k, opts: opts}
+					if persist != "cold" {
+						if st == nil {
+							mode := "on"
+							if !delta {
+								mode = "off"
+							}
+							path := filepath.Join(*cacheDir,
+								fmt.Sprintf("%s-%s-delta%s.rsgstore", k.Name, lvl, mode))
+							var err error
+							st, err = store.Open(path)
+							if err != nil {
+								fmt.Fprintf(os.Stderr, "benchtab: %v\n", err)
+								os.Exit(1)
+							}
+							stores = append(stores, st)
+						}
+						c.opts.Store = st
+					}
+					if persist == "edit" {
+						ek, err := k.TailEdit()
+						if err != nil {
+							fmt.Fprintf(os.Stderr, "benchtab: %v\n", err)
+							os.Exit(1)
+						}
+						c.measured = ek
+					}
+					cells = append(cells, c)
+				}
 			}
 		}
+	}
+
+	// Populate pass: every store gets one cold run of its base kernel so
+	// each warm/edit rep below measures the steady state.
+	for _, c := range cells {
+		if c.persist != "warm" {
+			continue
+		}
+		prog, err := c.kernel.Compile()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "benchtab: %v\n", err)
+			os.Exit(1)
+		}
+		analysis.RunLevel(prog, c.lvl, nil, c.opts)
+	}
+	populated := make(map[*store.Store]bool)
+	for _, c := range cells {
+		if c.persist == "warm" {
+			populated[c.opts.Store] = true
+		}
+	}
+	for _, c := range cells {
+		if c.persist != "edit" || populated[c.opts.Store] {
+			continue
+		}
+		prog, err := c.kernel.Compile()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "benchtab: %v\n", err)
+			os.Exit(1)
+		}
+		analysis.RunLevel(prog, c.lvl, nil, c.opts)
+		populated[c.opts.Store] = true
 	}
 
 	// Rep-major measurement order: every cell's rep r runs before any
 	// cell's rep r+1, so environmental drift is shared across cells.
 	for r := 0; r < *reps; r++ {
 		for _, c := range cells {
-			prog, err := c.kernel.Compile()
+			prog, err := c.measured.Compile()
 			if err != nil {
 				fmt.Fprintf(os.Stderr, "benchtab: %v\n", err)
 				os.Exit(1)
@@ -209,8 +344,8 @@ func main() {
 	if *reps > 1 {
 		head = fmt.Sprintf("time(med/%d)", *reps)
 	}
-	fmt.Printf("%-10s %-4s %-6s %-13s %-12s %-12s %-10s %-26s %-9s %-9s %s\n",
-		"code", "lvl", "delta", head, "peak-heap", "alloc", "allocs/op", "peak(nodes/links/graphs)", "memo-hit", "pool-hit", "outcome")
+	fmt.Printf("%-10s %-4s %-6s %-7s %-13s %-12s %-12s %-10s %-26s %-9s %-9s %s\n",
+		"code", "lvl", "delta", "persist", head, "peak-heap", "alloc", "allocs/op", "peak(nodes/links/graphs)", "memo-hit", "pool-hit", "outcome")
 
 	doc := jsonDoc{
 		Generated:  time.Now().UTC().Format(time.RFC3339),
@@ -221,25 +356,58 @@ func main() {
 		doc.Results = append(doc.Results, cr)
 		last := c.reps[len(c.reps)-1].rep
 		peak := "-"
+		// "-" when no memoizable transfer ran (delta propagation
+		// bypasses the statement memo), not a fake 0%.
 		memoHit := "-"
 		poolHit := "-"
 		if last.Result != nil {
 			peak = fmt.Sprintf("%d/%d/%d", last.Result.Stats.PeakNodes,
 				last.Result.Stats.PeakLinks, last.Result.Stats.PeakGraphs)
-			memoHit = fmt.Sprintf("%.1f%%", 100*cr.MemoHitRate)
+			if cr.MemoHitRate != nil {
+				memoHit = fmt.Sprintf("%.1f%%", 100**cr.MemoHitRate)
+			}
 			poolHit = fmt.Sprintf("%.1f%%", 100*cr.PoolHitRate)
 		}
 		mode := "on"
 		if !c.delta {
 			mode = "off"
 		}
-		fmt.Printf("%-10s %-4s %-6s %-13s %-12s %-12s %-10s %-26s %-9s %-9s %s\n",
-			c.kernel.Name, c.lvl, mode,
+		fmt.Printf("%-10s %-4s %-6s %-7s %-13s %-12s %-12s %-10s %-26s %-9s %-9s %s\n",
+			c.kernel.Name, c.lvl, mode, c.persist,
 			time.Duration(cr.MedianNs).Round(10*time.Millisecond),
 			fmt.Sprintf("%.1f MB", float64(last.PeakHeapBytes)/(1<<20)),
 			fmt.Sprintf("%.1f MB", float64(cr.MedianAllocBytes)/(1<<20)),
 			fmtCount(cr.MedianAllocs),
 			peak, memoHit, poolHit, cr.Outcome)
+	}
+
+	if *verdicts {
+		doc.Verdicts = make(map[string]map[string]string)
+		fmt.Printf("\n%-10s %-14s %-16s %s\n", "code", "null-deref", "use-after-free", "leak")
+		seen := make(map[string]bool)
+		for _, c := range cells {
+			if seen[c.kernel.Name] {
+				continue
+			}
+			seen[c.kernel.Name] = true
+			prog, err := c.kernel.Compile()
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "benchtab: %v\n", err)
+				os.Exit(1)
+			}
+			rep := verdict.Check(prog, verdict.Options{
+				Analysis: analysis.Options{Timeout: *timeout, Workers: *workers},
+			})
+			row := make(map[string]string)
+			for _, cls := range verdict.Classes() {
+				row[cls.String()] = rep.VerdictFor(cls).String()
+			}
+			doc.Verdicts[c.kernel.Name] = row
+			fmt.Printf("%-10s %-14s %-16s %s\n", c.kernel.Name,
+				row[verdict.NullDeref.String()],
+				row[verdict.UseAfterFree.String()],
+				row[verdict.Leak.String()])
+		}
 	}
 
 	if *compare != "" {
@@ -280,6 +448,7 @@ func (c *cell) aggregate(workers, visits int) cellResult {
 		Level:            c.lvl.String(),
 		Workers:          workers,
 		Delta:            c.delta,
+		Persist:          c.persist,
 		Visits:           visits,
 		Reps:             len(c.reps),
 		MedianNs:         medianI64(ns),
@@ -292,7 +461,16 @@ func (c *cell) aggregate(workers, visits int) cellResult {
 	}
 	if last.Result != nil {
 		st := last.Result.Stats
-		cr.MemoHitRate = st.MemoHitRate()
+		// The memo-hit rate is only meaningful when a transfer could
+		// repeat: under delta propagation every Δ-graph is by
+		// construction new to its statement, so unless dirty buckets
+		// forced full recomputes the rate is structurally zero — an
+		// artifact of the engine, not a measurement. Emit no rate then
+		// (and when no memoizable transfer ran at all), not a hard 0.
+		if st.MemoHits+st.MemoMisses > 0 && (!c.delta || st.FullRecomputes > 0) {
+			rate := st.MemoHitRate()
+			cr.MemoHitRate = &rate
+		}
 		cr.PoolHitRate = st.PoolHitRate()
 		cr.MaskSpills = st.Cache.MaskSpills
 		cr.DeltaTransfers = st.DeltaTransfers
@@ -300,6 +478,9 @@ func (c *cell) aggregate(workers, visits int) cellResult {
 		cr.DirtyBuckets = st.DirtyBuckets
 		cr.MemoFull = st.MemoFull
 		cr.VisitsRun = st.Visits
+		cr.StoreMemoHits = st.StoreMemoHits
+		cr.ReusedStmts = st.ReusedStatements
+		cr.ReseededStmts = st.ReseededStatements
 		cr.PeakNodes = st.PeakNodes
 		cr.PeakGraphs = st.PeakGraphs
 	}
@@ -319,18 +500,22 @@ func printCompare(path string, cur []cellResult) error {
 		return fmt.Errorf("%s: %v", path, err)
 	}
 	type key struct {
-		bench, level string
-		delta        bool
+		bench, level, persist string
+		delta                 bool
 	}
 	base := make(map[key]cellResult, len(old.Results))
 	for _, r := range old.Results {
-		base[key{r.Bench, r.Level, r.Delta}] = r
+		if r.Persist == "" {
+			// Snapshots from before the persist dimension are all cold.
+			r.Persist = "cold"
+		}
+		base[key{r.Bench, r.Level, r.Persist, r.Delta}] = r
 	}
 	fmt.Printf("\ncompare vs %s (generated %s)\n", path, old.Generated)
 	fmt.Printf("%-10s %-4s %-6s %-22s %-24s %s\n",
 		"code", "lvl", "delta", "time old->new", "allocs old->new", "speedup")
 	for _, r := range cur {
-		o, ok := base[key{r.Bench, r.Level, r.Delta}]
+		o, ok := base[key{r.Bench, r.Level, r.Persist, r.Delta}]
 		if !ok {
 			continue
 		}

@@ -27,6 +27,10 @@
 //	                (failing statement + rejecting node property) and exit 1.
 //	                cmd/shapetriage offers the full triage toolkit
 //	                (trace seeds, legacy engine, DOT pair, shrinking)
+//	-cache-dir D    persistent analysis store: repeat runs of the same
+//	                program warm-start from the stored fixpoint, and
+//	                re-analysis after an edit reruns only the changed
+//	                statements' forward cone
 //	-cpuprofile F   write a pprof CPU profile of the run to F
 //	-memprofile F   write a pprof allocation profile to F on exit
 //
@@ -38,6 +42,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"path/filepath"
 	"runtime"
 	"runtime/pprof"
 	"time"
@@ -48,6 +53,7 @@ import (
 	"repro/internal/cminic"
 	"repro/internal/ir"
 	"repro/internal/rsg"
+	"repro/internal/store"
 	"repro/internal/triage"
 )
 
@@ -62,6 +68,7 @@ func main() {
 	stats := flag.Bool("stats", false, "print memoization/digest-cache counters")
 	workers := flag.Int("workers", 0, "worker goroutines (0 = GOMAXPROCS, 1 = sequential)")
 	noDelta := flag.Bool("nodelta", false, "disable semi-naïve delta propagation (full recompute per visit)")
+	cacheDir := flag.String("cache-dir", "", "directory for the persistent analysis store (warm-start and edit-delta re-analysis)")
 	explain := flag.Bool("explain", false, "cross-validate against concrete traces; print the triage report on a cover failure")
 	cpuProfile := flag.String("cpuprofile", "", "write a pprof CPU profile of the analysis to this file")
 	memProfile := flag.String("memprofile", "", "write a pprof allocation profile to this file on exit")
@@ -123,6 +130,10 @@ func main() {
 		}
 		prog = p
 		goals = []analysis.Goal{checker.NonEmptyExit{}}
+		// The store's edit-delta lookup keys on the program name; the
+		// source path is the natural "same program, next version"
+		// identity for files.
+		prog.Name = arg
 	}
 
 	if *dumpIR {
@@ -130,6 +141,17 @@ func main() {
 	}
 
 	opts := analysis.Options{NodeBudget: *budget, Workers: *workers, NoDelta: *noDelta}
+	if *cacheDir != "" {
+		if err := os.MkdirAll(*cacheDir, 0o755); err != nil {
+			fatal(err)
+		}
+		st, err := store.Open(filepath.Join(*cacheDir, "shape.rsgstore"))
+		if err != nil {
+			fatal(err)
+		}
+		defer st.Close()
+		opts.Store = st
+	}
 
 	if *progressive {
 		pres := analysis.Progressive(prog, goals, opts)

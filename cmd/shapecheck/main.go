@@ -29,8 +29,10 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"path/filepath"
 
 	"repro/internal/analysis"
+	"repro/internal/store"
 	"repro/internal/verdict"
 )
 
@@ -40,6 +42,7 @@ func main() {
 	runs := flag.Int("runs", 64, "concrete confirmation executions")
 	seed := flag.Int64("seed", 1, "confirmation seed")
 	workers := flag.Int("workers", 0, "analysis workers (0 = GOMAXPROCS)")
+	cacheDir := flag.String("cache-dir", "", "directory for the persistent analysis store (warm-starts repeat runs)")
 	flag.Parse()
 	if flag.NArg() != 1 {
 		fmt.Fprintln(os.Stderr, "usage: shapecheck [flags] <file.c | corpus-dir>")
@@ -50,16 +53,34 @@ func main() {
 		ConfirmRuns: *runs,
 		ConfirmSeed: *seed,
 	}
+	var st *store.Store
+	if *cacheDir != "" {
+		if err := os.MkdirAll(*cacheDir, 0o755); err != nil {
+			fatal(err)
+		}
+		var err error
+		st, err = store.Open(filepath.Join(*cacheDir, "shapecheck.rsgstore"))
+		if err != nil {
+			fatal(err)
+		}
+		opts.Analysis.Store = st
+	}
 
 	target := flag.Arg(0)
 	info, err := os.Stat(target)
 	if err != nil {
 		fatal(err)
 	}
+	var code int
 	if info.IsDir() {
-		os.Exit(runCorpus(target, opts, *verbose, *alarms))
+		code = runCorpus(target, opts, *verbose, *alarms)
+	} else {
+		code = runFile(target, opts, *verbose, *alarms)
 	}
-	os.Exit(runFile(target, opts, *verbose, *alarms))
+	if st != nil {
+		st.Close()
+	}
+	os.Exit(code)
 }
 
 func runFile(path string, opts verdict.Options, verbose, alarms bool) int {

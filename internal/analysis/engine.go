@@ -18,6 +18,7 @@ import (
 	"repro/internal/ir"
 	"repro/internal/rsg"
 	"repro/internal/rsrsg"
+	"repro/internal/store"
 )
 
 // Options configures one analysis run.
@@ -65,6 +66,18 @@ type Options struct {
 	// are bit-identical either way; the flag exists for A/B benchmarking
 	// and as an escape hatch.
 	NoDelta bool
+	// Store, when set, backs the run with the persistent
+	// content-addressed analysis store (DESIGN.md §13): the transfer
+	// memo gains a cross-process tier, a repeat run of the same program
+	// warm-starts from its recorded snapshot, and a changed program is
+	// re-analyzed edit-delta — only the changed statements and their
+	// forward cone. Nil disables persistence entirely.
+	Store *store.Store
+	// forceEditDelta makes the planner take the edit-delta path even
+	// when an exact snapshot would warm-start the run — the zero-edit
+	// case. Test-only (unexported): it exercises the diff/seed machinery
+	// on a program with no changes, which must still be bit-identical.
+	forceEditDelta bool
 }
 
 // ErrBudgetExceeded reports that the abstraction outgrew NodeBudget.
@@ -117,6 +130,17 @@ type Stats struct {
 	// MemoFull counts transfer-memo insertions that evicted another
 	// entry because the statement's cache was at capacity.
 	MemoFull int
+	// StoreMemoHits counts in-memory memo misses that were served from
+	// the persistent store's transfer-memo tier instead of recomputed.
+	StoreMemoHits int
+	// ReusedStatements counts statements whose out-states were restored
+	// from a store snapshot (every visited statement on a warm start;
+	// the reachable statements outside the changed cone on an edit-delta
+	// run). ReseededStatements counts the statements an edit-delta run
+	// seeded back onto the worklist — the changed statements plus their
+	// forward cone. Both are 0 on cold runs.
+	ReusedStatements   int
+	ReseededStatements int
 	// Cache is the delta of the rsg package's digest/intern counters
 	// over this run (graphs frozen, digests computed vs served from the
 	// freeze-time cache, interning hits/misses). The counters are
@@ -224,6 +248,7 @@ func Run(prog *ir.Program, opts Options) (*Result, error) {
 		res.Stats.FullRecomputes = eng.fullRecomputes
 		res.Stats.DirtyBuckets = eng.dirtyBuckets
 		res.Stats.MemoFull = eng.memoFull
+		res.Stats.StoreMemoHits = int(eng.storeMemoHits.Load())
 	}()
 
 	reduceOpts := eng.reduceOpts
@@ -237,10 +262,47 @@ func Run(prog *ir.Program, opts Options) (*Result, error) {
 	// of rescanning every out-set.
 	curNodes, curLinks, curGraphs := entrySet.NumNodes(), entrySet.NumLinks(), entrySet.Len()
 
+	// Persistence planning (DESIGN.md §13): probe the store for a warm
+	// snapshot of this exact program or a converged snapshot of a
+	// previous version to edit-delta against. applyRestore folds
+	// restored out-states into the result with the running size totals
+	// kept consistent (the entry's restored set replaces the seeded one;
+	// they are identical by construction).
+	plan := eng.planPersist(prog, opts)
+	applyRestore := func(m map[int]*rsrsg.Set) {
+		for id, set := range m {
+			if old := res.Out[id]; old != nil {
+				curNodes -= old.NumNodes()
+				curLinks -= old.NumLinks()
+				curGraphs -= old.Len()
+			}
+			res.Out[id] = set
+			curNodes += set.NumNodes()
+			curLinks += set.NumLinks()
+			curGraphs += set.Len()
+		}
+	}
+	switch plan.mode {
+	case persistWarm:
+		// Wholesale restore: zero transfers, zero visits; the recorded
+		// outcome (converged, or the bounded prefix's ErrNoConvergence)
+		// is replayed as-is.
+		applyRestore(plan.restore)
+		res.Stats.ReusedStatements = len(plan.restore)
+		if err := res.observeSize(opts, curNodes, curLinks, curGraphs); err != nil {
+			return res, err
+		}
+		res.finalSize(curNodes, curLinks, curGraphs)
+		return res, plan.outcome
+	case persistEdit:
+		applyRestore(plan.restore)
+		res.Stats.ReusedStatements = len(plan.restore)
+		res.Stats.ReseededStatements = len(plan.seed)
+	}
+
 	// Worklist in reverse-post-order: changes ripple forward through the
 	// CFG before loops re-fire, which keeps the visit count near
 	// (loop-nest depth) x (statement count) instead of thrashing.
-	const widenAfter = 1000
 	rpo := reversePostOrder(prog)
 	rpoIndex := make([]int, len(prog.Stmts))
 	for i, id := range rpo {
@@ -265,12 +327,23 @@ func Run(prog *ir.Program, opts Options) (*Result, error) {
 			push(s)
 		}
 	}
-	pushSuccs(prog.Entry)
+	if plan.mode == persistEdit {
+		// Edit-delta seeding: only the changed statements and their
+		// forward cone re-enter the worklist. Their non-cone
+		// predecessors' out-states were restored above, so the first
+		// visit of each seeded statement admits the converged in-flow
+		// directly via MergeDelta instead of recomputing it.
+		for _, id := range plan.seed {
+			push(id)
+		}
+	} else {
+		pushSuccs(prog.Entry)
+	}
 
 	debug := os.Getenv("REPRO_DEBUG") != ""
 	for wl.len() > 0 {
 		if res.Stats.Visits >= opts.MaxVisits {
-			return res, ErrNoConvergence
+			return res, eng.persistFinish(plan, prog, res, ErrNoConvergence)
 		}
 		if opts.Timeout > 0 && time.Since(start) > opts.Timeout {
 			return res, fmt.Errorf("%w after %v (%d visits)", ErrTimeout,
@@ -402,8 +475,14 @@ func Run(prog *ir.Program, opts Options) (*Result, error) {
 	}
 
 	res.finalSize(curNodes, curLinks, curGraphs)
-	return res, nil
+	return res, eng.persistFinish(plan, prog, res, nil)
 }
+
+// widenAfter is the visit count past which a statement's out-state is
+// widened by union with its previous value (see the worklist loop). A
+// package-level constant because the options fingerprint covers it: a
+// change here changes results, which must invalidate stored snapshots.
+const widenAfter = 1000
 
 // eraseEdgeKey packs a CFG edge into the EraseMemo key space.
 func eraseEdgeKey(pred, id int) uint64 {

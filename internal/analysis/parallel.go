@@ -11,6 +11,7 @@ import (
 	"repro/internal/ir"
 	"repro/internal/rsg"
 	"repro/internal/rsrsg"
+	"repro/internal/store"
 )
 
 // This file implements the parallel evaluation layer of the engine
@@ -52,6 +53,15 @@ type engineRun struct {
 	memoMisses        atomic.Int64
 	parallelTransfers atomic.Int64
 	parallelJobs      atomic.Int64
+	storeMemoHits     atomic.Int64
+
+	// Persistent memo tier (persist.go), armed by planPersist when
+	// Options.Store is set: stmtKeys holds each statement's transfer key
+	// (options fingerprint + context-free transfer digest). Probes and
+	// write-throughs run on the coordinator only, like the in-memory
+	// memo.
+	store    *store.Store
+	stmtKeys []store.Key
 
 	// Semi-naïve transfer state (DESIGN.md §8), coordinator-only: the
 	// worklist loop is sequential, so plain fields suffice. noDelta
@@ -351,6 +361,17 @@ func (e *engineRun) partsFor(ctx *absem.Context, s *ir.Stmt, graphs []*rsg.Graph
 			continue
 		}
 		e.memoMisses.Add(1)
+		// Second tier: the persistent store. A hit rebuilds the part
+		// from content-addressed graphs (digest-verified on decode) and
+		// fills the in-memory cache so repeats stay off the disk.
+		if e.store != nil {
+			if part, ok := e.storeMemoGet(s.ID, dig); ok {
+				e.storeMemoHits.Add(1)
+				cache.put(dig, part)
+				parts = append(parts, part)
+				continue
+			}
+		}
 		jobs = append(jobs, job{g: g, dig: dig, slot: len(parts)})
 		parts = append(parts, nil)
 	}
@@ -388,6 +409,9 @@ func (e *engineRun) partsFor(ctx *absem.Context, s *ir.Stmt, graphs []*rsg.Graph
 	for _, j := range jobs {
 		if cache.put(j.dig, parts[j.slot]) {
 			e.memoFull++
+		}
+		if e.store != nil {
+			e.storeMemoPut(s.ID, j.dig, parts[j.slot])
 		}
 	}
 	return parts, nil

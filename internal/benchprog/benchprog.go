@@ -51,6 +51,10 @@ func (k *Kernel) Compile() (*ir.Program, error) {
 	if err != nil {
 		return nil, fmt.Errorf("%s: %w", k.Name, err)
 	}
+	// Every kernel lowers a function called "main"; rename the program
+	// after the kernel so persistent-store by-name keys (edit-delta
+	// lookups) are unique per kernel. Digests do not cover Name.
+	prog.Name = k.Name
 	return prog, nil
 }
 

@@ -1,0 +1,55 @@
+package benchprog
+
+import (
+	"fmt"
+	"regexp"
+	"strings"
+)
+
+// This file provides the canonical one-statement edit used by the
+// persistence benchmarks (DESIGN.md §13): appending `<pvar> = NULL;`
+// immediately before the closing brace of main. The edit is downstream
+// of every loop, so its forward cone is a handful of tail statements —
+// the best case edit-delta re-analysis is designed around, and the one
+// benchtab's edit column measures.
+
+// ptrDeclRe matches a local pointer declaration, e.g.
+// "struct node *head;" — the first one names the edit's pvar.
+var ptrDeclRe = regexp.MustCompile(`struct\s+\w+\s*\*\s*(\w+)\s*;`)
+
+// TailEditSource returns src with one statement `<pvar> = NULL;`
+// inserted before the final closing brace, where pvar is the first
+// pointer variable declared in the source. Errors if no pointer
+// declaration or closing brace is found.
+func TailEditSource(src string) (string, error) {
+	// Search from main onward: matches before it are struct fields, not
+	// local pointer variables.
+	body := src
+	if i := strings.Index(src, "main"); i >= 0 {
+		body = src[i:]
+	}
+	m := ptrDeclRe.FindStringSubmatch(body)
+	if m == nil {
+		return "", fmt.Errorf("benchprog: no pointer declaration found for tail edit")
+	}
+	pvar := m[1]
+	i := strings.LastIndex(src, "}")
+	if i < 0 {
+		return "", fmt.Errorf("benchprog: no closing brace found for tail edit")
+	}
+	return src[:i] + "    " + pvar + " = NULL;\n" + src[i:], nil
+}
+
+// TailEdit returns a copy of the kernel with the one-statement tail
+// edit applied to its source. The name is preserved — the edited
+// program is "the next version of" the original, which is exactly the
+// identity the store's edit-delta lookup keys on.
+func (k *Kernel) TailEdit() (*Kernel, error) {
+	src, err := TailEditSource(k.Source)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", k.Name, err)
+	}
+	edited := *k
+	edited.Source = src
+	return &edited, nil
+}
