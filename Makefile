@@ -6,9 +6,9 @@
 
 GO ?= go
 
-.PHONY: ci vet build test test-race bench-smoke bench-compare bench-warm bench fuzz corpus corpus-short tidy
+.PHONY: ci vet build test test-race bench-smoke bench-compare bench-sched bench-warm bench fuzz corpus corpus-short tidy
 
-ci: vet build test test-race bench-smoke bench-compare bench-warm fuzz-short corpus-short
+ci: vet build test test-race bench-smoke bench-compare bench-sched bench-warm fuzz-short corpus-short
 
 vet:
 	$(GO) vet ./...
@@ -42,8 +42,14 @@ bench-smoke:
 # exercised, and to make gross regressions visible in CI output.
 bench-compare:
 	$(GO) run ./cmd/benchtab -kernels barneshut,matvec -levels 1 \
-		-visits 1500 -reps 1 -workers 1 -deltamodes on,off \
+		-visits 1500 -reps 1 -workers 1 -deltamodes on,off -sched rpo,wto \
 		-compare BENCH_PR4.json
+
+# Scheduler smoke gate (DESIGN.md §14): on the loop-heavy kernels the
+# WTO scheduler must never run more statement visits than the flat RPO
+# worklist, and no committed fixture may trip loop-head widening.
+bench-sched:
+	$(GO) test -run TestSchedSmoke -count=1 ./internal/analysis/
 
 # Persistent-store smoke: the Figure 1 list and Barnes-Hut through the
 # cold -> warm -> one-statement-edit trajectory (DESIGN.md §13). Warm

@@ -27,11 +27,18 @@
 // -verdicts appends a memory-safety table: the progressive
 // null-deref / use-after-free / leak verdicts for each kernel.
 //
+// -sched measures the fixpoint schedulers side by side ("wto" is the
+// engine default; "rpo,wto" A/Bs the legacy flat worklist against the
+// weak-topological-order strategy with the same rep-major interleaving
+// as -deltamodes; visits_run and the transfer counts in the JSON are
+// the schedule-sensitive columns).
+//
 // Usage:
 //
 //	benchtab [-kernels matvec,matmat,lu,barneshut] [-levels 1,2,3]
 //	         [-lubudget N] [-timeout d] [-workers N] [-visits N]
-//	         [-deltamodes on|on,off] [-persist cold|cold,warm,edit]
+//	         [-deltamodes on|on,off] [-sched wto|rpo,wto]
+//	         [-persist cold|cold,warm,edit]
 //	         [-cache-dir DIR] [-verdicts] [-reps N] [-json out.json]
 package main
 
@@ -55,11 +62,12 @@ import (
 )
 
 // cell is one benchmark configuration: kernel x level x delta mode x
-// persistence mode.
+// scheduler x persistence mode.
 type cell struct {
 	kernel *benchprog.Kernel
 	lvl    rsg.Level
 	delta  bool
+	sched  analysis.Sched
 	// persist is "cold" (storeless baseline), "warm" (re-analysis from
 	// a populated store) or "edit" (one-statement tail edit against the
 	// base snapshot).
@@ -90,6 +98,7 @@ type cellResult struct {
 	Level            string   `json:"level"`
 	Workers          int      `json:"workers"`
 	Delta            bool     `json:"delta"`
+	Sched            string   `json:"sched"`
 	Persist          string   `json:"persist"`
 	Visits           int      `json:"visits"`
 	Reps             int      `json:"reps"`
@@ -130,6 +139,7 @@ func main() {
 	workers := flag.Int("workers", 0, "worker goroutines per cell (0 = GOMAXPROCS, 1 = sequential)")
 	visits := flag.Int("visits", 0, "visit bound per cell (0 = run to the fixed point)")
 	deltaModes := flag.String("deltamodes", "on", "delta propagation modes to measure: on, off, or on,off")
+	schedModes := flag.String("sched", "wto", "fixpoint schedulers to measure: wto, rpo, or rpo,wto")
 	persistModes := flag.String("persist", "cold", "persistence modes to measure: any of cold,warm,edit")
 	cacheDir := flag.String("cache-dir", "", "directory for persistent analysis stores (default: a temp dir when warm/edit modes run)")
 	verdicts := flag.Bool("verdicts", false, "append the memory-safety verdict table (null-deref / use-after-free / leak per kernel)")
@@ -182,6 +192,15 @@ func main() {
 			fmt.Fprintf(os.Stderr, "benchtab: bad -deltamodes entry %q (want on/off)\n", m)
 			os.Exit(2)
 		}
+	}
+	var scheds []analysis.Sched
+	for _, s := range strings.Split(*schedModes, ",") {
+		sched, err := analysis.ParseSched(strings.TrimSpace(s))
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "benchtab: bad -sched entry %q (want wto/rpo)\n", s)
+			os.Exit(2)
+		}
+		scheds = append(scheds, sched)
 	}
 	var persists []string
 	needStore := false
@@ -243,47 +262,53 @@ func main() {
 				os.Exit(2)
 			}
 			for _, delta := range modes {
-				opts := analysis.Options{
-					Timeout:   *timeout,
-					Workers:   *workers,
-					MaxVisits: *visits,
-					NoDelta:   !delta,
-				}
-				if k.Name == "lu" && lvl > rsg.L1 {
-					opts.NodeBudget = *luBudget
-				}
-				// Warm and edit cells of the same configuration share
-				// one store file, populated by a single cold run below.
-				var st *store.Store
-				for _, persist := range persists {
-					c := &cell{kernel: k, lvl: lvl, delta: delta, persist: persist, measured: k, opts: opts}
-					if persist != "cold" {
-						if st == nil {
-							mode := "on"
-							if !delta {
-								mode = "off"
+				for _, sched := range scheds {
+					opts := analysis.Options{
+						Timeout:   *timeout,
+						Workers:   *workers,
+						MaxVisits: *visits,
+						NoDelta:   !delta,
+						Sched:     sched,
+					}
+					if k.Name == "lu" && lvl > rsg.L1 {
+						opts.NodeBudget = *luBudget
+					}
+					// Warm and edit cells of the same configuration share
+					// one store file, populated by a single cold run below.
+					// The scheduler is part of the options fingerprint, so
+					// each sched gets its own file to keep the populate
+					// pass from mixing fingerprints in one store.
+					var st *store.Store
+					for _, persist := range persists {
+						c := &cell{kernel: k, lvl: lvl, delta: delta, sched: sched, persist: persist, measured: k, opts: opts}
+						if persist != "cold" {
+							if st == nil {
+								mode := "on"
+								if !delta {
+									mode = "off"
+								}
+								path := filepath.Join(*cacheDir,
+									fmt.Sprintf("%s-%s-delta%s-%s.rsgstore", k.Name, lvl, mode, sched))
+								var err error
+								st, err = store.Open(path)
+								if err != nil {
+									fmt.Fprintf(os.Stderr, "benchtab: %v\n", err)
+									os.Exit(1)
+								}
+								stores = append(stores, st)
 							}
-							path := filepath.Join(*cacheDir,
-								fmt.Sprintf("%s-%s-delta%s.rsgstore", k.Name, lvl, mode))
-							var err error
-							st, err = store.Open(path)
+							c.opts.Store = st
+						}
+						if persist == "edit" {
+							ek, err := k.TailEdit()
 							if err != nil {
 								fmt.Fprintf(os.Stderr, "benchtab: %v\n", err)
 								os.Exit(1)
 							}
-							stores = append(stores, st)
+							c.measured = ek
 						}
-						c.opts.Store = st
+						cells = append(cells, c)
 					}
-					if persist == "edit" {
-						ek, err := k.TailEdit()
-						if err != nil {
-							fmt.Fprintf(os.Stderr, "benchtab: %v\n", err)
-							os.Exit(1)
-						}
-						c.measured = ek
-					}
-					cells = append(cells, c)
 				}
 			}
 		}
@@ -344,8 +369,8 @@ func main() {
 	if *reps > 1 {
 		head = fmt.Sprintf("time(med/%d)", *reps)
 	}
-	fmt.Printf("%-10s %-4s %-6s %-7s %-13s %-12s %-12s %-10s %-26s %-9s %-9s %s\n",
-		"code", "lvl", "delta", "persist", head, "peak-heap", "alloc", "allocs/op", "peak(nodes/links/graphs)", "memo-hit", "pool-hit", "outcome")
+	fmt.Printf("%-10s %-4s %-6s %-5s %-7s %-13s %-12s %-12s %-10s %-26s %-9s %-9s %s\n",
+		"code", "lvl", "delta", "sched", "persist", head, "peak-heap", "alloc", "allocs/op", "peak(nodes/links/graphs)", "memo-hit", "pool-hit", "outcome")
 
 	doc := jsonDoc{
 		Generated:  time.Now().UTC().Format(time.RFC3339),
@@ -372,8 +397,8 @@ func main() {
 		if !c.delta {
 			mode = "off"
 		}
-		fmt.Printf("%-10s %-4s %-6s %-7s %-13s %-12s %-12s %-10s %-26s %-9s %-9s %s\n",
-			c.kernel.Name, c.lvl, mode, c.persist,
+		fmt.Printf("%-10s %-4s %-6s %-5s %-7s %-13s %-12s %-12s %-10s %-26s %-9s %-9s %s\n",
+			c.kernel.Name, c.lvl, mode, c.sched, c.persist,
 			time.Duration(cr.MedianNs).Round(10*time.Millisecond),
 			fmt.Sprintf("%.1f MB", float64(last.PeakHeapBytes)/(1<<20)),
 			fmt.Sprintf("%.1f MB", float64(cr.MedianAllocBytes)/(1<<20)),
@@ -448,6 +473,7 @@ func (c *cell) aggregate(workers, visits int) cellResult {
 		Level:            c.lvl.String(),
 		Workers:          workers,
 		Delta:            c.delta,
+		Sched:            c.sched.String(),
 		Persist:          c.persist,
 		Visits:           visits,
 		Reps:             len(c.reps),
@@ -489,7 +515,7 @@ func (c *cell) aggregate(workers, visits int) cellResult {
 
 // printCompare loads a previous -json snapshot and prints per-cell
 // time and allocation deltas against the current results, matching
-// cells by (bench, level, delta mode).
+// cells by (bench, level, delta mode, scheduler, persist mode).
 func printCompare(path string, cur []cellResult) error {
 	data, err := os.ReadFile(path)
 	if err != nil {
@@ -500,8 +526,8 @@ func printCompare(path string, cur []cellResult) error {
 		return fmt.Errorf("%s: %v", path, err)
 	}
 	type key struct {
-		bench, level, persist string
-		delta                 bool
+		bench, level, sched, persist string
+		delta                        bool
 	}
 	base := make(map[key]cellResult, len(old.Results))
 	for _, r := range old.Results {
@@ -509,13 +535,18 @@ func printCompare(path string, cur []cellResult) error {
 			// Snapshots from before the persist dimension are all cold.
 			r.Persist = "cold"
 		}
-		base[key{r.Bench, r.Level, r.Persist, r.Delta}] = r
+		if r.Sched == "" {
+			// Snapshots from before the scheduler dimension were measured
+			// on the then-only flat RPO worklist.
+			r.Sched = "rpo"
+		}
+		base[key{r.Bench, r.Level, r.Sched, r.Persist, r.Delta}] = r
 	}
 	fmt.Printf("\ncompare vs %s (generated %s)\n", path, old.Generated)
-	fmt.Printf("%-10s %-4s %-6s %-22s %-24s %s\n",
-		"code", "lvl", "delta", "time old->new", "allocs old->new", "speedup")
+	fmt.Printf("%-10s %-4s %-6s %-5s %-22s %-24s %s\n",
+		"code", "lvl", "delta", "sched", "time old->new", "allocs old->new", "speedup")
 	for _, r := range cur {
-		o, ok := base[key{r.Bench, r.Level, r.Persist, r.Delta}]
+		o, ok := base[key{r.Bench, r.Level, r.Sched, r.Persist, r.Delta}]
 		if !ok {
 			continue
 		}
@@ -527,8 +558,8 @@ func printCompare(path string, cur []cellResult) error {
 		if r.MedianNs > 0 {
 			speed = fmt.Sprintf("%.2fx", float64(o.MedianNs)/float64(r.MedianNs))
 		}
-		fmt.Printf("%-10s %-4s %-6s %-22s %-24s %s\n",
-			r.Bench, r.Level, mode,
+		fmt.Printf("%-10s %-4s %-6s %-5s %-22s %-24s %s\n",
+			r.Bench, r.Level, mode, r.Sched,
 			fmt.Sprintf("%v -> %v", time.Duration(o.MedianNs).Round(time.Millisecond),
 				time.Duration(r.MedianNs).Round(time.Millisecond)),
 			fmt.Sprintf("%s -> %s", fmtCount(o.MedianAllocs), fmtCount(r.MedianAllocs)),

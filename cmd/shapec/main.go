@@ -14,8 +14,14 @@
 //	-stmt N         also dump the RSRSG after statement N
 //	-budget N       abort when the abstraction exceeds N live nodes
 //	-stats          print memoization counters (transfer-memo hit rate,
-//	                graphs frozen, digest cache hits, interning); with
-//	                -progressive, one line per level
+//	                graphs frozen, digest cache hits, interning) plus
+//	                scheduling counters (requeues, component
+//	                stabilizations, widenings) and the visits-per-
+//	                statement histogram; with -progressive, one block
+//	                per level
+//	-sched S        fixpoint scheduler: wto (weak topological order,
+//	                default) or rpo (flat reverse postorder; A/B
+//	                baseline)
 //	-workers N      goroutines for per-graph transfers and bucket
 //	                reductions (0 = GOMAXPROCS, 1 = sequential; results
 //	                are identical at any value)
@@ -68,6 +74,7 @@ func main() {
 	stats := flag.Bool("stats", false, "print memoization/digest-cache counters")
 	workers := flag.Int("workers", 0, "worker goroutines (0 = GOMAXPROCS, 1 = sequential)")
 	noDelta := flag.Bool("nodelta", false, "disable semi-naïve delta propagation (full recompute per visit)")
+	schedName := flag.String("sched", "wto", "fixpoint scheduler: wto or rpo")
 	cacheDir := flag.String("cache-dir", "", "directory for the persistent analysis store (warm-start and edit-delta re-analysis)")
 	explain := flag.Bool("explain", false, "cross-validate against concrete traces; print the triage report on a cover failure")
 	cpuProfile := flag.String("cpuprofile", "", "write a pprof CPU profile of the analysis to this file")
@@ -140,7 +147,11 @@ func main() {
 		fmt.Println(prog)
 	}
 
-	opts := analysis.Options{NodeBudget: *budget, Workers: *workers, NoDelta: *noDelta}
+	sched, err := analysis.ParseSched(*schedName)
+	if err != nil {
+		fatal(err)
+	}
+	opts := analysis.Options{NodeBudget: *budget, Workers: *workers, NoDelta: *noDelta, Sched: sched}
 	if *cacheDir != "" {
 		if err := os.MkdirAll(*cacheDir, 0o755); err != nil {
 			fatal(err)
@@ -159,7 +170,7 @@ func main() {
 		if *stats {
 			for _, rep := range pres.Levels {
 				if rep.Result != nil {
-					fmt.Printf("stats %s: %s\n", rep.Level, rep.Result.Stats.CacheSummary())
+					printStats(rep.Level.String(), &rep.Result.Stats)
 				}
 			}
 		}
@@ -189,7 +200,7 @@ func main() {
 		opts.Level, time.Since(start).Round(time.Millisecond), res.Stats.Visits,
 		res.Stats.PeakNodes, res.Stats.PeakLinks, res.Stats.PeakGraphs)
 	if *stats {
-		fmt.Printf("stats %s: %s\n", opts.Level, res.Stats.CacheSummary())
+		printStats(opts.Level.String(), &res.Stats)
 	}
 	for _, g := range goals {
 		ok, detail := g.Met(res)
@@ -202,6 +213,17 @@ func main() {
 	}
 	if *explain {
 		explainResult(prog, res)
+	}
+}
+
+// printStats renders one level's counters: memoization, scheduling,
+// and the visits-per-statement histogram (DESIGN.md §14 — scheduling
+// regressions show up here without a profiler).
+func printStats(level string, s *analysis.Stats) {
+	fmt.Printf("stats %s: %s\n", level, s.CacheSummary())
+	fmt.Printf("stats %s: %s\n", level, s.SchedSummary())
+	if h := s.VisitHistogram(); h != "" {
+		fmt.Printf("stats %s: visits/stmt %s\n", level, h)
 	}
 }
 

@@ -60,6 +60,14 @@ type Options struct {
 	// each unit of parallel work is independent, and results are joined
 	// in canonical digest order (see DESIGN.md §7).
 	Workers int
+	// Sched selects the fixpoint scheduler (DESIGN.md §14): SchedWTO
+	// (the zero value, default) stabilizes each loop component of the
+	// weak topological order before advancing past it; SchedRPO is the
+	// legacy flat reverse-postorder worklist, kept for A/B comparison.
+	// The two reach the same fixed point whenever no widening fires;
+	// the choice is covered by the persistent-store options fingerprint
+	// because widening points differ between them.
+	Sched Sched
 	// NoDelta disables the semi-naïve delta transfer (DESIGN.md §8):
 	// every visit recomputes out = F(in) from the full in-state instead
 	// of folding F(Δin) into the statement's cached out-state. Results
@@ -94,6 +102,26 @@ var ErrTimeout = errors.New("analysis: wall-clock timeout exceeded")
 type Stats struct {
 	// Visits is the number of statement transfers executed.
 	Visits int
+	// Sched is the scheduler the run used.
+	Sched Sched
+	// Requeues counts worklist pushes that re-enqueued a statement
+	// after it had already been transferred at least once — the
+	// scheduling waste a better iteration order drives down (pushes of
+	// never-yet-visited statements are the dataflow itself, not waste).
+	Requeues int
+	// ComponentStabilizations counts WTO component iteration rounds:
+	// each round visits the component head (if pending) and sweeps the
+	// body once. 0 under SchedRPO and on loop-free programs.
+	ComponentStabilizations int
+	// Widenings counts visits whose transfer was widened (out-state
+	// unioned with its previous value): visits past widenAfter under
+	// SchedRPO, component-head visits past widenHeadAfter rounds under
+	// SchedWTO. Runs that converge with Widenings == 0 reach a
+	// schedule-independent fixed point.
+	Widenings int
+	// VisitCounts is the per-statement transfer count, indexed by
+	// statement ID (VisitHistogram renders its distribution).
+	VisitCounts []int
 	// Duration is the wall-clock time of the run.
 	Duration time.Duration
 	// PeakNodes/PeakLinks/PeakGraphs track the largest total
@@ -177,6 +205,53 @@ func (s *Stats) CacheSummary() string {
 		s.Cache.PoolGets, s.Cache.PoolNews, 100*s.PoolHitRate(), s.Cache.MaskSpills, shared)
 }
 
+// SchedSummary renders the scheduling counters in one line.
+func (s *Stats) SchedSummary() string {
+	return fmt.Sprintf("sched(%s: visits=%d requeues=%d comp-stabs=%d widenings=%d)",
+		s.Sched, s.Visits, s.Requeues, s.ComponentStabilizations, s.Widenings)
+}
+
+// VisitHistogram renders the visits-per-statement distribution in
+// power-of-two buckets, e.g. "0:2 1:14 2:3 3-4:6 5-8:1". Statements
+// piling into the high buckets are the ones the scheduler re-fires.
+func (s *Stats) VisitHistogram() string {
+	if len(s.VisitCounts) == 0 {
+		return ""
+	}
+	zero := 0
+	var buckets []int // buckets[b] counts v with ceil(log2(v)) == b
+	for _, v := range s.VisitCounts {
+		if v <= 0 {
+			zero++
+			continue
+		}
+		b := 0
+		for hi := 1; hi < v; hi <<= 1 {
+			b++
+		}
+		for len(buckets) <= b {
+			buckets = append(buckets, 0)
+		}
+		buckets[b]++
+	}
+	out := fmt.Sprintf("0:%d", zero)
+	for b, n := range buckets {
+		if n == 0 {
+			continue
+		}
+		lo, hi := 1, 1
+		if b > 0 {
+			lo, hi = 1<<(b-1)+1, 1<<b
+		}
+		if lo == hi {
+			out += fmt.Sprintf(" %d:%d", lo, n)
+		} else {
+			out += fmt.Sprintf(" %d-%d:%d", lo, hi, n)
+		}
+	}
+	return out
+}
+
 // PoolHitRate returns the fraction of scratch-pool checkouts served
 // without allocating a fresh scratch, or 0 when no checkout happened.
 func (s *Stats) PoolHitRate() float64 {
@@ -221,6 +296,7 @@ func Run(prog *ir.Program, opts Options) (*Result, error) {
 		Level:   opts.Level,
 		Out:     make(map[int]*rsrsg.Set, len(prog.Stmts)),
 	}
+	res.Stats.Sched = opts.Sched
 	start := time.Now()
 	// The rsg cache counters are process-global; detect overlapping runs
 	// so Stats.Cache can be flagged as shared rather than silently
@@ -300,26 +376,23 @@ func Run(prog *ir.Program, opts Options) (*Result, error) {
 		res.Stats.ReseededStatements = len(plan.seed)
 	}
 
-	// Worklist in reverse-post-order: changes ripple forward through the
-	// CFG before loops re-fire, which keeps the visit count near
-	// (loop-nest depth) x (statement count) instead of thrashing.
-	rpo := reversePostOrder(prog)
-	rpoIndex := make([]int, len(prog.Stmts))
-	for i, id := range rpo {
-		rpoIndex[id] = i
+	// Scheduling (DESIGN.md §14): the WTO recursive strategy stabilizes
+	// each loop component before the order advances past it; the legacy
+	// flat RPO min-heap stays behind Options.Sched for A/B. Either way
+	// changes ripple forward through the CFG before loops re-fire.
+	var sched worklist
+	var wto *wtoSched
+	if opts.Sched == SchedRPO {
+		sched = newRPOSched(prog)
+	} else {
+		wto = newWTOSched(prog)
+		sched = wto
 	}
-	visits := make(map[int]int, len(prog.Stmts))
+	visits := make([]int, len(prog.Stmts))
 	inState := make(map[int]*rsrsg.Set, len(prog.Stmts))
-	// The worklist is a min-heap over RPO positions with a pending
-	// bitmap for dedup: pop is O(log S) instead of the O(S) scan of the
-	// rpo slice it replaces, which dominated deep loop nests where most
-	// pops pick a statement late in the order.
-	pending := make([]bool, len(prog.Stmts))
-	var wl rpoHeap
 	push := func(id int) {
-		if !pending[id] {
-			pending[id] = true
-			wl.push(rpoIndex[id])
+		if sched.push(id) && visits[id] > 0 {
+			res.Stats.Requeues++
 		}
 	}
 	pushSuccs := func(id int) {
@@ -341,16 +414,15 @@ func Run(prog *ir.Program, opts Options) (*Result, error) {
 	}
 
 	debug := os.Getenv("REPRO_DEBUG") != ""
-	for wl.len() > 0 {
+	var contribs []*rsrsg.Set
+	visit := func(id int) error {
 		if res.Stats.Visits >= opts.MaxVisits {
-			return res, eng.persistFinish(plan, prog, res, ErrNoConvergence)
+			return ErrNoConvergence
 		}
 		if opts.Timeout > 0 && time.Since(start) > opts.Timeout {
-			return res, fmt.Errorf("%w after %v (%d visits)", ErrTimeout,
+			return fmt.Errorf("%w after %v (%d visits)", ErrTimeout,
 				time.Since(start).Round(time.Millisecond), res.Stats.Visits)
 		}
-		id := rpo[wl.pop()]
-		pending[id] = false
 		res.Stats.Visits++
 		if debug && res.Stats.Visits%50 == 0 {
 			// Totals come from the running counters; only the
@@ -390,10 +462,15 @@ func Run(prog *ir.Program, opts Options) (*Result, error) {
 			ctx.Induction = rsg.NewPvarSet()
 		}
 
-		// in-states accumulate monotonically: each predecessor's current
+		// in-states accumulate monotonically: every predecessor's current
 		// out-state is folded in incrementally (only genuinely new
 		// graphs are processed), with TOUCH erasure applied on
-		// loop-exit edges. The accumulation makes the dataflow monotone
+		// loop-exit edges. All contributions of the visit are admitted
+		// in one batched merge — one alias-bucket reduction round and
+		// one net delta instead of a round per predecessor — so the
+		// per-round fixed costs (bucket snapshots, task dispatch,
+		// delta netting) amortize across a statement's whole pending
+		// delta. The accumulation makes the dataflow monotone
 		// regardless of transfer non-monotonicities, guaranteeing the
 		// fixed point terminates. The net membership delta across all
 		// predecessor merges feeds the semi-naïve transfer below.
@@ -402,7 +479,7 @@ func Run(prog *ir.Program, opts Options) (*Result, error) {
 			in = rsrsg.New()
 			inState[id] = in
 		}
-		var delta rsrsg.Delta
+		contribs = contribs[:0]
 		for _, pred := range stmt.Preds {
 			po := res.Out[pred]
 			if po == nil {
@@ -425,10 +502,11 @@ func Run(prog *ir.Program, opts Options) (*Result, error) {
 					}
 				}
 			}
-			delta.Merge(in.MergeDelta(opts.Level, contribution, reduceOpts))
+			contribs = append(contribs, contribution)
 		}
+		delta := in.MergeDeltaBatch(opts.Level, contribs, reduceOpts)
 		if !delta.Changed && res.Out[id] != nil {
-			continue
+			return nil
 		}
 
 		// Standard dataflow: out = F(in), computed semi-naïvely from the
@@ -436,13 +514,19 @@ func Run(prog *ir.Program, opts Options) (*Result, error) {
 		// is revisited pathologically often (transfer non-monotonicity
 		// making the out-state oscillate), fall back to accumulating its
 		// out-states — a widening that forces monotone growth and hence
-		// stabilization. Widening composes the previous out-state into
-		// the new one, so such a statement leaves the delta path (which
-		// tracks F(in) only) for good; the switch is one-way, keeping the
-		// delta caches complete whenever they are consulted.
+		// stabilization. SchedRPO widens any statement past widenAfter
+		// visits; SchedWTO widens component heads past widenHeadAfter
+		// stabilization rounds (body statements cannot out-oscillate a
+		// stabilized head: each round re-fires them at most once, so
+		// bounding the head's rounds bounds them too). Widening composes
+		// the previous out-state into the new one, so such a statement
+		// leaves the delta path (which tracks F(in) only) for good; the
+		// switch is one-way, keeping the delta caches complete whenever
+		// they are consulted.
 		visits[id]++
-		widen := visits[id] > widenAfter
+		widen := sched.widenNow(id, visits[id])
 		if widen {
+			res.Stats.Widenings++
 			eng.markNoDelta(id)
 		}
 		out, err := eng.transferAny(ctx, stmt, in, delta)
@@ -451,7 +535,7 @@ func Run(prog *ir.Program, opts Options) (*Result, error) {
 				err = fmt.Errorf("%w after %v (%d visits)", ErrTimeout,
 					time.Since(start).Round(time.Millisecond), res.Stats.Visits)
 			}
-			return res, err
+			return err
 		}
 		if widen {
 			out = rsrsg.Union(opts.Level, res.Out[id], out, reduceOpts)
@@ -469,11 +553,20 @@ func Run(prog *ir.Program, opts Options) (*Result, error) {
 			pushSuccs(id)
 		}
 
-		if err := res.observeSize(opts, curNodes, curLinks, curGraphs); err != nil {
-			return res, err
-		}
+		return res.observeSize(opts, curNodes, curLinks, curGraphs)
 	}
 
+	err := sched.run(visit)
+	res.Stats.VisitCounts = visits
+	if wto != nil {
+		res.Stats.ComponentStabilizations = wto.stabs
+	}
+	if err != nil {
+		if errors.Is(err, ErrNoConvergence) {
+			return res, eng.persistFinish(plan, prog, res, ErrNoConvergence)
+		}
+		return res, err
+	}
 	res.finalSize(curNodes, curLinks, curGraphs)
 	return res, eng.persistFinish(plan, prog, res, nil)
 }
@@ -487,33 +580,6 @@ const widenAfter = 1000
 // eraseEdgeKey packs a CFG edge into the EraseMemo key space.
 func eraseEdgeKey(pred, id int) uint64 {
 	return uint64(uint32(pred))<<32 | uint64(uint32(id))
-}
-
-// reversePostOrder computes an RPO over the CFG from the entry.
-func reversePostOrder(prog *ir.Program) []int {
-	seen := make([]bool, len(prog.Stmts))
-	var post []int
-	var dfs func(int)
-	dfs = func(id int) {
-		seen[id] = true
-		for _, s := range prog.Stmts[id].Succs {
-			if !seen[s] {
-				dfs(s)
-			}
-		}
-		post = append(post, id)
-	}
-	dfs(prog.Entry)
-	for id := range prog.Stmts {
-		if !seen[id] {
-			dfs(id)
-		}
-	}
-	out := make([]int, len(post))
-	for i, id := range post {
-		out[len(post)-1-i] = id
-	}
-	return out
 }
 
 func allPvars(prog *ir.Program) rsg.PvarSet {
@@ -566,49 +632,6 @@ var (
 	activeRuns atomic.Int64
 	runEpoch   atomic.Uint64
 )
-
-// rpoHeap is a binary min-heap of RPO positions. A hand-rolled int heap
-// (rather than container/heap) keeps pushes and pops allocation-free.
-type rpoHeap struct{ a []int }
-
-func (h *rpoHeap) len() int { return len(h.a) }
-
-func (h *rpoHeap) push(x int) {
-	h.a = append(h.a, x)
-	i := len(h.a) - 1
-	for i > 0 {
-		p := (i - 1) / 2
-		if h.a[p] <= h.a[i] {
-			break
-		}
-		h.a[p], h.a[i] = h.a[i], h.a[p]
-		i = p
-	}
-}
-
-func (h *rpoHeap) pop() int {
-	top := h.a[0]
-	last := len(h.a) - 1
-	h.a[0] = h.a[last]
-	h.a = h.a[:last]
-	i := 0
-	for {
-		l, r := 2*i+1, 2*i+2
-		if l >= last {
-			break
-		}
-		c := l
-		if r < last && h.a[r] < h.a[l] {
-			c = r
-		}
-		if h.a[i] <= h.a[c] {
-			break
-		}
-		h.a[i], h.a[c] = h.a[c], h.a[i]
-		i = c
-	}
-	return top
-}
 
 // stepGraph dispatches one graph through a statement's per-graph
 // abstract semantics.

@@ -1,5 +1,7 @@
 package analysis
 
+import "repro/internal/ir"
+
 // SetMemoCapForTest shrinks the per-statement transfer-memo capacity so
 // tests can force clock eviction, returning a restore func.
 func SetMemoCapForTest(n int) func() {
@@ -7,3 +9,8 @@ func SetMemoCapForTest(n int) func() {
 	memoCap = n
 	return func() { memoCap = old }
 }
+
+// ReversePostOrderForTest exposes the engine's RPO for the scheduling
+// property tests (external test package), which cross-check it against
+// the WTO loop forest.
+func ReversePostOrderForTest(p *ir.Program) []int { return reversePostOrder(p) }

@@ -91,15 +91,19 @@ func fingerprint(res *analysis.Result) string {
 	return b.String()
 }
 
-// TestParallelDeterminism runs the determinism property over the three
-// fixture programs x levels L1-L3 x Workers in {1,2,4,8} x delta
-// propagation {on,off}: every configuration must produce identical
-// per-statement digest sets, and a repeated run of the last
-// configuration must agree with the first (no hidden schedule
-// dependence). The heavy kernels run under a visit bound — partial
-// fixed points exercise the same code paths and must be just as
-// deterministic, and they catch any delta/full divergence long before
-// the fixed point would mask it.
+// TestParallelDeterminism runs the determinism property over the
+// fixture programs x levels L1-L3 x scheduler {wto,rpo} x Workers in
+// {1,2,4,8} x delta propagation {on,off}: within one scheduler every
+// configuration must produce identical per-statement digest sets, and
+// a repeated run of the last configuration must agree with the first
+// (no hidden schedule dependence). Across schedulers the fingerprints
+// are also compared — but only on fixtures that run to their fixed
+// point without widening, where the fixed point is schedule-
+// independent; bounded kernels stop at a visit-count prefix whose
+// contents legitimately differ per scheduler. The heavy kernels run
+// under a visit bound — partial fixed points exercise the same code
+// paths and must be just as deterministic, and they catch any
+// delta/full divergence long before the fixed point would mask it.
 func TestParallelDeterminism(t *testing.T) {
 	fixtures := []struct {
 		name      string
@@ -115,62 +119,82 @@ func TestParallelDeterminism(t *testing.T) {
 		{"popfree", func(t *testing.T) *ir.Program { return compileSrc(t, popFreeSource) }, 0},
 	}
 	type config struct {
+		sched   analysis.Sched
 		workers int
 		noDelta bool
 	}
+	scheds := []analysis.Sched{analysis.SchedWTO, analysis.SchedRPO}
 	var configs []config
-	if testing.Short() {
-		for _, w := range []int{1, 4} {
-			configs = append(configs, config{w, false}, config{w, true})
+	for _, sched := range scheds {
+		if testing.Short() {
+			for _, w := range []int{1, 4} {
+				configs = append(configs, config{sched, w, false}, config{sched, w, true})
+			}
+		} else {
+			for _, w := range []int{1, 2, 4, 8} {
+				configs = append(configs, config{sched, w, false})
+			}
+			configs = append(configs, config{sched, 1, true}, config{sched, 8, true})
 		}
-	} else {
-		for _, w := range []int{1, 2, 4, 8} {
-			configs = append(configs, config{w, false})
-		}
-		configs = append(configs, config{1, true}, config{8, true})
 	}
 	for _, fx := range fixtures {
 		t.Run(fx.name, func(t *testing.T) {
 			prog := fx.prog(t)
 			for _, lvl := range []rsg.Level{rsg.L1, rsg.L2, rsg.L3} {
-				var want string
-				var wantErr error
-				for i, cfg := range configs {
+				want := map[analysis.Sched]string{}
+				wantErr := map[analysis.Sched]error{}
+				widenings := map[analysis.Sched]int{}
+				first := map[analysis.Sched]config{}
+				for _, cfg := range configs {
 					res, err := analysis.Run(prog, analysis.Options{
-						Level: lvl, MaxVisits: fx.maxVisits, Workers: cfg.workers, NoDelta: cfg.noDelta,
+						Level: lvl, MaxVisits: fx.maxVisits, Sched: cfg.sched,
+						Workers: cfg.workers, NoDelta: cfg.noDelta,
 					})
 					if fx.maxVisits > 0 && errors.Is(err, analysis.ErrNoConvergence) {
 						err = nil // bounded run: the partial state is the fixture
 					}
-					if i == 0 {
-						wantErr = err
-					} else if (err == nil) != (wantErr == nil) {
+					ref, seen := first[cfg.sched]
+					if !seen {
+						first[cfg.sched] = cfg
+						wantErr[cfg.sched] = err
+						widenings[cfg.sched] = res.Stats.Widenings
+					} else if (err == nil) != (wantErr[cfg.sched] == nil) {
 						t.Fatalf("%s %v: %+v error %v, %+v error %v",
-							fx.name, lvl, configs[0], wantErr, cfg, err)
+							fx.name, lvl, ref, wantErr[cfg.sched], cfg, err)
 					}
 					if err != nil {
 						t.Fatalf("%s %v %+v: %v", fx.name, lvl, cfg, err)
 					}
 					got := fingerprint(res)
-					if i == 0 {
-						want = got
+					if !seen {
+						want[cfg.sched] = got
 						continue
 					}
-					if got != want {
+					if got != want[cfg.sched] {
 						t.Fatalf("%s %v: %+v diverged from %+v:\n--- want\n%s\n--- got\n%s",
-							fx.name, lvl, cfg, configs[0], want, got)
+							fx.name, lvl, cfg, ref, want[cfg.sched], got)
+					}
+				}
+				// Cross-scheduler agreement: a run that converges without
+				// widening reaches the schedule-independent fixed point, so
+				// WTO and RPO must land on identical digests there.
+				if fx.maxVisits == 0 && widenings[analysis.SchedWTO] == 0 && widenings[analysis.SchedRPO] == 0 {
+					if want[analysis.SchedWTO] != want[analysis.SchedRPO] {
+						t.Fatalf("%s %v: wto and rpo fixed points diverged with no widening:\n--- wto\n%s\n--- rpo\n%s",
+							fx.name, lvl, want[analysis.SchedWTO], want[analysis.SchedRPO])
 					}
 				}
 				// Schedule independence: a second run of the last
 				// configuration must reproduce the first bit for bit.
 				last := configs[len(configs)-1]
 				res, err := analysis.Run(prog, analysis.Options{
-					Level: lvl, MaxVisits: fx.maxVisits, Workers: last.workers, NoDelta: last.noDelta,
+					Level: lvl, MaxVisits: fx.maxVisits, Sched: last.sched,
+					Workers: last.workers, NoDelta: last.noDelta,
 				})
 				if err != nil && !(fx.maxVisits > 0 && errors.Is(err, analysis.ErrNoConvergence)) {
 					t.Fatalf("%s %v repeat %+v: %v", fx.name, lvl, last, err)
 				}
-				if got := fingerprint(res); got != want {
+				if got := fingerprint(res); got != want[last.sched] {
 					t.Fatalf("%s %v: repeated %+v run disagrees with itself", fx.name, lvl, last)
 				}
 			}

@@ -39,8 +39,10 @@ import (
 
 // persistSchema versions the key derivation: bumping it orphans every
 // existing store entry (they simply stop matching), which is the
-// invalidation story for semantics changes in the engine.
-const persistSchema = 1
+// invalidation story for semantics changes in the engine. Schema 2:
+// the WTO scheduler landed (DESIGN.md §14) — widening points moved,
+// so pre-WTO snapshots must not warm-start either scheduler.
+const persistSchema = 2
 
 type persistMode int
 
@@ -98,7 +100,14 @@ func optionsFingerprint(opts Options) uint64 {
 	putBool(opts.NoCompress)
 	putBool(opts.TouchAllPvars)
 	putBool(opts.LegacyUnsound)
+	// The scheduler and its widening thresholds are result-affecting:
+	// the two schedulers agree only on runs that converge without
+	// widening, and bounded runs snapshot a schedule-dependent prefix.
+	// Keying the fingerprint on them keeps snapshots exchangeable only
+	// within one schedule.
+	put(uint64(opts.Sched))
 	put(widenAfter)
+	put(widenHeadAfter)
 	return h.Sum64()
 }
 

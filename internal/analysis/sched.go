@@ -1,0 +1,314 @@
+package analysis
+
+import (
+	"fmt"
+
+	"repro/internal/ir"
+)
+
+// Fixpoint scheduling (DESIGN.md §14). The engine's worklist loop is
+// parameterized over a scheduler: the order in which pending
+// statements are visited is a pure performance choice (the in-state
+// accumulation makes the dataflow monotone under any order), but it
+// decides how many visits the fixed point costs. Two schedulers exist:
+//
+//   - SchedWTO (default): Bourdoncle's recursive iteration strategy
+//     over the weak topological order — each loop component is
+//     stabilized to a local fixed point before the order advances past
+//     it, so an inner-loop ripple never re-fires outer statements.
+//   - SchedRPO: the flat reverse-postorder min-heap this repo used
+//     through PR 8, kept for A/B comparison (`shapec -sched rpo`,
+//     `benchtab -sched rpo,wto`).
+
+// Sched selects the engine's fixpoint scheduler.
+type Sched int
+
+const (
+	// SchedWTO iterates the weak topological order with the recursive
+	// strategy (innermost components stabilize first). The default.
+	SchedWTO Sched = iota
+	// SchedRPO pops pending statements in flat reverse-postorder.
+	SchedRPO
+)
+
+// String returns the CLI name of the scheduler ("wto", "rpo").
+func (s Sched) String() string {
+	switch s {
+	case SchedWTO:
+		return "wto"
+	case SchedRPO:
+		return "rpo"
+	}
+	return fmt.Sprintf("sched(%d)", int(s))
+}
+
+// ParseSched parses a CLI scheduler name.
+func ParseSched(name string) (Sched, error) {
+	switch name {
+	case "wto":
+		return SchedWTO, nil
+	case "rpo":
+		return SchedRPO, nil
+	}
+	return 0, fmt.Errorf("unknown scheduler %q (want rpo or wto)", name)
+}
+
+// worklist abstracts the engine's scheduling policy. push enqueues a
+// statement (returning whether it was newly enqueued — duplicates are
+// absorbed by a pending set) and run drains the worklist through the
+// visit callback, which may push further statements; run returns when
+// no statement is pending or visit returns an error. widenNow reports
+// whether the statement's next transfer must widen (union with its
+// previous out-state), given its post-increment visit count.
+type worklist interface {
+	push(id int) bool
+	run(visit func(id int) error) error
+	widenNow(id, visits int) bool
+}
+
+// rpoSched is the legacy flat scheduler: a binary min-heap over RPO
+// positions with a pending bitmap for dedup, and the global
+// visits-per-statement widening cap.
+type rpoSched struct {
+	rpo      []int
+	rpoIndex []int
+	pending  []bool
+	heap     rpoHeap
+}
+
+func newRPOSched(prog *ir.Program) *rpoSched {
+	rpo := reversePostOrder(prog)
+	rpoIndex := make([]int, len(prog.Stmts))
+	for i, id := range rpo {
+		rpoIndex[id] = i
+	}
+	return &rpoSched{rpo: rpo, rpoIndex: rpoIndex, pending: make([]bool, len(prog.Stmts))}
+}
+
+func (s *rpoSched) push(id int) bool {
+	if s.pending[id] {
+		return false
+	}
+	s.pending[id] = true
+	s.heap.push(s.rpoIndex[id])
+	return true
+}
+
+func (s *rpoSched) run(visit func(int) error) error {
+	for s.heap.len() > 0 {
+		id := s.rpo[s.heap.pop()]
+		s.pending[id] = false
+		if err := visit(id); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (s *rpoSched) widenNow(_, visits int) bool { return visits > widenAfter }
+
+// wtoSched implements the recursive iteration strategy over the WTO.
+// pending is the usual per-statement bitmap; pendingIn[c] counts the
+// pending statements inside component c's range (heads count in their
+// own component), maintained along the Encl/Parent chain on every
+// push/clear, so a sweep skips entire stabilized components in O(1)
+// and a component's stabilization loop has an exact termination test.
+type wtoSched struct {
+	w            *ir.WTO
+	pending      []bool
+	pendingTotal int
+	visited      int
+	pendingIn    []int
+	// rounds[c] counts component c's stabilization rounds cumulatively
+	// across re-entries; past widenHeadAfter the head's transfers widen
+	// (loop-head widening — straight-line statements never widen).
+	rounds []int
+	widen  []bool // indexed by statement ID; only heads are ever set
+	stabs  int
+}
+
+func newWTOSched(prog *ir.Program) *wtoSched {
+	w := prog.WTO()
+	return &wtoSched{
+		w:         w,
+		pending:   make([]bool, len(prog.Stmts)),
+		pendingIn: make([]int, len(w.Comps)),
+		rounds:    make([]int, len(w.Comps)),
+		widen:     make([]bool, len(prog.Stmts)),
+	}
+}
+
+func (s *wtoSched) push(id int) bool {
+	if s.pending[id] {
+		return false
+	}
+	s.pending[id] = true
+	s.pendingTotal++
+	for c := s.w.Encl[s.w.Pos[id]]; c >= 0; c = s.w.Comps[c].Parent {
+		s.pendingIn[c]++
+	}
+	return true
+}
+
+func (s *wtoSched) clear(id int) {
+	s.pending[id] = false
+	s.pendingTotal--
+	s.visited++
+	for c := s.w.Encl[s.w.Pos[id]]; c >= 0; c = s.w.Comps[c].Parent {
+		s.pendingIn[c]--
+	}
+}
+
+func (s *wtoSched) run(visit func(int) error) error {
+	// One top-level sweep visits every pending statement: by the WTO
+	// property, a visit can only push statements behind the cursor when
+	// they share a component with it, and stabilize() does not advance
+	// past a component until nothing inside is pending. A fixed point
+	// mid-run can still re-arm earlier top-level positions in theory
+	// (it cannot — edges backward in the order stay inside components —
+	// but the outer loop and progress check make that assumption
+	// checkable rather than load-bearing).
+	for s.pendingTotal > 0 {
+		visited := s.visited
+		if err := s.sweep(0, len(s.w.Order), visit); err != nil {
+			return err
+		}
+		if s.pendingTotal > 0 && s.visited == visited {
+			return fmt.Errorf("analysis: wto scheduler made no progress with %d pending statements", s.pendingTotal)
+		}
+	}
+	return nil
+}
+
+// sweep advances through positions [start, end), visiting pending
+// plain statements in order and stabilizing components whose range
+// holds any pending statement; stabilized components are skipped
+// wholesale.
+func (s *wtoSched) sweep(start, end int, visit func(int) error) error {
+	for pos := start; pos < end; {
+		if c := s.w.HeadComp[pos]; c >= 0 {
+			if s.pendingIn[c] > 0 {
+				if err := s.stabilize(c, visit); err != nil {
+					return err
+				}
+			}
+			pos = s.w.Comps[c].End
+			continue
+		}
+		if id := s.w.Order[pos]; s.pending[id] {
+			s.clear(id)
+			if err := visit(id); err != nil {
+				return err
+			}
+		}
+		pos++
+	}
+	return nil
+}
+
+// stabilize iterates component c — head first, then its body in order
+// (inner components recursively stabilized) — until nothing inside it
+// is pending. Only then does the enclosing sweep move on, so outer
+// statements never re-fire on an inner ripple.
+func (s *wtoSched) stabilize(c int, visit func(int) error) error {
+	head := s.w.Comps[c].Head
+	start, end := s.w.Comps[c].Start, s.w.Comps[c].End
+	for s.pendingIn[c] > 0 {
+		s.stabs++
+		s.rounds[c]++
+		if s.rounds[c] > widenHeadAfter {
+			s.widen[head] = true
+		}
+		if s.pending[head] {
+			s.clear(head)
+			if err := visit(head); err != nil {
+				return err
+			}
+		}
+		if err := s.sweep(start+1, end, visit); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (s *wtoSched) widenNow(id, _ int) bool { return s.widen[id] }
+
+// widenHeadAfter is the cumulative stabilization-round count past
+// which a component head's transfers widen under SchedWTO. The
+// analogue of widenAfter (which SchedRPO keeps), but per component and
+// much lower: a round re-fires the head at most once, so this bounds
+// head visits directly, and non-head statements rely on the heads of
+// their enclosing components for termination. Covered by the options
+// fingerprint: changing it changes results and must orphan snapshots.
+const widenHeadAfter = 256
+
+// reversePostOrder computes an RPO over the CFG from the entry.
+func reversePostOrder(prog *ir.Program) []int {
+	seen := make([]bool, len(prog.Stmts))
+	var post []int
+	var dfs func(int)
+	dfs = func(id int) {
+		seen[id] = true
+		for _, s := range prog.Stmts[id].Succs {
+			if !seen[s] {
+				dfs(s)
+			}
+		}
+		post = append(post, id)
+	}
+	dfs(prog.Entry)
+	for id := range prog.Stmts {
+		if !seen[id] {
+			dfs(id)
+		}
+	}
+	out := make([]int, len(post))
+	for i, id := range post {
+		out[len(post)-1-i] = id
+	}
+	return out
+}
+
+// rpoHeap is a binary min-heap of RPO positions. A hand-rolled int heap
+// (rather than container/heap) keeps pushes and pops allocation-free.
+type rpoHeap struct{ a []int }
+
+func (h *rpoHeap) len() int { return len(h.a) }
+
+func (h *rpoHeap) push(x int) {
+	h.a = append(h.a, x)
+	i := len(h.a) - 1
+	for i > 0 {
+		p := (i - 1) / 2
+		if h.a[p] <= h.a[i] {
+			break
+		}
+		h.a[p], h.a[i] = h.a[i], h.a[p]
+		i = p
+	}
+}
+
+func (h *rpoHeap) pop() int {
+	top := h.a[0]
+	last := len(h.a) - 1
+	h.a[0] = h.a[last]
+	h.a = h.a[:last]
+	i := 0
+	for {
+		l, r := 2*i+1, 2*i+2
+		if l >= last {
+			break
+		}
+		c := l
+		if r < last && h.a[r] < h.a[l] {
+			c = r
+		}
+		if h.a[i] <= h.a[c] {
+			break
+		}
+		h.a[i], h.a[c] = h.a[c], h.a[i]
+		i = c
+	}
+	return top
+}

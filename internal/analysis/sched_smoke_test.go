@@ -1,0 +1,60 @@
+package analysis_test
+
+// Scheduling smoke gate (`make bench-sched`, wired into `make ci`):
+// the WTO recursive strategy exists to cut scheduling waste, so it
+// must never take *more* statement transfers than the flat RPO
+// worklist on the benchmark surfaces — the Figure 1 list pipeline and
+// the Barnes-Hut and matvec kernels. A regression here means the
+// component structure or the stabilization loop rotted.
+
+import (
+	"errors"
+	"testing"
+
+	"repro/internal/analysis"
+	"repro/internal/ir"
+	"repro/internal/rsg"
+)
+
+func TestSchedSmoke(t *testing.T) {
+	fixtures := []struct {
+		name      string
+		src       func(t *testing.T) *ir.Program
+		maxVisits int
+	}{
+		{"fig1", func(t *testing.T) *ir.Program { return compileSrc(t, fig1PipelineSource) }, 0},
+		{"barneshut", func(t *testing.T) *ir.Program { p, _ := compileKernel(t, "barneshut"); return p }, 60000},
+		{"matvec", func(t *testing.T) *ir.Program { p, _ := compileKernel(t, "matvec"); return p }, 60000},
+	}
+	for _, fx := range fixtures {
+		fx := fx
+		t.Run(fx.name, func(t *testing.T) {
+			if testing.Short() && fx.name == "barneshut" {
+				t.Skip("short mode")
+			}
+			prog := fx.src(t)
+			run := func(sched analysis.Sched) *analysis.Result {
+				res, err := analysis.Run(prog, analysis.Options{
+					Level: rsg.L1, MaxVisits: fx.maxVisits, Sched: sched,
+				})
+				if err != nil && !(fx.maxVisits > 0 && errors.Is(err, analysis.ErrNoConvergence)) {
+					t.Fatalf("sched=%s: %v", sched, err)
+				}
+				return res
+			}
+			rpo := run(analysis.SchedRPO)
+			wto := run(analysis.SchedWTO)
+			t.Logf("rpo: visits=%d requeues=%d; wto: visits=%d requeues=%d comp-stabs=%d widenings=%d",
+				rpo.Stats.Visits, rpo.Stats.Requeues,
+				wto.Stats.Visits, wto.Stats.Requeues, wto.Stats.ComponentStabilizations, wto.Stats.Widenings)
+			if wto.Stats.Visits > rpo.Stats.Visits {
+				t.Errorf("wto took %d visits, rpo %d — the recursive strategy must not schedule worse",
+					wto.Stats.Visits, rpo.Stats.Visits)
+			}
+			if wto.Stats.Widenings > 0 {
+				t.Errorf("wto widened %d times on a converging benchmark fixture — widenHeadAfter is too low",
+					wto.Stats.Widenings)
+			}
+		})
+	}
+}

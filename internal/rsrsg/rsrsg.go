@@ -587,12 +587,47 @@ func (t *deltaTracker) delta(changed bool) Delta {
 // each growth step costs O(delta x bucket) instead of O(bucket^2), and
 // the returned delta feeds the semi-naïve transfer.
 func (s *Set) MergeDelta(lvl rsg.Level, other *Set, opts Options) Delta {
-	if other == nil || len(other.entries) == 0 {
+	delta := s.absorbContrib(other, nil)
+	if len(delta) == 0 {
 		return Delta{}
+	}
+	return s.mergeEntries(lvl, delta, opts)
+}
+
+// MergeDeltaBatch merges a sequence of contributions in one reduction
+// round: the genuinely-new entries of every contribution (in order)
+// form a single delta queue, so the per-round fixed costs — bucket
+// snapshots, task dispatch, delta netting — are paid once per batch
+// instead of once per contribution. The admissions and joins happen in
+// the same order as sequential MergeDelta calls would perform them;
+// the only divergence is widening timing (the MaxGraphs force-join
+// bound is enforced once per touched bucket per batch rather than
+// after every contribution), which can leave a mid-batch bucket
+// transiently above the bound and join it differently — rarer, never
+// unsound, and deterministic. Returns the net membership Delta across
+// the whole batch.
+func (s *Set) MergeDeltaBatch(lvl rsg.Level, contribs []*Set, opts Options) Delta {
+	var delta []entry
+	for _, other := range contribs {
+		delta = s.absorbContrib(other, delta)
+	}
+	if len(delta) == 0 {
+		return Delta{}
+	}
+	return s.mergeEntries(lvl, delta, opts)
+}
+
+// absorbContrib folds one contribution into the absorbed history and
+// appends its genuinely-new entries to delta. A contribution whose
+// (length, set digest) pair was fully absorbed before is dismissed in
+// O(1).
+func (s *Set) absorbContrib(other *Set, delta []entry) []entry {
+	if other == nil || len(other.entries) == 0 {
+		return delta
 	}
 	ck := contribKey{n: len(other.entries), dig: other.setDig}
 	if _, done := s.absorbedContribs[ck]; done {
-		return Delta{}
+		return delta
 	}
 	if s.absorbed == nil {
 		s.absorbed = make(map[rsg.Digest]struct{}, len(s.entries))
@@ -600,7 +635,6 @@ func (s *Set) MergeDelta(lvl rsg.Level, other *Set, opts Options) Delta {
 			s.absorbed[e.dig] = struct{}{}
 		}
 	}
-	var delta []entry
 	for _, e := range other.entries {
 		if _, seen := s.absorbed[e.dig]; seen {
 			continue
@@ -615,9 +649,13 @@ func (s *Set) MergeDelta(lvl rsg.Level, other *Set, opts Options) Delta {
 		s.absorbedContribs = make(map[contribKey]struct{}, 8)
 	}
 	s.absorbedContribs[ck] = struct{}{}
-	if len(delta) == 0 {
-		return Delta{}
-	}
+	return delta
+}
+
+// mergeEntries admits a collected delta queue and incrementally
+// re-reduces the touched alias buckets (the shared tail of MergeDelta
+// and MergeDeltaBatch).
+func (s *Set) mergeEntries(lvl rsg.Level, delta []entry, opts Options) Delta {
 	track := newDeltaTracker()
 	if opts.DisableJoin {
 		changed := false
