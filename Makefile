@@ -6,9 +6,9 @@
 
 GO ?= go
 
-.PHONY: ci vet build test test-race bench-smoke bench-compare bench-sched bench-warm bench fuzz corpus corpus-short tidy
+.PHONY: ci vet build test test-race bench-smoke bench-compare bench-sched bench-warm bench fuzz corpus corpus-short service-smoke tidy
 
-ci: vet build test test-race bench-smoke bench-compare bench-sched bench-warm fuzz-short corpus-short
+ci: vet build test test-race bench-smoke bench-compare bench-sched bench-warm fuzz-short corpus-short service-smoke
 
 vet:
 	$(GO) vet ./...
@@ -20,11 +20,12 @@ test:
 	$(GO) test ./...
 
 # The packages the parallel fixpoint engine touches: the sharded
-# interner (rsg), the Exec-driven bucket reductions (rsrsg), and the
-# worker fan-out itself (analysis). -short keeps the heavyweight
-# kernels out of the instrumented run.
+# interner (rsg), the Exec-driven bucket reductions (rsrsg), the
+# worker fan-out itself (analysis), the shared append-only store, and
+# the daemon that multiplexes requests over all of them. -short keeps
+# the heavyweight kernels out of the instrumented run.
 test-race:
-	$(GO) test -race -short ./internal/rsg/ ./internal/rsrsg/ ./internal/analysis/
+	$(GO) test -race -short ./internal/rsg/ ./internal/rsrsg/ ./internal/analysis/ ./internal/store/ ./internal/service/
 
 # One iteration over the benchmark surfaces a change is most likely to
 # rot: the digest-core micro-benches, the Figure-1 pipeline, the
@@ -88,3 +89,11 @@ corpus:
 
 corpus-short:
 	FUZZ_SEED=$(FUZZ_SEED) $(GO) test -run 'TestCorpus|TestFuzzDifferentialVerdicts' -count=1 -short ./internal/verdict/
+
+# Daemon smoke (DESIGN.md §15): build the real shaped/shapec/shapecheck
+# binaries, boot shaped over a temp store, round-trip /analyze twice
+# through `shapec -remote` (the second must warm-start with the same
+# result digest), run `shapecheck -remote` on a corpus task, and drain
+# with SIGTERM expecting exit 0.
+service-smoke:
+	$(GO) test -run TestServiceSmoke -count=1 ./internal/service/

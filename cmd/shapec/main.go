@@ -37,6 +37,12 @@
 //	                program warm-start from the stored fixpoint, and
 //	                re-analysis after an edit reruns only the changed
 //	                statements' forward cone
+//	-remote URL     run the analysis on a shaped daemon via POST
+//	                /analyze instead of in-process; prints the outcome,
+//	                visit count and canonical result digest. Incompatible
+//	                with the flags that need the in-process result
+//	                (-progressive, -dot, -ir, -loops, -stmt, -explain,
+//	                -cache-dir — the daemon owns the store)
 //	-cpuprofile F   write a pprof CPU profile of the run to F
 //	-memprofile F   write a pprof allocation profile to F on exit
 //
@@ -59,6 +65,7 @@ import (
 	"repro/internal/cminic"
 	"repro/internal/ir"
 	"repro/internal/rsg"
+	"repro/internal/service"
 	"repro/internal/store"
 	"repro/internal/triage"
 )
@@ -76,6 +83,7 @@ func main() {
 	noDelta := flag.Bool("nodelta", false, "disable semi-naïve delta propagation (full recompute per visit)")
 	schedName := flag.String("sched", "wto", "fixpoint scheduler: wto or rpo")
 	cacheDir := flag.String("cache-dir", "", "directory for the persistent analysis store (warm-start and edit-delta re-analysis)")
+	remote := flag.String("remote", "", "shaped daemon base URL; run the analysis via POST /analyze instead of in-process")
 	explain := flag.Bool("explain", false, "cross-validate against concrete traces; print the triage report on a cover failure")
 	cpuProfile := flag.String("cpuprofile", "", "write a pprof CPU profile of the analysis to this file")
 	memProfile := flag.String("memprofile", "", "write a pprof allocation profile to this file on exit")
@@ -87,6 +95,19 @@ func main() {
 		os.Exit(2)
 	}
 	arg := flag.Arg(0)
+
+	if *remote != "" {
+		for name, set := range map[string]bool{
+			"-progressive": *progressive, "-dot": *dot, "-ir": *dumpIR,
+			"-loops": *loops, "-explain": *explain,
+			"-stmt": *stmt >= 0, "-cache-dir": *cacheDir != "",
+		} {
+			if set {
+				fatal(fmt.Errorf("%s is not supported with -remote (the daemon owns the store and returns digests, not graphs)", name))
+			}
+		}
+		os.Exit(runRemote(*remote, arg, *level, *budget, *stats))
+	}
 
 	if *cpuProfile != "" {
 		f, err := os.Create(*cpuProfile)
@@ -258,6 +279,46 @@ func printResult(res *analysis.Result, dot bool, stmtID int) {
 			fmt.Print(rsg.DOT(g, fmt.Sprintf("exit_%d", i)))
 		}
 	}
+}
+
+// runRemote ships the program to a shaped daemon and renders its
+// /analyze response; the local exit-code contract is preserved (0 on
+// convergence, 1 on any analysis failure, including a 504 timeout).
+func runRemote(base, arg string, level, budget int, stats bool) int {
+	var name, source string
+	if k := benchprog.ByName(arg); k != nil {
+		name, source = k.Name, k.Source
+		fmt.Printf("kernel %s — %s\n", k.Name, k.Title)
+	} else {
+		src, err := os.ReadFile(arg)
+		if err != nil {
+			fatal(err)
+		}
+		name, source = arg, string(src)
+	}
+	cl := &service.Client{BaseURL: base}
+	resp, err := cl.Analyze(service.AnalyzeRequest{
+		Name:       name,
+		Source:     source,
+		Level:      level,
+		NodeBudget: budget,
+	})
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("%s (remote): %s, %d visits, %v, %d statements reused, result digest %s\n",
+		resp.Level, resp.Outcome, resp.Visits,
+		(time.Duration(resp.DurationUS) * time.Microsecond).Round(time.Millisecond),
+		resp.ReusedStatements, resp.ResultDigest)
+	if stats {
+		fmt.Printf("stats %s: %s\n", resp.Level, resp.CacheSummary)
+		fmt.Printf("stats %s: %s\n", resp.Level, resp.SchedSummary)
+	}
+	if resp.Outcome != "converged" {
+		fmt.Fprintln(os.Stderr, "shapec:", resp.Error)
+		return 1
+	}
+	return 0
 }
 
 func fatal(err error) {

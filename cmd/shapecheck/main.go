@@ -14,6 +14,9 @@
 //	            (default 64)
 //	-seed N     base seed of the confirmation executions (default 1)
 //	-workers N  analysis worker goroutines (0 = GOMAXPROCS)
+//	-remote URL run the checkers on a shaped daemon via POST /check;
+//	            expected-verdict headers are still parsed and compared
+//	            locally, so the exit-code contract is unchanged
 //
 // A task file may carry an expected-verdict header:
 //
@@ -32,6 +35,8 @@ import (
 	"path/filepath"
 
 	"repro/internal/analysis"
+	"repro/internal/rsg"
+	"repro/internal/service"
 	"repro/internal/store"
 	"repro/internal/verdict"
 )
@@ -43,10 +48,17 @@ func main() {
 	seed := flag.Int64("seed", 1, "confirmation seed")
 	workers := flag.Int("workers", 0, "analysis workers (0 = GOMAXPROCS)")
 	cacheDir := flag.String("cache-dir", "", "directory for the persistent analysis store (warm-starts repeat runs)")
+	remote := flag.String("remote", "", "shaped daemon base URL; run the checkers via POST /check instead of in-process")
 	flag.Parse()
 	if flag.NArg() != 1 {
 		fmt.Fprintln(os.Stderr, "usage: shapecheck [flags] <file.c | corpus-dir>")
 		os.Exit(2)
+	}
+	if *remote != "" {
+		if *cacheDir != "" {
+			fatal(fmt.Errorf("-cache-dir is not supported with -remote (the daemon owns the store)"))
+		}
+		os.Exit(runRemote(*remote, flag.Arg(0), *runs, *seed, *alarms))
 	}
 	opts := verdict.Options{
 		Analysis:    analysis.Options{Workers: *workers},
@@ -191,6 +203,148 @@ func indent(s string) string {
 		b = append(b, '\n')
 	}
 	return string(b)
+}
+
+// runRemote runs the target through a shaped daemon's /check endpoint.
+// Expected-verdict headers are parsed and compared client-side, so the
+// exit-code contract matches the in-process path: a headered file or a
+// corpus directory exits with the number of mismatching tasks (capped
+// at 125), a headerless file with 1 iff some verdict is unsafe.
+func runRemote(base, target string, runs int, seed int64, alarms bool) int {
+	cl := &service.Client{BaseURL: base}
+	info, err := os.Stat(target)
+	if err != nil {
+		fatal(err)
+	}
+	if !info.IsDir() {
+		return remoteFile(cl, target, runs, seed, alarms)
+	}
+	files, err := verdict.CorpusFiles(target)
+	if err != nil {
+		fatal(err)
+	}
+	if len(files) == 0 {
+		fatal(fmt.Errorf("%s: no .c tasks", target))
+	}
+	bad := 0
+	for _, f := range files {
+		if remoteFile(cl, f, runs, seed, alarms) != 0 {
+			bad++
+		}
+	}
+	fmt.Printf("%d/%d tasks match their expected verdicts\n", len(files)-bad, len(files))
+	if bad > 125 {
+		bad = 125
+	}
+	return bad
+}
+
+func remoteFile(cl *service.Client, path string, runs int, seed int64, alarms bool) int {
+	src, err := os.ReadFile(path)
+	if err != nil {
+		fatal(err)
+	}
+	exp, hasHeader, err := verdict.ParseHeader(string(src))
+	if err != nil {
+		fatal(fmt.Errorf("%s: %w", path, err))
+	}
+	resp, err := cl.Check(service.CheckRequest{
+		Name:        path,
+		Source:      string(src),
+		ConfirmRuns: runs,
+		ConfirmSeed: seed,
+	})
+	if err != nil {
+		fatal(fmt.Errorf("%s: %w", path, err))
+	}
+	if resp.Error != "" {
+		fatal(fmt.Errorf("%s: %s", path, resp.Error))
+	}
+
+	var mismatches []string
+	if hasHeader {
+		for _, cv := range resp.Verdicts {
+			class, v, err := wireVerdict(cv)
+			if err != nil {
+				fatal(fmt.Errorf("%s: %w", path, err))
+			}
+			if e, ok := exp[class]; ok && !e.Matches(v) {
+				mismatches = append(mismatches,
+					fmt.Sprintf("%s: expected %s, got %s", class, e, v))
+			}
+		}
+	}
+
+	status := "ok"
+	if len(mismatches) > 0 {
+		status = "MISMATCH"
+	}
+	fmt.Printf("%s: %s (remote)\n", path, status)
+	unsafe := false
+	for _, cv := range resp.Verdicts {
+		fmt.Printf("    %-16s %s\n", cv.Class+":", cv.Verdict)
+		if alarms {
+			for _, a := range cv.Alarms {
+				fmt.Printf("        alarm: %s\n", a)
+			}
+		}
+		if cv.Status == verdict.Unsafe.String() {
+			unsafe = true
+		}
+	}
+	for _, m := range mismatches {
+		fmt.Printf("    mismatch %s\n", m)
+	}
+	if hasHeader {
+		if len(mismatches) > 0 {
+			return 1
+		}
+		return 0
+	}
+	if unsafe {
+		return 1
+	}
+	return 0
+}
+
+// wireVerdict reconstructs enough of a verdict.Verdict from its wire
+// form for Expectation.Matches.
+func wireVerdict(cv service.CheckVerdict) (verdict.Class, verdict.Verdict, error) {
+	var v verdict.Verdict
+	var class verdict.Class
+	found := false
+	for _, c := range verdict.Classes() {
+		if c.String() == cv.Class {
+			class, found = c, true
+			break
+		}
+	}
+	if !found {
+		return 0, v, fmt.Errorf("unknown verdict class %q in daemon response", cv.Class)
+	}
+	v.Class = class
+	switch cv.Status {
+	case verdict.Safe.String():
+		v.Status = verdict.Safe
+	case verdict.Unsafe.String():
+		v.Status = verdict.Unsafe
+	case verdict.Unknown.String():
+		v.Status = verdict.Unknown
+	default:
+		return 0, v, fmt.Errorf("unknown verdict status %q in daemon response", cv.Status)
+	}
+	switch cv.Level {
+	case "":
+	case rsg.L1.String():
+		v.Level = rsg.L1
+	case rsg.L2.String():
+		v.Level = rsg.L2
+	case rsg.L3.String():
+		v.Level = rsg.L3
+	default:
+		return 0, v, fmt.Errorf("unknown verdict level %q in daemon response", cv.Level)
+	}
+	return class, v, nil
 }
 
 func fatal(err error) {

@@ -97,7 +97,7 @@ func (c *Context) compress(g *rsg.Graph) {
 func (c *Context) reduce(graphs []*rsg.Graph) *rsrsg.Set {
 	out := rsrsg.New()
 	for _, g := range graphs {
-		out.Add(g)
+		out.AddStats(g, c.Opts.Stats)
 	}
 	joins := out.Reduce(c.Level, c.Opts)
 	if c.Diags != nil {

@@ -41,7 +41,7 @@ func AssumeNullDelta(ctx *Context, cached *rsrsg.Set, added []*rsg.Graph, remove
 
 // AssumeNullDeltaSym is AssumeNullDelta addressed by interned pvar.
 func AssumeNullDeltaSym(ctx *Context, cached *rsrsg.Set, added []*rsg.Graph, removed []rsg.Digest, x rsg.Sym) {
-	assumeDelta(cached, added, removed, func(g *rsg.Graph) bool { return g.PvarTargetSym(x) == nil })
+	assumeDelta(cached, ctx.Opts.Stats, added, removed, func(g *rsg.Graph) bool { return g.PvarTargetSym(x) == nil })
 }
 
 // AssumeNonNullDelta is the semi-naïve variant of AssumeNonNull.
@@ -51,16 +51,16 @@ func AssumeNonNullDelta(ctx *Context, cached *rsrsg.Set, added []*rsg.Graph, rem
 
 // AssumeNonNullDeltaSym is AssumeNonNullDelta addressed by interned pvar.
 func AssumeNonNullDeltaSym(ctx *Context, cached *rsrsg.Set, added []*rsg.Graph, removed []rsg.Digest, x rsg.Sym) {
-	assumeDelta(cached, added, removed, func(g *rsg.Graph) bool { return g.PvarTargetSym(x) != nil })
+	assumeDelta(cached, ctx.Opts.Stats, added, removed, func(g *rsg.Graph) bool { return g.PvarTargetSym(x) != nil })
 }
 
-func assumeDelta(cached *rsrsg.Set, added []*rsg.Graph, removed []rsg.Digest, pred func(*rsg.Graph) bool) {
+func assumeDelta(cached *rsrsg.Set, rec *rsg.RunStats, added []*rsg.Graph, removed []rsg.Digest, pred func(*rsg.Graph) bool) {
 	for _, dig := range removed {
 		cached.Remove(dig)
 	}
 	for _, g := range added {
 		if pred(g) {
-			cached.Add(g)
+			cached.AddStats(g, rec)
 		}
 	}
 }

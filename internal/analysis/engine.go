@@ -98,6 +98,38 @@ var ErrNoConvergence = errors.New("analysis: fixed point not reached within the 
 // ErrTimeout reports that the run exceeded Options.Timeout.
 var ErrTimeout = errors.New("analysis: wall-clock timeout exceeded")
 
+// timeoutError is ErrTimeout decorated with the run's elapsed time and
+// visit count. The coordinator can observe a timeout at two points —
+// the pre-visit deadline check and the cancellation surfacing through
+// a transfer fan-out — and both route through wrapTimeout, which
+// refuses to decorate twice, so a timeout always carries exactly one
+// "after <dur> (<n> visits)" suffix no matter how many layers it
+// crosses.
+type timeoutError struct {
+	dur    time.Duration
+	visits int
+}
+
+func (e *timeoutError) Error() string {
+	return fmt.Sprintf("%v after %v (%d visits)", ErrTimeout, e.dur, e.visits)
+}
+
+func (e *timeoutError) Unwrap() error { return ErrTimeout }
+
+// wrapTimeout decorates a timeout error with elapsed time and visit
+// count, idempotently: a non-timeout error and an already-decorated
+// timeout pass through unchanged.
+func wrapTimeout(err error, start time.Time, visits int) error {
+	if !errors.Is(err, ErrTimeout) {
+		return err
+	}
+	var te *timeoutError
+	if errors.As(err, &te) {
+		return err
+	}
+	return &timeoutError{dur: time.Since(start).Round(time.Millisecond), visits: visits}
+}
+
 // Stats aggregates engine counters for one run.
 type Stats struct {
 	// Visits is the number of statement transfers executed.
@@ -169,15 +201,21 @@ type Stats struct {
 	// forward cone. Both are 0 on cold runs.
 	ReusedStatements   int
 	ReseededStatements int
-	// Cache is the delta of the rsg package's digest/intern counters
-	// over this run (graphs frozen, digests computed vs served from the
-	// freeze-time cache, interning hits/misses). The counters are
-	// process-global: when CacheShared is set, another Run overlapped
-	// this one and the delta includes that run's activity too.
+	// Cache holds the rsg digest/intern counters of this run. The
+	// GraphsFrozen/DigestsComputed/InternHits/InternMisses fields (and
+	// the funnel's share of DigestCacheHits) come from a per-run
+	// recorder threaded through the reduction layer, so they are exact
+	// even when several Runs overlap in one process (the daemon's
+	// steady state). PoolGets/PoolNews/MaskSpills are deltas of the
+	// process-global scratch-pool tallies, which have no per-run
+	// identity; see SharedTallies.
 	Cache rsg.CacheStats
-	// CacheShared reports that at least one other Run was active at some
-	// point during this run, so Cache over-counts (see Cache).
-	CacheShared bool
+	// SharedTallies reports that at least one other Run was active at
+	// some point during this run. Only the pool/spill fields of Cache
+	// are affected — they are global deltas and then include the
+	// overlapping runs' checkouts too; the recorder-backed fields stay
+	// exact regardless.
+	SharedTallies bool
 }
 
 // MemoHitRate returns the fraction of per-graph transfers served from
@@ -193,8 +231,8 @@ func (s *Stats) MemoHitRate() float64 {
 // CacheSummary renders the memoization counters in one line.
 func (s *Stats) CacheSummary() string {
 	shared := ""
-	if s.CacheShared {
-		shared = " [shared: concurrent runs, rsg counters over-count]"
+	if s.SharedTallies {
+		shared = " [shared: concurrent runs, pool/spill tallies over-count]"
 	}
 	return fmt.Sprintf(
 		"memo(hits=%d misses=%d rate=%.1f%%) delta(transfers=%d full=%d dirty=%d memo-full=%d) frozen=%d digests(computed=%d cached=%d) intern(hits=%d misses=%d) pool(gets=%d news=%d hit=%.1f%%) mask-spills=%d%s",
@@ -298,10 +336,12 @@ func Run(prog *ir.Program, opts Options) (*Result, error) {
 	}
 	res.Stats.Sched = opts.Sched
 	start := time.Now()
-	// The rsg cache counters are process-global; detect overlapping runs
-	// so Stats.Cache can be flagged as shared rather than silently
-	// double-counted (each overlapping run sees the other's activity in
-	// its delta).
+	// The digest/freeze/intern counters come from the run's private
+	// recorder (eng.rec, threaded through rsrsg.Options.Stats), so they
+	// are exact under overlapping runs. The scratch-pool tallies are
+	// process-global with no per-run identity; detect overlapping runs
+	// so their delta can be flagged as shared rather than silently
+	// double-counted.
 	myEpoch := runEpoch.Add(1)
 	shared := activeRuns.Add(1) > 1
 	cacheBase := rsg.ReadCacheStats()
@@ -309,12 +349,16 @@ func Run(prog *ir.Program, opts Options) (*Result, error) {
 	defer eng.cancel(nil)
 	defer func() {
 		res.Stats.Duration = time.Since(start)
-		res.Stats.Cache = rsg.ReadCacheStats().Sub(cacheBase)
+		pools := rsg.ReadCacheStats().Sub(cacheBase)
+		res.Stats.Cache = eng.rec.Snapshot()
+		res.Stats.Cache.PoolGets = pools.PoolGets
+		res.Stats.Cache.PoolNews = pools.PoolNews
+		res.Stats.Cache.MaskSpills = pools.MaskSpills
 		if runEpoch.Load() != myEpoch {
 			shared = true
 		}
 		activeRuns.Add(-1)
-		res.Stats.CacheShared = shared
+		res.Stats.SharedTallies = shared
 		res.Stats.Workers = eng.workers
 		res.Stats.MemoHits = int(eng.memoHits.Load())
 		res.Stats.MemoMisses = int(eng.memoMisses.Load())
@@ -331,7 +375,7 @@ func Run(prog *ir.Program, opts Options) (*Result, error) {
 
 	// Entry state: one empty RSG (all pvars NULL, empty heap).
 	entrySet := rsrsg.New()
-	entrySet.Add(rsg.NewGraph())
+	entrySet.AddStats(rsg.NewGraph(), eng.rec)
 	res.Out[prog.Entry] = entrySet
 	// Running abstraction-size totals, updated whenever an out-state is
 	// replaced, so the per-visit peak/budget accounting is O(1) instead
@@ -420,8 +464,7 @@ func Run(prog *ir.Program, opts Options) (*Result, error) {
 			return ErrNoConvergence
 		}
 		if opts.Timeout > 0 && time.Since(start) > opts.Timeout {
-			return fmt.Errorf("%w after %v (%d visits)", ErrTimeout,
-				time.Since(start).Round(time.Millisecond), res.Stats.Visits)
+			return wrapTimeout(ErrTimeout, start, res.Stats.Visits)
 		}
 		res.Stats.Visits++
 		if debug && res.Stats.Visits%50 == 0 {
@@ -531,11 +574,7 @@ func Run(prog *ir.Program, opts Options) (*Result, error) {
 		}
 		out, err := eng.transferAny(ctx, stmt, in, delta)
 		if err != nil {
-			if errors.Is(err, ErrTimeout) {
-				err = fmt.Errorf("%w after %v (%d visits)", ErrTimeout,
-					time.Since(start).Round(time.Millisecond), res.Stats.Visits)
-			}
-			return err
+			return wrapTimeout(err, start, res.Stats.Visits)
 		}
 		if widen {
 			out = rsrsg.Union(opts.Level, res.Out[id], out, reduceOpts)
@@ -624,10 +663,10 @@ type transferMemo map[int]*stmtMemo
 var memoCap = 8192
 
 // activeRuns/runEpoch let Run detect overlapping analyses for the
-// Stats.CacheShared flag: activeRuns counts runs currently inside Run,
-// and runEpoch increments on every Run start so a run that begins and
-// ends entirely inside another one is still observed (the enclosing
-// run sees the epoch move).
+// Stats.SharedTallies flag: activeRuns counts runs currently inside
+// Run, and runEpoch increments on every Run start so a run that begins
+// and ends entirely inside another one is still observed (the
+// enclosing run sees the epoch move).
 var (
 	activeRuns atomic.Int64
 	runEpoch   atomic.Uint64

@@ -48,6 +48,11 @@ type engineRun struct {
 	ctx        context.Context
 	cancel     context.CancelCauseFunc
 	memo       transferMemo
+	// rec is the run's private digest/freeze/intern recorder, threaded
+	// through reduceOpts.Stats into every reduction and restore of this
+	// run; Run snapshots it into Stats.Cache, which is what keeps cache
+	// stats exact when several Runs overlap in one process.
+	rec *rsg.RunStats
 
 	memoHits          atomic.Int64
 	memoMisses        atomic.Int64
@@ -137,6 +142,7 @@ func newEngineRun(opts Options, start time.Time) *engineRun {
 		opts:    opts,
 		workers: workers,
 		memo:    make(transferMemo),
+		rec:     &rsg.RunStats{},
 		noDelta: make(map[int]struct{}),
 		delta:   make(map[int]*stmtDelta),
 	}
@@ -158,6 +164,7 @@ func newEngineRun(opts Options, start time.Time) *engineRun {
 	e.reduceOpts = rsrsg.Options{
 		DisableJoin: opts.DisableJoin,
 		MaxGraphs:   opts.MaxGraphsPerStmt,
+		Stats:       e.rec,
 	}
 	if workers > 1 {
 		e.reduceOpts.Exec = e.exec
@@ -479,7 +486,7 @@ func (c *stmtMemo) put(dig rsg.Digest, part *rsrsg.Set) bool {
 func stepGraphSet(ctx *absem.Context, s *ir.Stmt, g *rsg.Graph) *rsrsg.Set {
 	part := rsrsg.New()
 	for _, og := range stepGraph(ctx, s, g) {
-		part.Add(og)
+		part.AddStats(og, ctx.Opts.Stats)
 	}
 	return part
 }

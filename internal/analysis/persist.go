@@ -181,7 +181,7 @@ func (e *engineRun) planPersist(prog *ir.Program, opts Options) *persistPlan {
 	if !opts.forceEditDelta {
 		if snap, ok := st.Snapshot(plan.progDig, fp); ok {
 			if warmEligible(snap, opts) && len(snap.Stmts) == len(prog.Stmts) {
-				if restore, ok := loadSnapshotOuts(st, snap, nil); ok {
+				if restore, ok := loadSnapshotOuts(st, snap, nil, e.rec); ok {
 					plan.mode = persistWarm
 					plan.restore = restore
 					if !snap.Converged {
@@ -273,7 +273,7 @@ func (e *engineRun) planEdit(plan *persistPlan, prog *ir.Program, prev *store.Sn
 		}
 	}
 	skip := func(id int) bool { return id >= n || cone[id] || !reachable[id] }
-	restore, ok := loadSnapshotOuts(e.store, prev, skip)
+	restore, ok := loadSnapshotOuts(e.store, prev, skip, e.rec)
 	if !ok {
 		return // a referenced graph is unreadable: stay cold
 	}
@@ -291,7 +291,7 @@ func (e *engineRun) planEdit(plan *persistPlan, prog *ir.Program, prev *store.Sn
 // loadSnapshotOuts materializes the out-states recorded in a snapshot,
 // skipping statements for which skip returns true. Returns ok=false if
 // any referenced graph cannot be loaded and verified.
-func loadSnapshotOuts(st *store.Store, snap *store.Snapshot, skip func(id int) bool) (map[int]*rsrsg.Set, bool) {
+func loadSnapshotOuts(st *store.Store, snap *store.Snapshot, skip func(id int) bool, rec *rsg.RunStats) (map[int]*rsrsg.Set, bool) {
 	out := make(map[int]*rsrsg.Set, len(snap.Stmts))
 	for _, ss := range snap.Stmts {
 		if !ss.HasOut || (skip != nil && skip(ss.ID)) {
@@ -305,7 +305,7 @@ func loadSnapshotOuts(st *store.Store, snap *store.Snapshot, skip func(id int) b
 			}
 			graphs[i] = g
 		}
-		out[ss.ID] = rsrsg.RestoreSet(graphs)
+		out[ss.ID] = rsrsg.RestoreSetStats(graphs, rec)
 	}
 	return out, true
 }
@@ -370,7 +370,7 @@ func (e *engineRun) storeMemoGet(id int, in rsg.Digest) (*rsrsg.Set, bool) {
 		}
 		graphs[i] = g
 	}
-	return rsrsg.RestoreSet(graphs), true
+	return rsrsg.RestoreSetStats(graphs, e.rec), true
 }
 
 // storeMemoPut writes one computed transfer part through to the store:

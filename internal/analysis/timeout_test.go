@@ -1,0 +1,71 @@
+package analysis
+
+import (
+	"errors"
+	"fmt"
+	"regexp"
+	"strings"
+	"testing"
+	"time"
+)
+
+// timeoutMsgRE is the complete surface format of a run's timeout error:
+// the sentinel text plus exactly one elapsed/visits suffix.
+var timeoutMsgRE = regexp.MustCompile(
+	`^analysis: wall-clock timeout exceeded after [0-9][0-9.]*(ns|µs|us|ms|s|m) \([0-9]+ visits\)$`)
+
+// TestWrapTimeoutMessage pins the formatted timeout message: the two
+// coordinator wrap sites (the pre-visit deadline check and the
+// transfer-error surfacing) both route through wrapTimeout, and the
+// resulting error must carry the sentinel plus exactly one
+// "after <dur> (<n> visits)" suffix.
+func TestWrapTimeoutMessage(t *testing.T) {
+	start := time.Now().Add(-42 * time.Millisecond)
+
+	// The pre-visit check wraps the bare sentinel.
+	err := wrapTimeout(ErrTimeout, start, 17)
+	if !errors.Is(err, ErrTimeout) {
+		t.Fatalf("wrapped error lost the sentinel: %v", err)
+	}
+	msg := err.Error()
+	if !timeoutMsgRE.MatchString(msg) {
+		t.Fatalf("timeout message %q does not match %v", msg, timeoutMsgRE)
+	}
+	if n := strings.Count(msg, "after"); n != 1 {
+		t.Fatalf("timeout message carries %d 'after' suffixes, want 1: %q", n, msg)
+	}
+	if !strings.Contains(msg, "(17 visits)") {
+		t.Fatalf("timeout message lost the visit count: %q", msg)
+	}
+
+	// The transfer-error site may receive an error that was already
+	// decorated upstream; re-wrapping must be the identity, never a
+	// second suffix.
+	again := wrapTimeout(err, start, 99)
+	if again != err {
+		t.Fatalf("re-wrapping decorated a decorated timeout: %v", again)
+	}
+	if n := strings.Count(again.Error(), "after"); n != 1 {
+		t.Fatalf("double wrap stacked suffixes: %q", again.Error())
+	}
+
+	// Non-timeout errors pass through untouched.
+	other := errors.New("analysis: something else")
+	if got := wrapTimeout(other, start, 3); got != other {
+		t.Fatalf("wrapTimeout altered a non-timeout error: %v", got)
+	}
+	if got := wrapTimeout(nil, start, 3); got != nil {
+		t.Fatalf("wrapTimeout invented an error from nil: %v", got)
+	}
+
+	// A timeout that picked up foreign wrapping layers (fmt-wrapped by
+	// an intermediate) still gains exactly one suffix.
+	foreign := fmt.Errorf("transfer: %w", ErrTimeout)
+	wrapped := wrapTimeout(foreign, start, 5)
+	if n := strings.Count(wrapped.Error(), "after"); n != 1 {
+		t.Fatalf("foreign-wrapped timeout got %d suffixes: %q", n, wrapped.Error())
+	}
+	if !errors.Is(wrapped, ErrTimeout) {
+		t.Fatalf("foreign-wrapped timeout lost the sentinel: %v", wrapped)
+	}
+}

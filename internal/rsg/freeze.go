@@ -23,15 +23,16 @@ func (g *Graph) Freeze() *Graph {
 		return g
 	}
 	cacheStats.digestsComputed.Add(1)
-	return g.freezeWithDigest(computeDigest(g))
+	return g.freezeWithDigest(computeDigest(g), nil)
 }
 
 // freezeWithDigest freezes g reusing an already-computed digest (Intern
 // probes the digest before deciding whether the freeze is needed). The
 // flat encoding already *is* the sorted view, so freezing only pins the
 // few derived results that are expensive to recompute (alias key,
-// SPATHs, name-resolved links, pvar names).
-func (g *Graph) freezeWithDigest(d Digest) *Graph {
+// SPATHs, name-resolved links, pvar names). rec, when non-nil, also
+// attributes the freeze to one run's RunStats.
+func (g *Graph) freezeWithDigest(d Digest, rec *RunStats) *Graph {
 	g.cPvars = g.Pvars()
 	g.cAlias = aliasKey(g)
 	g.cLinks = g.Links()
@@ -39,6 +40,7 @@ func (g *Graph) freezeWithDigest(d Digest) *Graph {
 	g.frozen = true
 	g.digest = d
 	cacheStats.graphsFrozen.Add(1)
+	rec.addFrozen()
 	return g
 }
 
@@ -118,33 +120,18 @@ func internShard(d Digest) *shard {
 // package is: frozen graphs are immutable and freely shareable across
 // goroutines; an *unfrozen* graph (including the g passed here) must be
 // owned by a single goroutine until it is frozen or interned.
-func Intern(g *Graph) *Graph {
-	if g.frozen {
-		s := internShard(g.digest)
-		s.mu.Lock()
-		defer s.mu.Unlock()
-		return s.internLocked(g, g.digest)
-	}
-	d := g.Digest()
-	s := internShard(d)
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	if old, ok := s.tab[d]; ok {
-		cacheStats.internHits.Add(1)
-		return old
-	}
-	g.freezeWithDigest(d)
-	return s.internLocked(g, d)
-}
+func Intern(g *Graph) *Graph { return InternStats(g, nil) }
 
 // internLocked inserts or retrieves the canonical instance for a frozen
-// graph; the shard mutex must be held.
-func (s *shard) internLocked(g *Graph, d Digest) *Graph {
+// graph; the shard mutex must be held. rec, when non-nil, also
+// attributes the hit/miss to one run's RunStats.
+func (s *shard) internLocked(g *Graph, d Digest, rec *RunStats) *Graph {
 	if old, ok := s.tab[d]; ok {
 		if old == g {
 			return g
 		}
 		cacheStats.internHits.Add(1)
+		rec.addInternHit()
 		return old
 	}
 	if s.tab == nil || len(s.tab) >= internShardCap {
@@ -152,6 +139,7 @@ func (s *shard) internLocked(g *Graph, d Digest) *Graph {
 	}
 	s.tab[d] = g
 	cacheStats.internMisses.Add(1)
+	rec.addInternMiss()
 	return g
 }
 

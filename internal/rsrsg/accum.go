@@ -151,9 +151,9 @@ func (a *Accum) MergeDeltaDirty(add, remove []*Set, opts Options) (*Set, int) {
 			// already digest-sorted, exactly as Reduce would sort it. The
 			// shared join cache (opts.Joins) is internally synchronized.
 			g := append([]entry(nil), group...)
-			g, _ = reduceGroup(a.lvl, g, false, opts.Joins)
+			g, _ = reduceGroup(a.lvl, g, false, opts.Joins, opts.Stats)
 			if opts.MaxGraphs > 0 && len(g) > opts.MaxGraphs {
-				g, _ = forceGroup(a.lvl, g, opts.MaxGraphs, opts.Joins)
+				g, _ = forceGroup(a.lvl, g, opts.MaxGraphs, opts.Joins, opts.Stats)
 			}
 			results[i] = g
 		})

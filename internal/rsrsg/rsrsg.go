@@ -24,10 +24,14 @@ type entry struct {
 	alias string
 }
 
-// newEntry freezes and interns g and caches its derived keys.
-func newEntry(g *rsg.Graph) entry {
-	g = rsg.Intern(g)
-	return entry{g: g, dig: g.Digest(), alias: rsg.AliasKey(g)}
+// newEntry freezes and interns g and caches its derived keys. rec,
+// when non-nil, attributes the digest/freeze/intern work to one run
+// (Options.Stats): this is the only place outside the store's decoder
+// where graphs enter the interner, so threading the recorder through
+// here makes per-run cache stats exact under overlapping runs.
+func newEntry(g *rsg.Graph, rec *rsg.RunStats) entry {
+	g = rsg.InternStats(g, rec)
+	return entry{g: g, dig: g.DigestStats(rec), alias: rsg.AliasKey(g)}
 }
 
 // joinKey identifies one ordered pair of canonical (interned) graphs at
@@ -96,8 +100,10 @@ func (c *JoinCache) compatible(lvl rsg.Level, a, b entry) bool {
 }
 
 // join is JOIN+COMPRESS in interned entry form through the cache; a nil
-// receiver recomputes.
-func (c *JoinCache) join(lvl rsg.Level, a, b entry) entry {
+// receiver recomputes. rec attributes a cache miss's intern work to the
+// calling run; a cache hit touches no counters (the entry's keys were
+// computed when it was first joined).
+func (c *JoinCache) join(lvl rsg.Level, a, b entry, rec *rsg.RunStats) entry {
 	k := joinKey{lvl: lvl, a: a.dig, b: b.dig}
 	if c != nil {
 		c.mu.Lock()
@@ -109,7 +115,7 @@ func (c *JoinCache) join(lvl rsg.Level, a, b entry) entry {
 	}
 	merged := rsg.Join(lvl, a.g, b.g)
 	rsg.Compress(merged, lvl)
-	e := newEntry(merged)
+	e := newEntry(merged, rec)
 	if c != nil {
 		c.mu.Lock()
 		if len(c.joined) >= joinCacheCap {
@@ -165,7 +171,7 @@ func FromGraphs(lvl rsg.Level, graphs []*rsg.Graph, opts Options) *Set {
 		byDig:   make(map[rsg.Digest]struct{}, len(graphs)),
 	}
 	for _, g := range graphs {
-		s.Add(g)
+		s.AddStats(g, opts.Stats)
 	}
 	s.Reduce(lvl, opts)
 	return s
@@ -202,6 +208,12 @@ type Options struct {
 	// semi-naïve engine shares one cache per run; the stateless NoDelta
 	// path leaves this nil and recomputes.
 	Joins *JoinCache
+	// Stats, when non-nil, receives per-run attribution of the rsg
+	// digest/freeze/intern work done on this run's behalf. The rsg
+	// counters are process-global; the recorder is what lets a process
+	// running several analyses at once (the daemon) report exact
+	// per-run cache stats. Recording never changes results.
+	Stats *rsg.RunStats
 }
 
 // run executes tasks through opts.Exec, falling back to a sequential
@@ -218,7 +230,13 @@ func (o Options) run(tasks []func()) {
 
 // Add freezes g and inserts it if no digest-identical graph is present.
 func (s *Set) Add(g *rsg.Graph) bool {
-	return s.addEntry(newEntry(g))
+	return s.AddStats(g, nil)
+}
+
+// AddStats is Add with the freeze/intern work attributed to rec
+// (typically Options.Stats); a nil rec is identical to Add.
+func (s *Set) AddStats(g *rsg.Graph, rec *rsg.RunStats) bool {
+	return s.addEntry(newEntry(g, rec))
 }
 
 // ensureByDig materializes the member index after a lazy Clone.
@@ -346,14 +364,14 @@ func (s *Set) Reduce(lvl rsg.Level, opts Options) int {
 		i, group := i, group
 		tasks = append(tasks, func() {
 			sort.Slice(group, func(a, b int) bool { return group[a].dig.Less(group[b].dig) })
-			group, j := reduceGroup(lvl, group, false, opts.Joins)
+			group, j := reduceGroup(lvl, group, false, opts.Joins, opts.Stats)
 			if opts.MaxGraphs > 0 && len(group) > opts.MaxGraphs {
 				// Widening: force-join within the alias bucket, ignoring
 				// the node compatibility conditions (JOIN still
 				// over-approximates both operands, so this is sound —
 				// just lossier).
 				var fj int
-				group, fj = forceGroup(lvl, group, opts.MaxGraphs, opts.Joins)
+				group, fj = forceGroup(lvl, group, opts.MaxGraphs, opts.Joins, opts.Stats)
 				j += fj
 			}
 			results[i], bucketJoins[i] = group, j
@@ -380,7 +398,7 @@ func (s *Set) Reduce(lvl rsg.Level, opts Options) int {
 // freeze-time cache. jc, when non-nil, memoizes the pairwise
 // compatibility verdicts and join results across calls (the Accum's
 // dirty-bucket replays); nil recomputes everything.
-func reduceGroup(lvl rsg.Level, group []entry, force bool, jc *JoinCache) ([]entry, int) {
+func reduceGroup(lvl rsg.Level, group []entry, force bool, jc *JoinCache, rec *rsg.RunStats) ([]entry, int) {
 	joins := 0
 	for {
 		joined := false
@@ -390,7 +408,7 @@ func reduceGroup(lvl rsg.Level, group []entry, force bool, jc *JoinCache) ([]ent
 				if !force && !jc.compatible(lvl, group[i], group[j]) {
 					continue
 				}
-				e := jc.join(lvl, group[i], group[j])
+				e := jc.join(lvl, group[i], group[j], rec)
 				ng := make([]entry, 0, len(group)-1)
 				for k := range group {
 					if k != i && k != j {
@@ -410,10 +428,10 @@ func reduceGroup(lvl rsg.Level, group []entry, force bool, jc *JoinCache) ([]ent
 }
 
 // forceGroup widens a bucket down to the bound.
-func forceGroup(lvl rsg.Level, group []entry, max int, jc *JoinCache) ([]entry, int) {
+func forceGroup(lvl rsg.Level, group []entry, max int, jc *JoinCache, rec *rsg.RunStats) ([]entry, int) {
 	joins := 0
 	for len(group) > max {
-		e := jc.join(lvl, group[0], group[1])
+		e := jc.join(lvl, group[0], group[1], rec)
 		group = append(group[2:], e)
 		group = dedupe(group)
 		joins++
@@ -703,7 +721,7 @@ func (s *Set) mergeEntries(lvl rsg.Level, delta []entry, opts Options) Delta {
 		for i, key := range order {
 			i, key := i, key
 			tasks[i] = func() {
-				bd := mergeBucket(lvl, key, buckets[key], keyed[key], opts.Joins)
+				bd := mergeBucket(lvl, key, buckets[key], keyed[key], opts.Joins, opts.Stats)
 				if opts.MaxGraphs > 0 && len(bd.final) > opts.MaxGraphs {
 					// Widening: mergeBucket keeps the bucket pairwise
 					// incompatible, so the reduceGroup pass the former
@@ -711,7 +729,7 @@ func (s *Set) mergeEntries(lvl rsg.Level, delta []entry, opts Options) Delta {
 					// the force-join bound needs enforcing, and only on
 					// touched buckets (untouched ones cannot have grown).
 					sort.Slice(bd.final, func(a, b int) bool { return bd.final[a].dig.Less(bd.final[b].dig) })
-					bd.final, _ = forceGroup(lvl, bd.final, opts.MaxGraphs, opts.Joins)
+					bd.final, _ = forceGroup(lvl, bd.final, opts.MaxGraphs, opts.Joins, opts.Stats)
 				}
 				results[i] = bd
 			}
@@ -775,7 +793,7 @@ type bucketDelta struct {
 // becomes a new member. Out-states propagate along the CFG, so the same
 // canonical pairs are tested and joined at successive statements — with
 // a shared jc those recurrences are map hits.
-func mergeBucket(lvl rsg.Level, key string, bucket, queue []entry, jc *JoinCache) bucketDelta {
+func mergeBucket(lvl rsg.Level, key string, bucket, queue []entry, jc *JoinCache, rec *rsg.RunStats) bucketDelta {
 	var d bucketDelta
 	have := make(map[rsg.Digest]struct{}, len(bucket)+len(queue))
 	for _, e := range bucket {
@@ -800,7 +818,7 @@ func mergeBucket(lvl rsg.Level, key string, bucket, queue []entry, jc *JoinCache
 			continue
 		}
 		old := bucket[joined]
-		me := jc.join(lvl, old, e)
+		me := jc.join(lvl, old, e, rec)
 		if me.dig == old.dig {
 			continue // absorbing e did not change the member
 		}

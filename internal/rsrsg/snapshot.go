@@ -29,9 +29,15 @@ func (s *Set) MemberDigests() []rsg.Digest {
 // restored set is structurally identical — same entries, same order,
 // same XOR digest — to the set MemberDigests was taken from.
 func RestoreSet(graphs []*rsg.Graph) *Set {
+	return RestoreSetStats(graphs, nil)
+}
+
+// RestoreSetStats is RestoreSet with the intern work attributed to rec;
+// a nil rec is identical to RestoreSet.
+func RestoreSetStats(graphs []*rsg.Graph, rec *rsg.RunStats) *Set {
 	s := New()
 	for _, g := range graphs {
-		s.addEntry(newEntry(g))
+		s.addEntry(newEntry(g, rec))
 	}
 	return s
 }

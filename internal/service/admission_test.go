@@ -1,0 +1,100 @@
+package service
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+)
+
+// tinyProgram converges in a handful of visits.
+const tinyProgram = `
+struct cell { struct cell *nxt; };
+void main(void) {
+	struct cell *p;
+	p = malloc(sizeof(struct cell));
+	p->nxt = NULL;
+	p = NULL;
+}
+`
+
+func analyzeBody(t *testing.T) *bytes.Reader {
+	t.Helper()
+	b, err := json.Marshal(AnalyzeRequest{Name: "tiny", Source: tinyProgram})
+	if err != nil {
+		t.Fatalf("marshal: %v", err)
+	}
+	return bytes.NewReader(b)
+}
+
+// TestAdmissionRejectsOnOverflow pins the 429 path deterministically:
+// with one worker (whose token the test holds) and a zero queue, a
+// request is rejected immediately without touching the engine.
+func TestAdmissionRejectsOnOverflow(t *testing.T) {
+	s := New(Config{Workers: 1, Queue: -1}) // -1 ⇒ queue capacity 0
+	s.sem <- struct{}{}                     // occupy the only worker
+	defer func() { <-s.sem }()
+
+	rec := httptest.NewRecorder()
+	req := httptest.NewRequest(http.MethodPost, "/analyze", analyzeBody(t))
+	s.ServeHTTP(rec, req)
+	if rec.Code != http.StatusTooManyRequests {
+		t.Fatalf("status %d, want 429: %s", rec.Code, rec.Body.String())
+	}
+	if !strings.Contains(rec.Body.String(), "queue full") {
+		t.Fatalf("unexpected 429 body: %s", rec.Body.String())
+	}
+	if got := s.analyzeEP.rejected.Load(); got != 1 {
+		t.Fatalf("rejected counter = %d, want 1", got)
+	}
+	if got := s.analyzeEP.requests.Load(); got != 1 {
+		t.Fatalf("requests counter = %d, want 1", got)
+	}
+}
+
+// TestAdmissionQueuesThenRuns pins the queue path: with the worker
+// busy and one queue slot, a request waits, is counted as queued, and
+// completes once the worker frees up.
+func TestAdmissionQueuesThenRuns(t *testing.T) {
+	s := New(Config{Workers: 1, Queue: 1})
+	s.sem <- struct{}{} // occupy the only worker
+
+	done := make(chan *httptest.ResponseRecorder, 1)
+	go func() {
+		rec := httptest.NewRecorder()
+		req := httptest.NewRequest(http.MethodPost, "/analyze", analyzeBody(t))
+		s.ServeHTTP(rec, req)
+		done <- rec
+	}()
+
+	// Wait until the request parks in the queue, then free the worker.
+	deadline := time.Now().Add(5 * time.Second)
+	for s.queuedNow.Load() == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("request never queued")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	// A second request overflows the single queue slot while the first
+	// still waits.
+	rec2 := httptest.NewRecorder()
+	s.ServeHTTP(rec2, httptest.NewRequest(http.MethodPost, "/analyze", analyzeBody(t)))
+	if rec2.Code != http.StatusTooManyRequests {
+		t.Fatalf("overflow status %d, want 429", rec2.Code)
+	}
+
+	<-s.sem // release the worker; the queued request proceeds
+	rec := <-done
+	if rec.Code != http.StatusOK {
+		t.Fatalf("queued request: status %d: %s", rec.Code, rec.Body.String())
+	}
+	if got := s.analyzeEP.queued.Load(); got != 1 {
+		t.Fatalf("queued counter = %d, want 1", got)
+	}
+	if got := s.analyzeEP.rejected.Load(); got != 1 {
+		t.Fatalf("rejected counter = %d, want 1", got)
+	}
+}
